@@ -1,0 +1,338 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation. Each BenchmarkFigureN regenerates the corresponding figure
+// from the shared evaluation dataset (computed once per process) and
+// prints it, so
+//
+//	go test -bench=Figure -benchtime=1x
+//
+// reproduces the paper's entire results section. The remaining benchmarks
+// measure the substrate itself (simulator event rate, message matching,
+// trace compression, skeleton construction).
+package perfskel_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"perfskel"
+	"perfskel/internal/cluster"
+	"perfskel/internal/experiments"
+	"perfskel/internal/mpi"
+	"perfskel/internal/signature"
+	"perfskel/internal/skeleton"
+	"perfskel/internal/trace"
+)
+
+var (
+	resOnce sync.Once
+	res     *experiments.Results
+	resErr  error
+)
+
+// paperResults runs the full evaluation once per test process.
+func paperResults(b *testing.B) *experiments.Results {
+	b.Helper()
+	resOnce.Do(func() {
+		res, resErr = experiments.Run(experiments.Config{})
+	})
+	if resErr != nil {
+		b.Fatal(resErr)
+	}
+	return res
+}
+
+var printed sync.Map
+
+func printOnce(key, text string) {
+	if _, loaded := printed.LoadOrStore(key, true); !loaded {
+		fmt.Println(text)
+	}
+}
+
+func BenchmarkFigure2CommFraction(b *testing.B) {
+	r := paperResults(b)
+	b.ResetTimer()
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = r.Figure2()
+	}
+	b.StopTimer()
+	printOnce("fig2", t.String())
+}
+
+func BenchmarkFigure3ErrorByBenchmark(b *testing.B) {
+	r := paperResults(b)
+	b.ResetTimer()
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = r.Figure3()
+	}
+	b.StopTimer()
+	printOnce("fig3", t.String())
+}
+
+func BenchmarkFigure4SmallestGoodSkeleton(b *testing.B) {
+	r := paperResults(b)
+	b.ResetTimer()
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = r.Figure4()
+	}
+	b.StopTimer()
+	printOnce("fig4", t.String())
+}
+
+func BenchmarkFigure5ErrorBySize(b *testing.B) {
+	r := paperResults(b)
+	b.ResetTimer()
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = r.Figure5()
+	}
+	b.StopTimer()
+	printOnce("fig5", t.String())
+}
+
+func BenchmarkFigure6ErrorByScenario(b *testing.B) {
+	r := paperResults(b)
+	b.ResetTimer()
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = r.Figure6()
+	}
+	b.StopTimer()
+	printOnce("fig6", t.String())
+}
+
+func BenchmarkFigure7Baselines(b *testing.B) {
+	r := paperResults(b)
+	b.ResetTimer()
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = r.Figure7()
+	}
+	b.StopTimer()
+	printOnce("fig7", t.String()+
+		fmt.Sprintf("\nOverall average prediction error: %.1f%%\n", r.OverallAverageError()))
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSimComputeEvents measures the raw discrete-event rate of the
+// simulation engine under CPU contention.
+func BenchmarkSimComputeEvents(b *testing.B) {
+	cl := cluster.Build(cluster.Testbed(4), cluster.CPUAllNodes(4))
+	n := b.N
+	_, err := mpi.Run(cl, 4, mpi.Config{}, nil, func(c *mpi.Comm) {
+		for i := 0; i < n/4+1; i++ {
+			c.Compute(0.001)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMPIPingPong measures point-to-point round trips.
+func BenchmarkMPIPingPong(b *testing.B) {
+	cl := cluster.Build(cluster.Testbed(2), cluster.Dedicated())
+	n := b.N
+	_, err := mpi.Run(cl, 2, mpi.Config{}, nil, func(c *mpi.Comm) {
+		for i := 0; i < n; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, 1, 1024)
+				c.Recv(1, 2)
+			} else {
+				c.Recv(0, 1)
+				c.Send(0, 2, 1024)
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMPIAllreduce measures the collective path.
+func BenchmarkMPIAllreduce(b *testing.B) {
+	cl := cluster.Build(cluster.Testbed(4), cluster.Dedicated())
+	n := b.N
+	_, err := mpi.Run(cl, 4, mpi.Config{}, nil, func(c *mpi.Comm) {
+		for i := 0; i < n; i++ {
+			c.Allreduce(8)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// mgTrace builds one MG class S trace for the compression benchmarks.
+func mgTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	env := perfskel.NewTestbed(4, perfskel.Dedicated())
+	app, err := perfskel.NASApp("MG", perfskel.ClassS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := env.Trace(4, app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkSignatureBuild measures trace-to-signature compression
+// including the iterative threshold search.
+func BenchmarkSignatureBuild(b *testing.B) {
+	tr := mgTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := signature.Build(tr, signature.Options{TargetRatio: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSkeletonBuild measures signature-to-skeleton construction.
+func BenchmarkSkeletonBuild(b *testing.B) {
+	tr := mgTrace(b)
+	sig, err := signature.Build(tr, signature.Options{TargetRatio: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := skeleton.Build(sig, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSkeletonExecute measures running a small skeleton on the
+// simulated testbed.
+func BenchmarkSkeletonExecute(b *testing.B) {
+	tr := mgTrace(b)
+	sig, err := signature.Build(tr, signature.Options{TargetRatio: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := skeleton.Build(sig, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl := cluster.Build(cluster.Testbed(4), cluster.Dedicated())
+		if _, err := skeleton.Run(prog, cl, mpi.Config{}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCSourceGeneration measures skeleton-to-C rendering.
+func BenchmarkCSourceGeneration(b *testing.B) {
+	tr := mgTrace(b)
+	sig, err := signature.Build(tr, signature.Options{TargetRatio: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := skeleton.Build(sig, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := skeleton.CSource(prog); len(s) == 0 {
+			b.Fatal("empty source")
+		}
+	}
+}
+
+// --- ablation and extension benchmarks ---
+
+// BenchmarkAblationScaleMode regenerates the communication-scaling
+// ablation table (byte vs time scaling under shaped links).
+func BenchmarkAblationScaleMode(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.AblationScaleMode(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce("abl-scale", t.String())
+}
+
+// BenchmarkAblationQHeuristic regenerates the threshold-selection ablation.
+func BenchmarkAblationQHeuristic(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.AblationQHeuristic(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce("abl-q", t.String())
+}
+
+// BenchmarkAblationEagerThreshold regenerates the protocol-boundary ablation.
+func BenchmarkAblationEagerThreshold(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.AblationEagerThreshold(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce("abl-eager", t.String())
+}
+
+// BenchmarkAblationCrossTraffic regenerates the stochastic-traffic
+// robustness table.
+func BenchmarkAblationCrossTraffic(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.AblationCrossTraffic(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce("abl-traffic", t.String())
+}
+
+// BenchmarkExtensionProcScaling regenerates the cross-processor-count
+// prediction table (paper section 5's extension).
+func BenchmarkExtensionProcScaling(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.ExtensionProcScaling(4, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce("ext-proc", t.String())
+}
+
+// BenchmarkNASClassBSuite measures running the whole class B suite
+// dedicated — the simulator's end-to-end throughput on real workloads.
+func BenchmarkNASClassBSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"MG", "IS"} {
+			app, err := perfskel.NASApp(name, perfskel.ClassB)
+			if err != nil {
+				b.Fatal(err)
+			}
+			env := perfskel.NewTestbed(4, perfskel.Dedicated())
+			if _, err := env.Run(4, app); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

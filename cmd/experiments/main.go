@@ -1,0 +1,83 @@
+// Command experiments reproduces the paper's evaluation: it runs every
+// benchmark, skeleton and baseline across the five resource-sharing
+// scenarios on the simulated testbed and prints Figures 2 through 7.
+//
+// Usage:
+//
+//	experiments [-fig N] [-ranks N] [-bench BT,CG] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"perfskel/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "render a single figure (2-7); 0 renders all")
+	ablation := flag.Bool("ablation", false, "run the design-choice ablations instead of the paper figures")
+	ext := flag.Bool("ext", false, "run the processor-count scaling extension (4 -> 8 ranks)")
+	ranks := flag.Int("ranks", 4, "number of ranks / nodes")
+	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all six)")
+	verbose := flag.Bool("v", false, "log per-run progress")
+	flag.Parse()
+
+	cfg := experiments.Config{Ranks: *ranks}
+	if *bench != "" {
+		cfg.Benchmarks = strings.Split(*bench, ",")
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	if *ext {
+		t, err := experiments.ExtensionProcScaling(4, 8)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+		return
+	}
+	if *ablation {
+		tables, err := experiments.AllAblations(*ranks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		return
+	}
+	res, err := experiments.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	switch *fig {
+	case 0:
+		for _, t := range res.AllFigures() {
+			fmt.Println(t)
+		}
+		fmt.Printf("Overall average prediction error: %.1f%%\n", res.OverallAverageError())
+	case 2:
+		fmt.Println(res.Figure2())
+	case 3:
+		fmt.Println(res.Figure3())
+	case 4:
+		fmt.Println(res.Figure4())
+	case 5:
+		fmt.Println(res.Figure5())
+	case 6:
+		fmt.Println(res.Figure6())
+	case 7:
+		fmt.Println(res.Figure7())
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: no figure %d (have 2-7)\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,82 @@
+// Command skelgen constructs a performance skeleton from an execution
+// trace: it compresses the trace into an execution signature (clustering
+// plus loop detection, with the similarity threshold searched for
+// compression ratio Q = K/2) and scales it down by K. The skeleton is
+// written as an executable JSON program and optionally as C/MPI or Go
+// source.
+//
+// Usage:
+//
+//	skelgen -trace cg.trace.json -time 5 -o cg.skel.json [-c cg_skel.c] [-gosrc cg_skel.go]
+//	skelgen -trace cg.trace.json -k 50 -o cg.skel.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"perfskel/internal/skeleton"
+	"perfskel/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "input execution trace (required)")
+	target := flag.Float64("time", 0, "intended skeleton execution time in seconds")
+	k := flag.Int("k", 0, "explicit scaling factor K (alternative to -time)")
+	out := flag.String("o", "skeleton.json", "output skeleton program")
+	cOut := flag.String("c", "", "also emit C/MPI source to this file")
+	goOut := flag.String("gosrc", "", "also emit Go source to this file")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fail(fmt.Errorf("-trace is required"))
+	}
+	if (*target <= 0) == (*k <= 0) {
+		fail(fmt.Errorf("exactly one of -time or -k is required"))
+	}
+	tr, err := trace.Load(*tracePath)
+	if err != nil {
+		fail(err)
+	}
+	kk := *k
+	if kk <= 0 {
+		kk = int(math.Round(tr.AppTime / *target))
+		if kk < 1 {
+			kk = 1
+		}
+	}
+	prog, sig, err := skeleton.BuildFromTrace(tr, kk, skeleton.Options{})
+	if err != nil {
+		fail(err)
+	}
+	if err := prog.Save(*out); err != nil {
+		fail(err)
+	}
+	fmt.Printf("trace: %.2f s application, %d events\n", tr.AppTime, tr.Len())
+	fmt.Printf("signature: ratio %.1f at similarity threshold %.3f (target Q=%.1f met: %v)\n",
+		sig.Ratio, sig.Threshold, float64(kk)/2, sig.TargetMet)
+	fmt.Printf("skeleton: K=%d, intended %.2f s, written to %s\n", kk, prog.TargetTime, *out)
+	fmt.Printf("smallest good skeleton for this application: %.2f s\n", prog.MinGoodTime)
+	if !prog.Good {
+		fmt.Printf("WARNING: requested skeleton is below the smallest good size; prediction accuracy may suffer\n")
+	}
+	if *cOut != "" {
+		if err := os.WriteFile(*cOut, []byte(skeleton.CSource(prog)), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("C source written to %s\n", *cOut)
+	}
+	if *goOut != "" {
+		if err := os.WriteFile(*goOut, []byte(skeleton.GoSource(prog)), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("Go source written to %s\n", *goOut)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "skelgen:", err)
+	os.Exit(1)
+}

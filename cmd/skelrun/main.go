@@ -1,0 +1,77 @@
+// Command skelrun executes a skeleton program or a NAS benchmark under a
+// named resource-sharing scenario on the simulated testbed and prints the
+// execution time. Running a skeleton under each candidate scenario and
+// multiplying by the measured scaling ratio is the paper's prediction
+// procedure.
+//
+// Usage:
+//
+//	skelrun -skel cg.skel.json -scenario combined
+//	skelrun -bench CG -class B -scenario net-one-link -ranks 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/nas"
+	"perfskel/internal/skeleton"
+)
+
+func main() {
+	skelPath := flag.String("skel", "", "skeleton program to run (from skelgen)")
+	bench := flag.String("bench", "", "benchmark to run instead of a skeleton")
+	class := flag.String("class", "B", "problem class for -bench")
+	scen := flag.String("scenario", "dedicated",
+		"scenario: dedicated, cpu-one-node, cpu-all-nodes, net-one-link, net-all-links, combined")
+	ranks := flag.Int("ranks", 4, "number of ranks / nodes (ignored for -skel)")
+	flag.Parse()
+
+	if (*skelPath == "") == (*bench == "") {
+		fail(fmt.Errorf("exactly one of -skel or -bench is required"))
+	}
+
+	n := *ranks
+	var prog *skeleton.Program
+	if *skelPath != "" {
+		var err error
+		prog, err = skeleton.Load(*skelPath)
+		if err != nil {
+			fail(err)
+		}
+		n = prog.NRanks
+	}
+	sc, err := cluster.ByName(*scen, n)
+	if err != nil {
+		fail(err)
+	}
+	cl := cluster.Build(cluster.Testbed(n), sc)
+
+	var dur float64
+	if prog != nil {
+		dur, err = skeleton.Run(prog, cl, mpi.Config{}, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("skeleton (K=%d) under %s: %.4f s\n", prog.K, sc.Name, dur)
+		fmt.Printf("predicted application time = %.4f s x measured scaling ratio\n", dur)
+	} else {
+		app, err := nas.App(*bench, nas.Class(*class))
+		if err != nil {
+			fail(err)
+		}
+		dur, err = mpi.Run(cl, n, mpi.Config{}, nil, app)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s class %s on %d ranks under %s: %.4f s\n", *bench, *class, n, sc.Name, dur)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "skelrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Command skelstat analyses an execution trace: time breakdown per MPI
+// operation, a text timeline of per-rank activity, and (optionally) the
+// compressed execution signature with the smallest-good-skeleton bound.
+//
+// Usage:
+//
+//	skelstat -trace cg.trace.json
+//	skelstat -trace cg.trace.json -q 50 -dumpsig
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfskel/internal/signature"
+	"perfskel/internal/skeleton"
+	"perfskel/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "execution trace to analyse (required)")
+	width := flag.Int("width", 72, "timeline width in columns")
+	q := flag.Float64("q", 0, "also compress to a signature with this target ratio")
+	dumpSig := flag.Bool("dumpsig", false, "print the signature's loop structure")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fail(fmt.Errorf("-trace is required"))
+	}
+	tr, err := trace.Load(*tracePath)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(tr.Summary())
+	fmt.Println()
+	fmt.Print(tr.Timeline(*width))
+
+	if *q > 0 || *dumpSig {
+		sig, err := signature.Build(tr, signature.Options{TargetRatio: *q})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nsignature: %d events -> %d leaves (ratio %.1f at threshold %.3f, target met: %v)\n",
+			tr.Len(), sig.Len(), sig.Ratio, sig.Threshold, sig.TargetMet)
+		mg := skeleton.MinGoodTime(sig, skeleton.DefaultCoverage)
+		fmt.Printf("smallest good skeleton: %.3f s (largest useful scaling factor K=%.0f)\n",
+			mg, tr.AppTime/mg)
+		if *dumpSig {
+			fmt.Println()
+			fmt.Print(sig.String())
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "skelstat:", err)
+	os.Exit(1)
+}

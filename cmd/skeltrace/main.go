@@ -1,0 +1,54 @@
+// Command skeltrace runs a NAS benchmark model on the simulated dedicated
+// testbed with the profiling recorder attached and writes its execution
+// trace — the first step of the paper's skeleton construction pipeline.
+//
+// Usage:
+//
+//	skeltrace -bench CG -class B -ranks 4 -o cg.trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/nas"
+	"perfskel/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "CG", "benchmark: BT, CG, IS, LU, MG or SP")
+	class := flag.String("class", "B", "problem class: S, W, A or B")
+	ranks := flag.Int("ranks", 4, "number of ranks / nodes")
+	out := flag.String("o", "", "output trace file (default <bench>.trace.json)")
+	flag.Parse()
+
+	if *out == "" {
+		*out = fmt.Sprintf("%s.trace.json", *bench)
+	}
+	app, err := nas.App(*bench, nas.Class(*class))
+	if err != nil {
+		fail(err)
+	}
+	cl := cluster.Build(cluster.Testbed(*ranks), cluster.Dedicated())
+	rec := trace.NewRecorder(*ranks)
+	dur, err := mpi.Run(cl, *ranks, mpi.Config{}, rec, app)
+	if err != nil {
+		fail(err)
+	}
+	tr := rec.Finish(dur)
+	if err := tr.Save(*out); err != nil {
+		fail(err)
+	}
+	st := tr.Stats()
+	fmt.Printf("%s class %s on %d ranks: %.2f s dedicated, %d events (%.1f%% MPI)\n",
+		*bench, *class, *ranks, dur, tr.Len(), 100*st.MPIFrac)
+	fmt.Printf("trace written to %s\n", *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "skeltrace:", err)
+	os.Exit(1)
+}

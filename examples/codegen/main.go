@@ -1,0 +1,42 @@
+// Codegen: emit a performance skeleton as portable source code.
+//
+// The paper's framework converts execution signatures into C programs so
+// skeletons can run on any MPI installation. This example traces the IS
+// benchmark (whose dominant operation is one very large all-to-all),
+// builds a skeleton, and prints the generated C/MPI source plus the
+// equivalent Go program for the simulated testbed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfskel"
+)
+
+func main() {
+	const ranks = 4
+	app, err := perfskel.NASApp("IS", perfskel.ClassA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := perfskel.NewTestbed(ranks, perfskel.Dedicated())
+	tr, appTime, err := env.Trace(ranks, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig, err := perfskel.BuildSignature(tr, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	skel, err := perfskel.BuildSkeleton(sig, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IS class A: %.2f s; skeleton K=%d targets %.2f s\n\n", appTime, skel.K, skel.TargetTime)
+
+	fmt.Println("==================== generated C/MPI source ====================")
+	fmt.Println(perfskel.CSource(skel))
+	fmt.Println("===================== generated Go source ======================")
+	fmt.Println(perfskel.GoSource(skel))
+}

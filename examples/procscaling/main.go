@@ -1,0 +1,63 @@
+// Processor-count scaling: the paper's section-5 extension.
+//
+// A skeleton built from a 4-rank trace is rescaled to 8 and 16 ranks
+// (weak scaling: peers become ring offsets, per-rank work stays constant)
+// and used to predict the benchmark's execution time at sizes it was
+// never traced at — including under CPU sharing. The example verifies
+// each prediction against a real run at the larger size.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfskel"
+)
+
+func main() {
+	const from = 4
+	app, err := perfskel.NASApp("CG", perfskel.ClassA)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Trace and build once, at the small size.
+	dedicated := perfskel.NewTestbed(from, perfskel.Dedicated())
+	tr, appTime, err := dedicated.Trace(from, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	skel, _, err := perfskel.BuildSkeletonFromTraceForTime(tr, 2.0, perfskel.SkeletonOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	skelDed, err := dedicated.RunSkeleton(skel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CG class A traced at %d ranks: %.2f s; skeleton K=%d runs %.2f s\n\n",
+		from, appTime, skel.K, skelDed)
+
+	fmt.Printf("%-6s %-14s %12s %12s %8s\n", "ranks", "scenario", "predicted", "actual", "error")
+	for _, to := range []int{8, 16} {
+		big, err := perfskel.RescaleSkeleton(skel, to)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, sc := range []perfskel.Scenario{perfskel.Dedicated(), perfskel.CPUOneNode()} {
+			env := perfskel.NewTestbed(to, sc)
+			probe, err := env.RunSkeleton(big)
+			if err != nil {
+				log.Fatal(err)
+			}
+			predicted := perfskel.PredictTime(appTime, skelDed, probe)
+			actual, err := env.Run(to, app)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6d %-14s %10.2f s %10.2f s %6.1f %%\n",
+				to, sc.Name, predicted, actual, perfskel.PredictionErrorPct(predicted, actual))
+		}
+	}
+	fmt.Println("\n(the skeleton was never traced at 8 or 16 ranks)")
+}

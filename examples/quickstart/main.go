@@ -1,0 +1,69 @@
+// Quickstart: the whole performance-skeleton pipeline in one file.
+//
+// We trace the CG benchmark on a dedicated simulated testbed, compress the
+// trace into an execution signature, generate a short-running performance
+// skeleton, and then use the skeleton to predict CG's execution time under
+// CPU and network sharing — comparing each prediction against the real
+// (simulated) shared-run time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfskel"
+)
+
+func main() {
+	const ranks = 4
+
+	// 1. Trace the application on the dedicated testbed.
+	app, err := perfskel.NASApp("CG", perfskel.ClassA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dedicated := perfskel.NewTestbed(ranks, perfskel.Dedicated())
+	tr, appTime, err := dedicated.Trace(ranks, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CG class A on %d ranks: %.2f s dedicated, %d trace events\n",
+		ranks, appTime, tr.Len())
+
+	// 2. Compress the trace into an execution signature and build a
+	//    2-second performance skeleton (the threshold search targets the
+	//    paper's compression ratio Q = K/2 and verifies consistency).
+	skel, sig, err := perfskel.BuildSkeletonFromTraceForTime(tr, 2.0, perfskel.SkeletonOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("signature: %d events -> %d leaves (ratio %.0f at threshold %.3f)\n",
+		tr.Len(), sig.Len(), sig.Ratio, sig.Threshold)
+	skelDed, err := dedicated.RunSkeleton(skel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("skeleton: K=%d, runs %.2f s dedicated (measured scaling ratio %.1f)\n",
+		skel.K, skelDed, appTime/skelDed)
+	if !skel.Good {
+		fmt.Printf("note: below the smallest good skeleton size (%.2f s)\n", skel.MinGoodTime)
+	}
+
+	// 3. Predict the application's time under each sharing scenario by
+	//    running only the skeleton there.
+	fmt.Printf("\n%-15s  %12s  %12s  %8s\n", "scenario", "predicted", "actual", "error")
+	for _, sc := range perfskel.PaperScenarios(ranks) {
+		env := perfskel.NewTestbed(ranks, sc)
+		skelShared, err := env.RunSkeleton(skel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		predicted := perfskel.PredictTime(appTime, skelDed, skelShared)
+		actual, err := env.Run(ranks, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s  %10.2f s  %10.2f s  %6.1f %%\n",
+			sc.Name, predicted, actual, perfskel.PredictionErrorPct(predicted, actual))
+	}
+}

@@ -1,0 +1,84 @@
+// Resource selection: the paper's motivating use case (section 1).
+//
+// A grid scheduler must choose between candidate node sets whose current
+// load it cannot translate into application performance. Instead of
+// modelling, it briefly runs the application's performance skeleton on
+// each candidate and picks the fastest — here four 4-node groups under
+// different sharing conditions and hardware speeds, via the library's
+// Selector. The example verifies the choice by running the full
+// application everywhere, which a real scheduler of course would never
+// do.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfskel"
+)
+
+func main() {
+	const ranks = 4
+	app, err := perfskel.NASApp("MG", perfskel.ClassA)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Trace once on the dedicated reference testbed, build a ~1 s skeleton.
+	dedicated := perfskel.NewTestbed(ranks, perfskel.Dedicated())
+	tr, appTime, err := dedicated.Trace(ranks, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig, err := perfskel.BuildSignature(tr, appTime/2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	skel, err := perfskel.BuildSkeletonForTime(sig, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := perfskel.NewSelector(skel, appTime, perfskel.TestbedTopology(ranks))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MG class A: %.2f s dedicated; skeleton K=%d, scaling ratio %.1f\n\n",
+		appTime, skel.K, sel.Ratio)
+
+	// Candidate node sets: different current load, and one with slower
+	// hardware (heterogeneous grid).
+	oldNodes := perfskel.TestbedTopology(ranks)
+	for i := range oldNodes.Nodes {
+		oldNodes.Nodes[i].Speed = 0.6
+	}
+	candidates := []perfskel.Candidate{
+		{Name: "group-1 (one busy node)", Topo: perfskel.TestbedTopology(ranks), Sc: perfskel.CPUOneNode()},
+		{Name: "group-2 (slow link)", Topo: perfskel.TestbedTopology(ranks), Sc: perfskel.NetOneLink()},
+		{Name: "group-3 (busy everywhere)", Topo: perfskel.TestbedTopology(ranks), Sc: perfskel.CPUAllNodes(ranks)},
+		{Name: "group-4 (old idle nodes)", Topo: oldNodes, Sc: perfskel.Dedicated()},
+	}
+
+	ranked := sel.Select(candidates)
+	fmt.Printf("%-28s  %12s  %14s  %16s\n", "candidate", "probe cost", "predicted", "full app (check)")
+	var probeCost float64
+	for _, e := range ranked {
+		if e.Err != nil {
+			fmt.Printf("%-28s  probe failed: %v\n", e.Candidate, e.Err)
+			continue
+		}
+		var env *perfskel.Env
+		for _, c := range candidates {
+			if c.Name == e.Candidate {
+				env = perfskel.NewEnv(c.Topo, c.Sc)
+			}
+		}
+		full, err := env.Run(ranks, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		probeCost += e.ProbeTime
+		fmt.Printf("%-28s  %10.3f s  %12.2f s  %14.2f s\n", e.Candidate, e.ProbeTime, e.Predicted, full)
+	}
+	fmt.Printf("\nselected: %s\n", ranked[0].Candidate)
+	fmt.Printf("total probing cost: %.2f s of skeleton time instead of four full runs\n", probeCost)
+}

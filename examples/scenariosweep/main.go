@@ -1,0 +1,66 @@
+// Scenario sweep: how well does one skeleton track its application across
+// a whole range of network conditions it was never measured under?
+//
+// We build a single LU skeleton from one dedicated trace, then sweep the
+// cluster-wide link bandwidth from full Gigabit down to 10 Mbps and
+// compare skeleton-based predictions with the application's actual times.
+// LU's many small pipelined messages make it the most latency- and
+// bandwidth-sensitive of the compute-bound NAS codes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfskel"
+)
+
+func main() {
+	const ranks = 4
+	app, err := perfskel.NASApp("LU", perfskel.ClassA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dedicated := perfskel.NewTestbed(ranks, perfskel.Dedicated())
+	tr, appTime, err := dedicated.Trace(ranks, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig, err := perfskel.BuildSignature(tr, appTime/2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	skel, err := perfskel.BuildSkeletonForTime(sig, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	skelDed, err := dedicated.RunSkeleton(skel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LU class A: %.2f s dedicated; 1 s skeleton (K=%d)\n\n", appTime, skel.K)
+
+	fmt.Printf("%-12s  %12s  %12s  %8s\n", "bandwidth", "predicted", "actual", "error")
+	for _, mbps := range []float64{1000, 500, 100, 50, 10} {
+		bytesPerSec := mbps * 1e6 / 8
+		sc := perfskel.Scenario{
+			Name:          fmt.Sprintf("%v Mbps", mbps),
+			LinkBandwidth: map[int]float64{},
+		}
+		for i := 0; i < ranks; i++ {
+			sc.LinkBandwidth[i] = bytesPerSec
+		}
+		env := perfskel.NewTestbed(ranks, sc)
+		probe, err := env.RunSkeleton(skel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		actual, err := env.Run(ranks, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		predicted := perfskel.PredictTime(appTime, skelDed, probe)
+		fmt.Printf("%-12s  %10.2f s  %10.2f s  %6.1f %%\n",
+			sc.Name, predicted, actual, perfskel.PredictionErrorPct(predicted, actual))
+	}
+}

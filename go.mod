@@ -1,0 +1,3 @@
+module perfskel
+
+go 1.22

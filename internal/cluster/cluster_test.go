@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"perfskel/internal/sim"
+)
+
+func TestTestbedShape(t *testing.T) {
+	topo := Testbed(10)
+	if len(topo.Nodes) != 10 {
+		t.Fatalf("nodes = %d", len(topo.Nodes))
+	}
+	for _, n := range topo.Nodes {
+		if n.CPUs != 2 || n.Speed != 1.0 {
+			t.Errorf("node = %+v, want dual-CPU speed 1", n)
+		}
+	}
+	if topo.Bandwidth != GigabitBandwidth || topo.Latency != DefaultLatency {
+		t.Errorf("links = %v B/s, %v s", topo.Bandwidth, topo.Latency)
+	}
+}
+
+func TestPaperScenarios(t *testing.T) {
+	scs := PaperScenarios(4)
+	if len(scs) != 5 {
+		t.Fatalf("scenarios = %d, want 5", len(scs))
+	}
+	names := []string{"cpu-one-node", "cpu-all-nodes", "net-one-link", "net-all-links", "combined"}
+	for i, sc := range scs {
+		if sc.Name != names[i] {
+			t.Errorf("scenario %d = %q, want %q", i, sc.Name, names[i])
+		}
+	}
+	if scs[1].LoadProcs[3] != 2 {
+		t.Error("cpu-all-nodes missing load on node 3")
+	}
+	if scs[3].LinkBandwidth[2] != TenMbps {
+		t.Error("net-all-links missing shaping on node 2")
+	}
+	if scs[4].LoadProcs[0] != 2 || scs[4].LinkBandwidth[0] != TenMbps {
+		t.Error("combined scenario incomplete")
+	}
+}
+
+func TestBuildAppliesBandwidthOverride(t *testing.T) {
+	c := Build(Testbed(3), NetOneLink())
+	// Node 0's links shaped; node 1's untouched.
+	path01 := c.Path(0, 1)
+	if len(path01) != 2 {
+		t.Fatalf("path = %d resources", len(path01))
+	}
+	if path01[0].Capacity() != TenMbps {
+		t.Errorf("up0 capacity = %v, want shaped", path01[0].Capacity())
+	}
+	if path01[1].Capacity() != GigabitBandwidth {
+		t.Errorf("down1 capacity = %v, want full", path01[1].Capacity())
+	}
+	path12 := c.Path(1, 2)
+	if path12[0].Capacity() != GigabitBandwidth {
+		t.Errorf("up1 capacity = %v, want full", path12[0].Capacity())
+	}
+}
+
+func TestIntraNodePathEmpty(t *testing.T) {
+	c := Build(Testbed(2), Dedicated())
+	if p := c.Path(1, 1); p != nil {
+		t.Errorf("intra-node path = %v, want nil", p)
+	}
+}
+
+func TestLoadProcessesContendForCPU(t *testing.T) {
+	// Scenario 1 on the paper's dual-CPU nodes: one app process plus two
+	// load processes on node 0 -> the app gets 2/3 of a CPU.
+	c := Build(Testbed(2), CPUOneNode())
+	var end0, end1 float64
+	c.Engine.Spawn("app0", false, func(p *sim.Proc) {
+		p.Compute(c.CPU(0), 2.0)
+		end0 = p.Now()
+	})
+	c.Engine.Spawn("app1", false, func(p *sim.Proc) {
+		p.Compute(c.CPU(1), 2.0)
+		end1 = p.Now()
+	})
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end0 < 2.9 || end0 > 3.1 {
+		t.Errorf("node 0 compute = %v, want ~3.0 (2 CPUs / 3 procs)", end0)
+	}
+	if end1 != 2.0 {
+		t.Errorf("node 1 compute = %v, want 2.0 (dedicated)", end1)
+	}
+}
+
+func TestDedicatedHasNoLoad(t *testing.T) {
+	c := Build(Testbed(2), Dedicated())
+	var end float64
+	c.Engine.Spawn("app", false, func(p *sim.Proc) {
+		p.Compute(c.CPU(0), 1.0)
+		end = p.Now()
+	})
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 1.0 {
+		t.Errorf("dedicated compute = %v, want 1.0", end)
+	}
+}
+
+func TestCrossTrafficSlowsTransfers(t *testing.T) {
+	// A sequence of transfers with heavy background traffic takes longer
+	// than the same transfers on an idle network.
+	run := func(sc Scenario) float64 {
+		c := Build(Testbed(2), sc)
+		var end float64
+		c.Engine.Spawn("app", false, func(p *sim.Proc) {
+			for i := 0; i < 50; i++ {
+				done := c.Engine.NewEvent()
+				c.Engine.StartFlow(c.Path(0, 1), 1e6, done.Fire)
+				p.WaitEvent(done, "transfer")
+			}
+			end = p.Now()
+		})
+		if err := c.Engine.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	idle := run(Dedicated())
+	// Offered background load ~70% of link capacity (the generator must
+	// stay below capacity or flows accumulate without bound).
+	busy := run(WithCrossTraffic(Dedicated(), CrossTraffic{
+		MeanGap: 0.008, MeanBytes: 7e5, Seed: 7,
+	}))
+	if busy <= idle*1.1 {
+		t.Errorf("busy network %v not clearly slower than idle %v", busy, idle)
+	}
+}
+
+func TestCrossTrafficDeterministic(t *testing.T) {
+	run := func() float64 {
+		sc := WithCrossTraffic(Dedicated(), CrossTraffic{MeanGap: 0.01, MeanBytes: 2e5, Seed: 42})
+		c := Build(Testbed(3), sc)
+		var end float64
+		c.Engine.Spawn("app", false, func(p *sim.Proc) {
+			for i := 0; i < 20; i++ {
+				done := c.Engine.NewEvent()
+				c.Engine.StartFlow(c.Path(1, 2), 5e5, done.Fire)
+				p.WaitEvent(done, "transfer")
+			}
+			end = p.Now()
+		})
+		if err := c.Engine.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("cross-traffic runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	for _, name := range []string{"dedicated", "cpu-one-node", "cpu-all-nodes", "net-one-link", "net-all-links", "combined"} {
+		sc, err := ByName(name, 4)
+		if err != nil || sc.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, sc.Name, err)
+		}
+	}
+	if _, err := ByName("nope", 4); err == nil {
+		t.Error("want error for unknown scenario")
+	}
+}
+
+func TestPathLatencyShaping(t *testing.T) {
+	c := Build(Testbed(3), NetOneLink())
+	if got := c.PathLatency(0, 1); math.Abs(got-(DefaultLatency+ShapedLatency)) > 1e-12 {
+		t.Errorf("shaped path latency = %v", got)
+	}
+	if got := c.PathLatency(1, 2); got != DefaultLatency {
+		t.Errorf("unshaped path latency = %v", got)
+	}
+	if got := c.PathLatency(1, 1); got != 0 {
+		t.Errorf("intra-node latency = %v", got)
+	}
+	all := Build(Testbed(2), NetAllLinks(2))
+	if got := all.PathLatency(0, 1); math.Abs(got-(DefaultLatency+2*ShapedLatency)) > 1e-12 {
+		t.Errorf("doubly shaped path latency = %v", got)
+	}
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/nas"
+	"perfskel/internal/predict"
+	"perfskel/internal/signature"
+	"perfskel/internal/skeleton"
+	"perfskel/internal/trace"
+)
+
+// Ablations exercise the design choices DESIGN.md calls out, each as a
+// small focused experiment that returns a rendered table.
+
+// ablationEnv traces one benchmark on the dedicated testbed.
+func ablationEnv(ranks int, bench string, class nas.Class) (*trace.Trace, float64, error) {
+	app, err := nas.App(bench, class)
+	if err != nil {
+		return nil, 0, err
+	}
+	dur, tr, err := runApp(ranks, cluster.Dedicated(), app, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tr, dur, nil
+}
+
+// skelError builds a skeleton from sig with opts and returns its
+// prediction error (%) for the benchmark under sc.
+func skelError(ranks int, sig *signature.Signature, k int, opts skeleton.Options,
+	appDed, appActual float64, sc cluster.Scenario) (float64, error) {
+	prog, err := skeleton.BuildOpts(sig, k, opts)
+	if err != nil {
+		return 0, err
+	}
+	clDed := cluster.Build(cluster.Testbed(ranks), cluster.Dedicated())
+	ded, err := skeleton.Run(prog, clDed, mpi.Config{}, nil)
+	if err != nil {
+		return 0, err
+	}
+	clSc := cluster.Build(cluster.Testbed(ranks), sc)
+	got, err := skeleton.Run(prog, clSc, mpi.Config{}, nil)
+	if err != nil {
+		return 0, err
+	}
+	pred := predict.Predict(got, predict.Ratio(appDed, ded))
+	return predict.ErrorPct(pred, appActual), nil
+}
+
+// AblationScaleMode compares the paper's byte scaling against
+// environment-aware time scaling (DESIGN.md choice 6) for small BT
+// skeletons under the network-sharing scenarios, where the unscalable
+// latency of byte-scaled messages hurts most.
+func AblationScaleMode(ranks int) (Table, error) {
+	tr, appDed, err := ablationEnv(ranks, "BT", nas.ClassB)
+	if err != nil {
+		return Table{}, err
+	}
+	app, _ := nas.App("BT", nas.ClassB)
+	scs := []cluster.Scenario{cluster.NetOneLink(), cluster.NetAllLinks(ranks), cluster.Combined()}
+	actual := make(map[string]float64)
+	for _, sc := range scs {
+		d, _, err := runApp(ranks, sc, app, false)
+		if err != nil {
+			return Table{}, err
+		}
+		actual[sc.Name] = d
+	}
+	t := Table{
+		Title:  "Ablation: communication scaling mode (BT class B, error %)",
+		Note:   "byte scaling keeps unreducible latency; time scaling assumes the environment",
+		Header: []string{"skeleton / mode", "net-one-link", "net-all-links", "combined"},
+	}
+	for _, size := range []float64{1, 0.5} {
+		k := int(appDed/size + 0.5)
+		_, sig, err := skeleton.BuildFromTrace(tr, k, skeleton.Options{})
+		if err != nil {
+			return Table{}, err
+		}
+		for _, mode := range []skeleton.ScaleMode{skeleton.ByteScale, skeleton.TimeScale} {
+			name := "byte"
+			if mode == skeleton.TimeScale {
+				name = "time"
+			}
+			row := []string{fmt.Sprintf("%g s / %s", size, name)}
+			for _, sc := range scs {
+				e, err := skelError(ranks, sig, k, skeleton.Options{Mode: mode}, appDed, actual[sc.Name], sc)
+				if err != nil {
+					return Table{}, err
+				}
+				row = append(row, errS(e))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// AblationQHeuristic compares the paper's Q = K/2 compression target
+// against fixed similarity thresholds (DESIGN.md choice 4), reporting
+// signature size and prediction error for a 2-second CG skeleton.
+func AblationQHeuristic(ranks int) (Table, error) {
+	tr, appDed, err := ablationEnv(ranks, "CG", nas.ClassB)
+	if err != nil {
+		return Table{}, err
+	}
+	app, _ := nas.App("CG", nas.ClassB)
+	sc := cluster.Combined()
+	actual, _, err := runApp(ranks, sc, app, false)
+	if err != nil {
+		return Table{}, err
+	}
+	k := int(appDed/2 + 0.5)
+	t := Table{
+		Title:  "Ablation: similarity threshold selection (CG class B, 2 s skeleton)",
+		Note:   fmt.Sprintf("trace: %d events; K=%d; scenario: combined", tr.Len(), k),
+		Header: []string{"strategy", "threshold", "signature leaves", "ratio", "error %"},
+	}
+	type strat struct {
+		name string
+		opts signature.Options
+	}
+	strategies := []strat{
+		{"Q=K/2 (paper)", signature.Options{TargetRatio: float64(k) / 2}},
+		{"fixed thr 0", signature.Options{}},
+		{"fixed thr 0.05", signature.Options{InitialThreshold: 0.05}},
+		{"fixed thr 0.20", signature.Options{InitialThreshold: 0.20}},
+	}
+	for _, st := range strategies {
+		sig, err := signature.Build(tr, st.opts)
+		if err != nil {
+			return Table{}, err
+		}
+		e, err := skelError(ranks, sig, k, skeleton.Options{}, appDed, actual, sc)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			st.name,
+			fmt.Sprintf("%.3f", sig.Threshold),
+			fmt.Sprintf("%d", sig.Len()),
+			fmt.Sprintf("%.0f", sig.Ratio),
+			errS(e),
+		})
+	}
+	return t, nil
+}
+
+// AblationEagerThreshold varies the runtime's eager/rendezvous protocol
+// boundary (DESIGN.md choice 3) and reports MG's prediction error under
+// the combined scenario: the skeleton's scaled-down messages can cross the
+// boundary its application's messages do not.
+func AblationEagerThreshold(ranks int) (Table, error) {
+	t := Table{
+		Title:  "Ablation: eager/rendezvous threshold (MG class B, 1 s skeleton, combined scenario)",
+		Header: []string{"eager threshold", "app actual (s)", "predicted (s)", "error %"},
+	}
+	for _, eager := range []int64{4 << 10, 64 << 10, 1 << 20} {
+		cfg := mpi.Config{EagerThreshold: eager}
+		app, err := nas.App("MG", nas.ClassB)
+		if err != nil {
+			return Table{}, err
+		}
+		clDed := cluster.Build(cluster.Testbed(ranks), cluster.Dedicated())
+		rec := trace.NewRecorder(ranks)
+		appDed, err := mpi.Run(clDed, ranks, cfg, rec, app)
+		if err != nil {
+			return Table{}, err
+		}
+		tr := rec.Finish(appDed)
+		clSc := cluster.Build(cluster.Testbed(ranks), cluster.Combined())
+		actual, err := mpi.Run(clSc, ranks, cfg, nil, app)
+		if err != nil {
+			return Table{}, err
+		}
+		k := int(appDed + 0.5)
+		prog, _, err := skeleton.BuildFromTrace(tr, k, skeleton.Options{})
+		if err != nil {
+			return Table{}, err
+		}
+		sd, err := skeleton.Run(prog, cluster.Build(cluster.Testbed(ranks), cluster.Dedicated()), cfg, nil)
+		if err != nil {
+			return Table{}, err
+		}
+		ss, err := skeleton.Run(prog, cluster.Build(cluster.Testbed(ranks), cluster.Combined()), cfg, nil)
+		if err != nil {
+			return Table{}, err
+		}
+		pred := predict.Predict(ss, predict.Ratio(appDed, sd))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d KiB", eager>>10),
+			fmt.Sprintf("%.1f", actual),
+			fmt.Sprintf("%.1f", pred),
+			errS(predict.ErrorPct(pred, actual)),
+		})
+	}
+	return t, nil
+}
+
+// AblationCrossTraffic probes prediction robustness under stochastic
+// background traffic, a sharing mode outside the paper's deterministic
+// scenarios.
+func AblationCrossTraffic(ranks int) (Table, error) {
+	tr, appDed, err := ablationEnv(ranks, "MG", nas.ClassB)
+	if err != nil {
+		return Table{}, err
+	}
+	app, _ := nas.App("MG", nas.ClassB)
+	k := int(appDed/2 + 0.5)
+	prog, _, err := skeleton.BuildFromTrace(tr, k, skeleton.Options{})
+	if err != nil {
+		return Table{}, err
+	}
+	ded, err := skeleton.Run(prog, cluster.Build(cluster.Testbed(ranks), cluster.Dedicated()), mpi.Config{}, nil)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  "Extension: prediction under stochastic cross-traffic (MG class B, 2 s skeleton)",
+		Note:   "background flows between random node pairs; load = MeanBytes/MeanGap per generator",
+		Header: []string{"offered load", "app actual (s)", "predicted (s)", "error %"},
+	}
+	for _, load := range []struct {
+		name  string
+		gap   float64
+		bytes float64
+	}{
+		{"~10% of link", 0.010, 1.25e5},
+		{"~40% of link", 0.010, 5.0e5},
+		{"~70% of link", 0.008, 7.0e5},
+	} {
+		sc := cluster.WithCrossTraffic(cluster.Dedicated(), cluster.CrossTraffic{
+			MeanGap: load.gap, MeanBytes: load.bytes, Seed: 11,
+		})
+		actual, _, err := runApp(ranks, sc, app, false)
+		if err != nil {
+			return Table{}, err
+		}
+		got, err := skeleton.Run(prog, cluster.Build(cluster.Testbed(ranks), sc), mpi.Config{}, nil)
+		if err != nil {
+			return Table{}, err
+		}
+		pred := predict.Predict(got, predict.Ratio(appDed, ded))
+		t.Rows = append(t.Rows, []string{
+			load.name,
+			fmt.Sprintf("%.1f", actual),
+			fmt.Sprintf("%.1f", pred),
+			errS(predict.ErrorPct(pred, actual)),
+		})
+	}
+	return t, nil
+}
+
+// AllAblations runs every ablation at the paper's scale.
+func AllAblations(ranks int) ([]Table, error) {
+	if ranks == 0 {
+		ranks = 4
+	}
+	var out []Table
+	for _, f := range []func(int) (Table, error){
+		AblationScaleMode, AblationQHeuristic, AblationEagerThreshold, AblationCrossTraffic,
+	} {
+		t, err := f(ranks)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

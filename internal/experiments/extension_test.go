@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestExtensionProcScaling(t *testing.T) {
+	tb, err := ExtensionProcScaling(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 benchmarks", len(tb.Rows))
+	}
+	rescaled, refused := 0, 0
+	for _, row := range tb.Rows {
+		if row[2] == "n/a" {
+			refused++
+			continue
+		}
+		rescaled++
+		for _, col := range []int{3, 6} {
+			e, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatalf("%s: cell %q not numeric", row[0], row[col])
+			}
+			if e > 10 {
+				t.Errorf("%s: cross-size prediction error %v%%", row[0], e)
+			}
+		}
+	}
+	// The ring-structured benchmarks rescale; the grid-structured ones
+	// (LU's wavefront, MG's torus) refuse rather than deadlock.
+	if rescaled < 5 {
+		t.Errorf("only %d benchmarks rescaled", rescaled)
+	}
+	if refused == 0 {
+		t.Error("expected at least one rank-dependent refusal (LU)")
+	}
+	for _, row := range tb.Rows {
+		if row[0] == "LU" && row[2] != "n/a" {
+			t.Error("LU's wavefront must refuse to rescale")
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"perfskel/internal/predict"
+)
+
+// Table is a rendered experiment result: one of the paper's figures as
+// rows of text cells.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func pct(v float64) string  { return fmt.Sprintf("%.1f", 100*v) }
+func errS(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func (r *Results) sizeLabels() []string {
+	out := make([]string, len(r.Cfg.Sizes))
+	for i, s := range r.Cfg.Sizes {
+		out[i] = fmt.Sprintf("%g sec skeleton", s)
+	}
+	return out
+}
+
+// Figure2 reproduces the paper's Figure 2: the percentage of execution
+// time spent in computation vs MPI operations for each benchmark and each
+// of its skeletons, on the dedicated testbed.
+func (r *Results) Figure2() Table {
+	t := Table{
+		Title:  "Figure 2: time in execution activities (%), application vs skeletons",
+		Note:   "dedicated testbed; skeleton rows should track their application's split",
+		Header: []string{"case", "%compute", "%MPI"},
+	}
+	for _, name := range r.Cfg.Benchmarks {
+		bd := r.Benches[name]
+		t.Rows = append(t.Rows, []string{name + " (application)", pct(bd.ComputeFrac), pct(bd.MPIFrac)})
+		for _, size := range r.Cfg.Sizes {
+			sd := bd.Skels[size]
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("  %g sec skeleton", size), pct(sd.ComputeFrac), pct(sd.MPIFrac),
+			})
+		}
+	}
+	return t
+}
+
+// Figure3 reproduces Figure 3: prediction error per benchmark for each
+// skeleton size, averaged across the five resource-sharing scenarios.
+func (r *Results) Figure3() Table {
+	t := Table{
+		Title:  "Figure 3: prediction error (%) by benchmark, averaged over sharing scenarios",
+		Header: append([]string{"benchmark"}, r.sizeLabels()...),
+	}
+	colSums := make([]float64, len(r.Cfg.Sizes))
+	for _, name := range r.Cfg.Benchmarks {
+		row := []string{name}
+		for i, size := range r.Cfg.Sizes {
+			e := r.AvgErrorOverScenarios(name, size)
+			colSums[i] += e
+			row = append(row, errS(e))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avg := []string{"Average"}
+	for _, s := range colSums {
+		avg = append(avg, errS(s/float64(len(r.Cfg.Benchmarks))))
+	}
+	t.Rows = append(t.Rows, avg)
+	return t
+}
+
+// Figure4 reproduces Figure 4: the estimated minimum execution time of the
+// smallest "good" skeleton for each benchmark.
+func (r *Results) Figure4() Table {
+	t := Table{
+		Title:  "Figure 4: estimated minimum execution time of the smallest good skeleton",
+		Header: []string{"application", "smallest skeleton"},
+	}
+	for _, name := range r.Cfg.Benchmarks {
+		t.Rows = append(t.Rows, []string{name, fmt.Sprintf("%.2f sec", r.Benches[name].MinGood)})
+	}
+	return t
+}
+
+// Figure5 reproduces Figure 5: the same errors as Figure 3 grouped by
+// skeleton size.
+func (r *Results) Figure5() Table {
+	t := Table{
+		Title:  "Figure 5: prediction error (%) by skeleton size, averaged over sharing scenarios",
+		Header: append(append([]string{"skeleton size"}, r.Cfg.Benchmarks...), "Average"),
+	}
+	for _, size := range r.Cfg.Sizes {
+		row := []string{fmt.Sprintf("%g sec", size)}
+		sum := 0.0
+		for _, name := range r.Cfg.Benchmarks {
+			e := r.AvgErrorOverScenarios(name, size)
+			sum += e
+			row = append(row, errS(e))
+		}
+		row = append(row, errS(sum/float64(len(r.Cfg.Benchmarks))))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// figure6Size returns the skeleton size Figure 6 uses (the largest
+// configured, the paper's "representative 10 second skeletons").
+func (r *Results) figure6Size() float64 {
+	best := r.Cfg.Sizes[0]
+	for _, s := range r.Cfg.Sizes {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Figure6 reproduces Figure 6: prediction error per benchmark under each
+// of the five resource-sharing scenarios, using the 10-second skeletons.
+func (r *Results) Figure6() Table {
+	size := r.figure6Size()
+	t := Table{
+		Title:  fmt.Sprintf("Figure 6: prediction error (%%) by sharing scenario (%g sec skeletons)", size),
+		Header: append(append([]string{"benchmark"}, r.Scenarios...), "average"),
+	}
+	scSums := make([]float64, len(r.Scenarios))
+	for _, name := range r.Cfg.Benchmarks {
+		row := []string{name}
+		sum := 0.0
+		for i, sc := range r.Scenarios {
+			e := r.Error(name, size, sc)
+			scSums[i] += e
+			sum += e
+			row = append(row, errS(e))
+		}
+		row = append(row, errS(sum/float64(len(r.Scenarios))))
+		t.Rows = append(t.Rows, row)
+	}
+	avg := []string{"Average"}
+	total := 0.0
+	for _, s := range scSums {
+		a := s / float64(len(r.Cfg.Benchmarks))
+		total += a
+		avg = append(avg, errS(a))
+	}
+	avg = append(avg, errS(total/float64(len(r.Scenarios))))
+	t.Rows = append(t.Rows, avg)
+	return t
+}
+
+// figure7Scenario is the execution scenario of Figure 7: one competing
+// process on one node and traffic on one link.
+const figure7Scenario = "combined"
+
+// Figure7 reproduces Figure 7: minimum, average and maximum prediction
+// error across the benchmark suite for each skeleton size, for Class S
+// prediction and for Average prediction, under the combined scenario.
+func (r *Results) Figure7() Table {
+	t := Table{
+		Title:  "Figure 7: min/avg/max prediction error (%) by prediction methodology",
+		Note:   "scenario: competing process on one node and traffic on one link",
+		Header: []string{"methodology", "MIN", "Average", "MAX"},
+	}
+	row := func(label string, errs []float64) {
+		s := predict.Summarize(errs)
+		t.Rows = append(t.Rows, []string{label, errS(s.Min), errS(s.Avg), errS(s.Max)})
+	}
+	for _, size := range r.Cfg.Sizes {
+		var errs []float64
+		for _, name := range r.Cfg.Benchmarks {
+			errs = append(errs, r.Error(name, size, figure7Scenario))
+		}
+		row(fmt.Sprintf("%g sec skeleton", size), errs)
+	}
+	row("Class S", r.ClassSErrors(figure7Scenario))
+	row("Average", r.AverageBaselineErrors(figure7Scenario))
+	return t
+}
+
+// ClassSErrors returns the Class S baseline's prediction errors for every
+// benchmark under a scenario.
+func (r *Results) ClassSErrors(scen string) []float64 {
+	dedB := make(map[string]float64)
+	dedS := make(map[string]float64)
+	scenS := make(map[string]float64)
+	for _, name := range r.Cfg.Benchmarks {
+		bd := r.Benches[name]
+		dedB[name] = bd.AppDedicated
+		dedS[name] = bd.ClassSDed
+		scenS[name] = bd.ClassSScen[scen]
+	}
+	preds := predict.ClassSBaseline(dedB, dedS, scenS)
+	var errs []float64
+	for _, name := range r.Cfg.Benchmarks {
+		errs = append(errs, predict.ErrorPct(preds[name], r.Benches[name].AppScenario[scen]))
+	}
+	return errs
+}
+
+// AverageBaselineErrors returns the Average Prediction baseline's errors
+// for every benchmark under a scenario.
+func (r *Results) AverageBaselineErrors(scen string) []float64 {
+	ded := make(map[string]float64)
+	act := make(map[string]float64)
+	for _, name := range r.Cfg.Benchmarks {
+		bd := r.Benches[name]
+		ded[name] = bd.AppDedicated
+		act[name] = bd.AppScenario[scen]
+	}
+	preds := predict.AverageBaseline(ded, act)
+	var errs []float64
+	for _, name := range r.Cfg.Benchmarks {
+		errs = append(errs, predict.ErrorPct(preds[name], act[name]))
+	}
+	return errs
+}
+
+// OverallAverageError is the paper's headline number: mean prediction
+// error across all benchmarks, scenarios and skeleton sizes.
+func (r *Results) OverallAverageError() float64 {
+	sum, n := 0.0, 0
+	for _, name := range r.Cfg.Benchmarks {
+		for _, size := range r.Cfg.Sizes {
+			for _, sc := range r.Scenarios {
+				sum += r.Error(name, size, sc)
+				n++
+			}
+		}
+	}
+	return sum / float64(n)
+}
+
+// AllFigures renders every figure in order.
+func (r *Results) AllFigures() []Table {
+	return []Table{r.Figure2(), r.Figure3(), r.Figure4(), r.Figure5(), r.Figure6(), r.Figure7()}
+}

@@ -1,0 +1,107 @@
+// Package gridsel implements the paper's motivating application (section
+// 1): resource selection in a shared computation environment. A group of
+// candidate node sets is identified by existing approximate methods; the
+// final choice is made by briefly executing the application's performance
+// skeleton on each candidate and comparing the measured times — avoiding
+// both continuous system monitoring and the error-prone translation of
+// load metrics into application performance.
+package gridsel
+
+import (
+	"fmt"
+	"sort"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/skeleton"
+)
+
+// Candidate is one node set under consideration, with its current sharing
+// conditions.
+type Candidate struct {
+	Name string
+	Topo cluster.Topology
+	Sc   cluster.Scenario
+}
+
+// Estimate is the result of probing one candidate with the skeleton.
+type Estimate struct {
+	Candidate string
+	// ProbeTime is the skeleton's execution time on the candidate — the
+	// entire measurement cost.
+	ProbeTime float64
+	// Predicted is the estimated full-application execution time there.
+	Predicted float64
+	// Err records a failed probe; failed candidates sort last.
+	Err error
+}
+
+// Selector probes candidates with a performance skeleton and ranks them.
+type Selector struct {
+	Skel  *skeleton.Program
+	Ratio float64 // measured scaling ratio: appDedicated / skelDedicated
+	MPI   mpi.Config
+}
+
+// NewSelector builds a selector: it runs the skeleton once on the
+// dedicated reference testbed to establish the measured scaling ratio
+// against the application's known dedicated execution time.
+func NewSelector(skel *skeleton.Program, appDedicated float64, ref cluster.Topology, cfg mpi.Config) (*Selector, error) {
+	if appDedicated <= 0 {
+		return nil, fmt.Errorf("gridsel: application dedicated time must be positive")
+	}
+	cl := cluster.Build(ref, cluster.Dedicated())
+	ded, err := skeleton.Run(skel, cl, cfg, nil)
+	if err != nil {
+		return nil, fmt.Errorf("gridsel: reference skeleton run: %w", err)
+	}
+	if ded <= 0 {
+		return nil, fmt.Errorf("gridsel: skeleton ran in no time")
+	}
+	return &Selector{Skel: skel, Ratio: appDedicated / ded, MPI: cfg}, nil
+}
+
+// Probe runs the skeleton on one candidate and returns its estimate.
+func (s *Selector) Probe(c Candidate) Estimate {
+	cl := cluster.Build(c.Topo, c.Sc)
+	t, err := skeleton.Run(s.Skel, cl, s.MPI, nil)
+	if err != nil {
+		return Estimate{Candidate: c.Name, Err: err}
+	}
+	return Estimate{Candidate: c.Name, ProbeTime: t, Predicted: t * s.Ratio}
+}
+
+// Select probes every candidate and returns the estimates ordered best
+// (lowest predicted time) first; candidates whose probe failed sort last.
+// The total measurement cost is the sum of the ProbeTime fields — seconds
+// of skeleton execution instead of full application runs.
+func (s *Selector) Select(cands []Candidate) []Estimate {
+	out := make([]Estimate, len(cands))
+	for i, c := range cands {
+		out[i] = s.Probe(c)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		switch {
+		case out[i].Err != nil:
+			return false
+		case out[j].Err != nil:
+			return true
+		default:
+			return out[i].Predicted < out[j].Predicted
+		}
+	})
+	return out
+}
+
+// Best returns the winning candidate name, or an error if every probe
+// failed or there were no candidates.
+func (s *Selector) Best(cands []Candidate) (string, error) {
+	if len(cands) == 0 {
+		return "", fmt.Errorf("gridsel: no candidates")
+	}
+	ranked := s.Select(cands)
+	if ranked[0].Err != nil {
+		return "", fmt.Errorf("gridsel: every probe failed; first error: %w", ranked[0].Err)
+	}
+	return ranked[0].Candidate, nil
+}

@@ -1,0 +1,163 @@
+package gridsel
+
+import (
+	"testing"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/nas"
+	"perfskel/internal/signature"
+	"perfskel/internal/skeleton"
+	"perfskel/internal/trace"
+)
+
+// buildSkel traces MG class S and builds a small skeleton.
+func buildSkel(t *testing.T, ranks int) (*skeleton.Program, float64, mpi.App) {
+	t.Helper()
+	app, err := nas.App("MG", nas.ClassA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.Build(cluster.Testbed(ranks), cluster.Dedicated())
+	rec := trace.NewRecorder(ranks)
+	dur, err := mpi.Run(cl, ranks, mpi.Config{}, rec, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := signature.Build(rec.Finish(dur), signature.Options{TargetRatio: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := skeleton.Build(sig, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, dur, app
+}
+
+func TestSelectorRanksCandidatesCorrectly(t *testing.T) {
+	const ranks = 4
+	prog, appDed, app := buildSkel(t, ranks)
+	sel, err := NewSelector(prog, appDed, cluster.Testbed(ranks), mpi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []Candidate{
+		{Name: "idle", Topo: cluster.Testbed(ranks), Sc: cluster.Dedicated()},
+		{Name: "slow-link", Topo: cluster.Testbed(ranks), Sc: cluster.NetAllLinks(ranks)},
+		{Name: "busy", Topo: cluster.Testbed(ranks), Sc: cluster.CPUAllNodes(ranks)},
+	}
+	ranked := sel.Select(cands)
+	if ranked[0].Candidate != "idle" {
+		t.Errorf("best = %s, want idle: %+v", ranked[0].Candidate, ranked)
+	}
+	// Ground truth: run the application everywhere and compare the order.
+	actual := map[string]float64{}
+	for _, c := range cands {
+		cl := cluster.Build(c.Topo, c.Sc)
+		d, err := mpi.Run(cl, ranks, mpi.Config{}, nil, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual[c.Name] = d
+	}
+	for i := 1; i < len(ranked); i++ {
+		if actual[ranked[i-1].Candidate] > actual[ranked[i].Candidate] {
+			t.Errorf("ranking inversion: %s (%.1f) before %s (%.1f)",
+				ranked[i-1].Candidate, actual[ranked[i-1].Candidate],
+				ranked[i].Candidate, actual[ranked[i].Candidate])
+		}
+		// Predictions stay close to ground truth.
+		p := ranked[i].Predicted
+		a := actual[ranked[i].Candidate]
+		if p < a*0.8 || p > a*1.2 {
+			t.Errorf("%s: predicted %.1f vs actual %.1f", ranked[i].Candidate, p, a)
+		}
+	}
+	best, err := sel.Best(cands)
+	if err != nil || best != "idle" {
+		t.Errorf("Best = %q, %v", best, err)
+	}
+}
+
+func TestSelectorHeterogeneousCandidates(t *testing.T) {
+	// Candidates differ in hardware, not just load: a cluster of
+	// double-speed nodes must rank first for a compute-bound skeleton.
+	const ranks = 4
+	prog, appDed, _ := buildSkel(t, ranks)
+	sel, err := NewSelector(prog, appDed, cluster.Testbed(ranks), mpi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := cluster.Testbed(ranks)
+	for i := range fast.Nodes {
+		fast.Nodes[i].Speed = 2.0
+	}
+	slow := cluster.Testbed(ranks)
+	for i := range slow.Nodes {
+		slow.Nodes[i].Speed = 0.5
+	}
+	ranked := sel.Select([]Candidate{
+		{Name: "fast", Topo: fast, Sc: cluster.Dedicated()},
+		{Name: "reference", Topo: cluster.Testbed(ranks), Sc: cluster.Dedicated()},
+		{Name: "slow", Topo: slow, Sc: cluster.Dedicated()},
+	})
+	want := []string{"fast", "reference", "slow"}
+	for i, e := range ranked {
+		if e.Candidate != want[i] {
+			t.Fatalf("order = %v, want %v", ranked, want)
+		}
+	}
+	if !(ranked[0].Predicted < ranked[1].Predicted && ranked[1].Predicted < ranked[2].Predicted) {
+		t.Errorf("predictions not ordered: %+v", ranked)
+	}
+}
+
+func TestSelectorProbeCostIsSmall(t *testing.T) {
+	const ranks = 4
+	prog, appDed, _ := buildSkel(t, ranks)
+	sel, err := NewSelector(prog, appDed, cluster.Testbed(ranks), mpi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sel.Probe(Candidate{Name: "x", Topo: cluster.Testbed(ranks), Sc: cluster.CPUOneNode()})
+	if e.Err != nil {
+		t.Fatal(e.Err)
+	}
+	if e.ProbeTime > appDed/8 {
+		t.Errorf("probe cost %v not small relative to app %v", e.ProbeTime, appDed)
+	}
+}
+
+func TestSelectorErrors(t *testing.T) {
+	const ranks = 4
+	prog, appDed, _ := buildSkel(t, ranks)
+	if _, err := NewSelector(prog, -1, cluster.Testbed(ranks), mpi.Config{}); err == nil {
+		t.Error("want error for negative app time")
+	}
+	sel, err := NewSelector(prog, appDed, cluster.Testbed(ranks), mpi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel.Best(nil); err == nil {
+		t.Error("want error for no candidates")
+	}
+	// A candidate with fewer nodes than ranks is still legal — ranks
+	// share nodes and the candidate simply ranks worse.
+	crowded := Candidate{Name: "crowded", Topo: cluster.Testbed(1), Sc: cluster.Dedicated()}
+	roomy := Candidate{Name: "roomy", Topo: cluster.Testbed(ranks), Sc: cluster.Dedicated()}
+	ranked := sel.Select([]Candidate{crowded, roomy})
+	if ranked[0].Candidate != "roomy" || ranked[1].Err != nil {
+		t.Errorf("ranking with crowded candidate: %+v", ranked)
+	}
+	// A skeleton that cannot complete (unmatched receive) fails every
+	// probe, and Best reports it instead of guessing.
+	stuck := &skeleton.Program{NRanks: 2, K: 1, PerRank: [][]skeleton.Node{
+		{skeleton.OpNode{Op: skeleton.Op{Kind: mpi.OpRecv, Peer: 1, Tag: 9}}},
+		{skeleton.OpNode{Op: skeleton.Op{Kind: mpi.OpCompute, Work: 0.001}}},
+	}}
+	badSel := &Selector{Skel: stuck, Ratio: 1}
+	if _, err := badSel.Best([]Candidate{roomy}); err == nil {
+		t.Error("want error when every probe deadlocks")
+	}
+}

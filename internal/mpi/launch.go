@@ -1,0 +1,63 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/sim"
+)
+
+// worldSeq numbers worlds for process naming in diagnostics.
+var worldSeq atomic.Int64
+
+// Launch registers app's ranks on the cluster without driving the engine,
+// so several applications can be co-scheduled on the same simulated
+// cluster and contend for its CPUs and links — the real workload mix that
+// the paper's synthetic competing processes approximate. Call Launch for
+// each application, then cl.Engine.Run() once; each World's Time reports
+// when its own last rank finished.
+//
+//	w1, _ := mpi.Launch(cl, 4, cfg, nil, appA)
+//	w2, _ := mpi.Launch(cl, 4, cfg, nil, appB)
+//	if err := cl.Engine.Run(); err != nil { ... }
+//	fmt.Println(w1.Time(), w2.Time())
+func Launch(cl *cluster.Cluster, nranks int, cfg Config, mon Monitor, app App) (*World, error) {
+	if nranks <= 0 {
+		return nil, fmt.Errorf("mpi: nranks must be positive, got %d", nranks)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Placement != nil && len(cfg.Placement) != nranks {
+		return nil, fmt.Errorf("mpi: placement has %d entries for %d ranks", len(cfg.Placement), nranks)
+	}
+	w := &World{cl: cl, cfg: cfg, mon: mon}
+	wid := worldSeq.Add(1)
+	for r := 0; r < nranks; r++ {
+		node := r % cl.Nodes()
+		if cfg.Placement != nil {
+			node = cfg.Placement[r]
+		}
+		if node < 0 || node >= cl.Nodes() {
+			return nil, fmt.Errorf("mpi: rank %d placed on invalid node %d", r, node)
+		}
+		st := &rankState{node: node}
+		st.comm = &Comm{w: w, rank: r}
+		w.ranks = append(w.ranks, st)
+	}
+	for r := 0; r < nranks; r++ {
+		st := w.ranks[r]
+		rr := r
+		st.proc = cl.Engine.Spawn(fmt.Sprintf("w%d.rank%d", wid, rr), false, func(p *sim.Proc) {
+			app(w.ranks[rr].comm)
+			w.finish = p.Now()
+			if rf, ok := mon.(RankFinisher); ok && mon != nil {
+				rf.RankDone(rr, p.Now())
+			}
+		})
+	}
+	return w, nil
+}
+
+// Time returns the world's parallel execution time: the virtual time at
+// which its last rank finished. Valid after the engine has run.
+func (w *World) Time() float64 { return w.finish }

@@ -1,0 +1,137 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"perfskel/internal/cluster"
+)
+
+func TestCoScheduledWorldsContendForCPU(t *testing.T) {
+	// Two compute-bound 2-rank applications share a 2-node cluster: each
+	// node runs two ranks on two CPUs — no contention (dual CPUs). A third
+	// application pushes each node to 3 runnable processes on 2 CPUs:
+	// everything stretches 1.5x.
+	cl := cluster.Build(cluster.Testbed(2), cluster.Dedicated())
+	app := func(c *Comm) { c.Compute(2.0) }
+	w1, err := Launch(cl, 2, freeCfg, nil, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Launch(cl, 2, freeCfg, nil, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3, err := Launch(cl, 2, freeCfg, nil, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range []*World{w1, w2, w3} {
+		if math.Abs(w.Time()-3.0) > 1e-9 {
+			t.Errorf("world %d finished at %v, want 3.0 (3 procs on 2 CPUs)", i, w.Time())
+		}
+	}
+}
+
+func TestCoScheduledWorldsAreIsolated(t *testing.T) {
+	// Messages of one world must never match receives of another, even
+	// with identical ranks, tags and sizes.
+	cl := cluster.Build(cluster.Testbed(2), cluster.Dedicated())
+	mk := func(delay float64) App {
+		return func(c *Comm) {
+			if c.Rank() == 0 {
+				c.Compute(delay)
+				c.Send(1, 7, 1000)
+			} else {
+				st := c.Recv(0, 7)
+				if st.Bytes != 1000 {
+					t.Errorf("cross-world message leak: got %d bytes", st.Bytes)
+				}
+			}
+		}
+	}
+	w1, err := Launch(cl, 2, freeCfg, nil, mk(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Launch(cl, 2, freeCfg, nil, mk(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w1.Time() >= w2.Time() {
+		t.Errorf("w1 (%v) should finish before w2 (%v)", w1.Time(), w2.Time())
+	}
+}
+
+func TestCoScheduledAppMatchesSyntheticLoadScenario(t *testing.T) {
+	// The paper's CPU-sharing scenarios use synthetic compute processes.
+	// Validate that construction: a rank co-scheduled with a real compute-
+	// bound application slows down like one co-scheduled with the
+	// synthetic load (both put 3 runnable processes on the node during the
+	// measurement window).
+	synth := cluster.Build(cluster.Testbed(1), cluster.Scenario{
+		Name: "synth", LoadProcs: map[int]int{0: 2},
+	})
+	synthDur, err := Run(synth, 1, freeCfg, nil, func(c *Comm) { c.Compute(1.0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co := cluster.Build(cluster.Testbed(1), cluster.Dedicated())
+	victim, err := Launch(co, 1, freeCfg, nil, func(c *Comm) { c.Compute(1.0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		// Competing app outlives the victim so contention is constant.
+		if _, err := Launch(co, 1, freeCfg, nil, func(c *Comm) { c.Compute(10.0) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := co.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(victim.Time()-synthDur) > 1e-9 {
+		t.Errorf("co-scheduled app %v vs synthetic-load scenario %v", victim.Time(), synthDur)
+	}
+}
+
+func TestCoScheduledNetworkContention(t *testing.T) {
+	// Two worlds streaming over the same links halve each other's
+	// bandwidth while overlapping.
+	cl := cluster.Build(cluster.Testbed(2), cluster.Dedicated())
+	stream := func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				c.Send(1, 1, 10e6)
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				c.Recv(0, 1)
+			}
+		}
+	}
+	w1, err := Launch(cl, 2, freeCfg, nil, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Launch(cl, 2, freeCfg, nil, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Alone: 10 x 10 MB at 125 MB/s = 0.8 s. Sharing: ~1.6 s.
+	for i, w := range []*World{w1, w2} {
+		if w.Time() < 1.5 || w.Time() > 1.8 {
+			t.Errorf("world %d streamed in %v, want ~1.6 s under sharing", i, w.Time())
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package mpi
+
+// Op identifies an MPI operation kind. The vocabulary is shared by the
+// trace, signature and skeleton layers: a performance skeleton is a
+// program over exactly these operations.
+type Op int
+
+// Operation kinds. OpCompute never originates from the runtime itself; the
+// trace recorder synthesises it from the gaps between MPI calls, exactly
+// as the paper's profiling library does.
+const (
+	OpInvalid Op = iota
+	OpCompute
+	OpSend
+	OpRecv
+	OpIsend
+	OpIrecv
+	OpWait
+	OpWaitall
+	OpSendrecv
+	OpBarrier
+	OpBcast
+	OpReduce
+	OpAllreduce
+	OpAlltoall
+	OpAlltoallv
+	OpAllgather
+	OpGather
+	OpScatter
+	opCount
+)
+
+var opNames = [...]string{
+	OpInvalid:   "invalid",
+	OpCompute:   "compute",
+	OpSend:      "MPI_Send",
+	OpRecv:      "MPI_Recv",
+	OpIsend:     "MPI_Isend",
+	OpIrecv:     "MPI_Irecv",
+	OpWait:      "MPI_Wait",
+	OpWaitall:   "MPI_Waitall",
+	OpSendrecv:  "MPI_Sendrecv",
+	OpBarrier:   "MPI_Barrier",
+	OpBcast:     "MPI_Bcast",
+	OpReduce:    "MPI_Reduce",
+	OpAllreduce: "MPI_Allreduce",
+	OpAlltoall:  "MPI_Alltoall",
+	OpAlltoallv: "MPI_Alltoallv",
+	OpAllgather: "MPI_Allgather",
+	OpGather:    "MPI_Gather",
+	OpScatter:   "MPI_Scatter",
+}
+
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return "Op(?)"
+	}
+	return opNames[o]
+}
+
+// IsCollective reports whether the operation involves every rank.
+func (o Op) IsCollective() bool {
+	switch o {
+	case OpBarrier, OpBcast, OpReduce, OpAllreduce, OpAlltoall, OpAlltoallv, OpAllgather, OpGather, OpScatter:
+		return true
+	}
+	return false
+}
+
+// OpRecord is the information the runtime reports to a Monitor for each
+// completed MPI call: the call, its parameters and its start/end virtual
+// times. This is the content of one line of the paper's execution trace.
+type OpRecord struct {
+	Op    Op
+	Sub   Op      // for OpWait: the kind of the request waited on
+	Peer  int     // destination, source or root; None when not applicable
+	Peer2 int     // Sendrecv: receive source
+	Bytes int64   // message size; collectives: the per-call byte count
+	Byte2 int64   // Sendrecv: receive size
+	Tag   int     // point-to-point tag
+	Start float64 // virtual seconds
+	End   float64
+}
+
+// Monitor observes completed MPI operations; the trace recorder implements
+// it. Record is called from the rank's own virtual process, at most one at
+// a time per engine, immediately after the operation completes.
+type Monitor interface {
+	Record(rank int, rec OpRecord)
+}
+
+// RankFinisher is optionally implemented by Monitors that want to know
+// when each rank's program body returns, so a trace can be closed at the
+// rank's own finish time rather than the (later) parallel end time.
+type RankFinisher interface {
+	RankDone(rank int, t float64)
+}
+
+// None marks an unused peer field in an OpRecord.
+const None = -2

@@ -1,0 +1,156 @@
+// Package mpi implements the subset of MPI the paper's framework traces
+// and regenerates, as a message-passing runtime over the simulated cluster
+// (internal/cluster, internal/sim). Ranks run as virtual processes in
+// virtual time; point-to-point messages follow eager/rendezvous protocols
+// with tag and source matching, and collectives are built from the
+// standard algorithms (binomial trees, recursive doubling, pairwise
+// exchange, ring), so their cost structure matches an MPICH-era
+// implementation on switched Ethernet.
+//
+// This package is the substitution for the paper's MPICH installation
+// (repro note: Go has no mature MPI bindings, so the messaging layer is
+// built from scratch).
+package mpi
+
+import (
+	"perfskel/internal/cluster"
+	"perfskel/internal/sim"
+)
+
+// Config tunes the runtime's cost model. The zero value selects defaults
+// matching an MPICH-on-Gigabit-era installation.
+type Config struct {
+	// EagerThreshold is the largest message size sent eagerly (buffered at
+	// the receiver; the sender does not synchronise). Larger messages use
+	// the rendezvous protocol. Default 64 KiB.
+	EagerThreshold int64
+	// CallOverhead is the CPU work each MPI call consumes, in
+	// dedicated-processor seconds. Default 2 microseconds.
+	CallOverhead float64
+	// ReduceCostPerByte is the CPU work per byte of a reduction combine
+	// step. Default 0.5 ns/byte (a 2 GB/s combine loop).
+	ReduceCostPerByte float64
+	// SelfLatency is the latency of a message between ranks on the same
+	// node. Default 1 microsecond.
+	SelfLatency float64
+	// Placement maps rank to node. Default: rank i on node i mod nodes.
+	Placement []int
+}
+
+// withDefaults fills zero fields with defaults. A negative cost field
+// explicitly disables that cost (tests use this for exact timing).
+func (c Config) withDefaults() Config {
+	if c.EagerThreshold == 0 {
+		c.EagerThreshold = 64 * 1024
+	}
+	if c.CallOverhead == 0 {
+		c.CallOverhead = 2e-6
+	} else if c.CallOverhead < 0 {
+		c.CallOverhead = 0
+	}
+	if c.ReduceCostPerByte == 0 {
+		c.ReduceCostPerByte = 0.5e-9
+	} else if c.ReduceCostPerByte < 0 {
+		c.ReduceCostPerByte = 0
+	}
+	if c.SelfLatency == 0 {
+		c.SelfLatency = 1e-6
+	} else if c.SelfLatency < 0 {
+		c.SelfLatency = 0
+	}
+	return c
+}
+
+// World is one parallel program execution: nranks virtual processes on a
+// cluster, exchanging messages.
+type World struct {
+	cl     *cluster.Cluster
+	cfg    Config
+	mon    Monitor
+	ranks  []*rankState
+	finish float64 // virtual time the last rank finished
+}
+
+type rankState struct {
+	comm    *Comm
+	proc    *sim.Proc
+	node    int
+	pending []*message // arrived-or-announced but unmatched messages, arrival order
+	posted  []*Request // posted but unmatched receives, post order
+	collSeq int        // per-rank collective sequence for tag isolation
+}
+
+// Comm is a rank's handle to the world: the public MPI-like API. All
+// methods must be called from the rank's own process (inside the app
+// function passed to Run).
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// App is the per-rank program body, the analogue of main() in an MPI
+// program. It is invoked once per rank; Comm identifies the rank.
+type App func(c *Comm)
+
+// Run executes app as nranks ranks on cl and returns the parallel
+// execution time (virtual seconds until the last rank finishes). mon, if
+// non-nil, observes every MPI call (the profiling-library interposition of
+// the paper). Run drives cl's engine and can be used once per cluster; to
+// co-schedule several applications on one cluster, use Launch.
+func Run(cl *cluster.Cluster, nranks int, cfg Config, mon Monitor, app App) (float64, error) {
+	if _, err := Launch(cl, nranks, cfg, mon, app); err != nil {
+		return 0, err
+	}
+	err := cl.Engine.Run()
+	return cl.Engine.Now(), err
+}
+
+// Rank returns the calling rank's id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return len(c.w.ranks) }
+
+// Node returns the node index the rank is placed on.
+func (c *Comm) Node() int { return c.w.ranks[c.rank].node }
+
+// Now returns the current virtual time in seconds.
+func (c *Comm) Now() float64 { return c.w.cl.Engine.Now() }
+
+func (c *Comm) state() *rankState { return c.w.ranks[c.rank] }
+
+// Compute performs the given amount of computation, expressed in
+// dedicated-processor seconds; under CPU contention it takes
+// proportionally longer. It is the only way application code consumes
+// CPU time outside MPI calls.
+func (c *Comm) Compute(work float64) {
+	if work <= 0 {
+		return
+	}
+	st := c.state()
+	st.proc.Compute(c.w.cl.CPU(st.node), work)
+}
+
+// overhead charges one MPI call's CPU cost.
+func (c *Comm) overhead() {
+	if c.w.cfg.CallOverhead <= 0 {
+		return
+	}
+	st := c.state()
+	st.proc.Compute(c.w.cl.CPU(st.node), c.w.cfg.CallOverhead)
+}
+
+// reduceCost charges the CPU cost of combining bytes in a reduction.
+func (c *Comm) reduceCost(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	st := c.state()
+	st.proc.Compute(c.w.cl.CPU(st.node), float64(bytes)*c.w.cfg.ReduceCostPerByte)
+}
+
+func (c *Comm) record(rec OpRecord) {
+	if c.w.mon != nil {
+		c.w.mon.Record(c.rank, rec)
+	}
+}

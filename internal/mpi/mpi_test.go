@@ -1,0 +1,474 @@
+package mpi
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"perfskel/internal/cluster"
+)
+
+// freeCfg disables all CPU-side costs so transfer timing is exact.
+var freeCfg = Config{CallOverhead: -1, ReduceCostPerByte: -1, SelfLatency: -1}
+
+func approx(t *testing.T, got, want, eps float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > eps {
+		t.Errorf("%s = %.9f, want %.9f (±%g)", what, got, want, eps)
+	}
+}
+
+func run(t *testing.T, nranks int, cfg Config, sc cluster.Scenario, app App) float64 {
+	t.Helper()
+	cl := cluster.Build(cluster.Testbed(nranks), sc)
+	dur, err := Run(cl, nranks, cfg, nil, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dur
+}
+
+func TestRendezvousTransferTiming(t *testing.T) {
+	// 1 MB rank0 -> rank1, both ready at t=0: latency + bytes/bandwidth.
+	want := cluster.DefaultLatency + 1e6/cluster.GigabitBandwidth
+	var recvEnd float64
+	run(t, 2, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 7, 1e6)
+		case 1:
+			c.Recv(0, 7)
+			recvEnd = c.Now()
+		}
+	})
+	approx(t, recvEnd, want, 1e-9, "rendezvous recv end")
+}
+
+func TestEagerSendDoesNotBlock(t *testing.T) {
+	// A 1 KB eager send completes locally even though the receiver posts
+	// its receive 1 second later; the receive then completes immediately
+	// because the payload already arrived.
+	var sendEnd, recvEnd float64
+	run(t, 2, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, 1024)
+			sendEnd = c.Now()
+		case 1:
+			c.Compute(1.0)
+			c.Recv(0, 1)
+			recvEnd = c.Now()
+		}
+	})
+	approx(t, sendEnd, 0, 1e-9, "eager send end")
+	approx(t, recvEnd, 1.0, 1e-9, "late recv of eager message")
+}
+
+func TestRendezvousSendBlocksUntilRecvPosted(t *testing.T) {
+	// A 1 MB rendezvous send cannot complete before the receive is posted
+	// at t=1; transfer then takes latency + transfer time.
+	want := 1.0 + cluster.DefaultLatency + 1e6/cluster.GigabitBandwidth
+	var sendEnd float64
+	run(t, 2, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, 1e6)
+			sendEnd = c.Now()
+		case 1:
+			c.Compute(1.0)
+			c.Recv(0, 1)
+		}
+	})
+	approx(t, sendEnd, want, 1e-9, "rendezvous send end")
+}
+
+func TestTagMatching(t *testing.T) {
+	// Two messages with different tags are matched by tag, not arrival
+	// order.
+	var first, second Status
+	run(t, 2, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 5, 100)
+			c.Send(1, 6, 200)
+		case 1:
+			first = c.Recv(0, 6)
+			second = c.Recv(0, 5)
+		}
+	})
+	if first.Bytes != 200 || first.Tag != 6 {
+		t.Errorf("first = %+v, want tag 6 / 200 bytes", first)
+	}
+	if second.Bytes != 100 || second.Tag != 5 {
+		t.Errorf("second = %+v, want tag 5 / 100 bytes", second)
+	}
+}
+
+func TestNonOvertakingSameTag(t *testing.T) {
+	// Same source, same tag: messages are received in send order.
+	var sizes []int64
+	run(t, 2, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, 10)
+			c.Send(1, 1, 20)
+			c.Send(1, 1, 30)
+		case 1:
+			for i := 0; i < 3; i++ {
+				st := c.Recv(0, 1)
+				sizes = append(sizes, st.Bytes)
+			}
+		}
+	})
+	if len(sizes) != 3 || sizes[0] != 10 || sizes[1] != 20 || sizes[2] != 30 {
+		t.Errorf("sizes = %v, want [10 20 30]", sizes)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	var st Status
+	run(t, 3, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		switch c.Rank() {
+		case 2:
+			c.Send(0, 42, 99)
+		case 0:
+			st = c.Recv(AnySource, AnyTag)
+		}
+	})
+	if st.Source != 2 || st.Tag != 42 || st.Bytes != 99 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	var st Status
+	run(t, 1, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		r := c.Irecv(0, 3)
+		c.Send(0, 3, 50)
+		st = c.Wait(r)
+	})
+	if st.Bytes != 50 {
+		t.Errorf("self-send status = %+v", st)
+	}
+}
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	// Both ranks overlap a 1 MB exchange with 1 s of computation; total
+	// time should be ~1 s, not 1 s + transfer.
+	transfer := cluster.DefaultLatency + 1e6/cluster.GigabitBandwidth
+	dur := run(t, 2, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		peer := 1 - c.Rank()
+		sr := c.Isend(peer, 1, 1e6)
+		rr := c.Irecv(peer, 1)
+		c.Compute(1.0)
+		c.Waitall(sr, rr)
+	})
+	if dur > 1.0+transfer/2 {
+		t.Errorf("overlapped duration = %v, want ~1.0 (transfer %v hidden)", dur, transfer)
+	}
+	approx(t, dur, 1.0, 1e-6, "overlap duration")
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	// Rank 1 enters the barrier at t=2; everyone leaves after that.
+	exits := make([]float64, 4)
+	run(t, 4, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		if c.Rank() == 1 {
+			c.Compute(2.0)
+		}
+		c.Barrier()
+		exits[c.Rank()] = c.Now()
+	})
+	for r, e := range exits {
+		if e < 2.0-1e-9 {
+			t.Errorf("rank %d left barrier at %v, before last entry", r, e)
+		}
+		if e > 2.001 {
+			t.Errorf("rank %d left barrier at %v, too long after", r, e)
+		}
+	}
+}
+
+func TestBcastDeliversFromRoot(t *testing.T) {
+	// Non-root ranks cannot leave the bcast before the root enters at t=1.
+	exits := make([]float64, 4)
+	run(t, 4, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		if c.Rank() == 2 {
+			c.Compute(1.0)
+		}
+		c.Bcast(2, 4096)
+		exits[c.Rank()] = c.Now()
+	})
+	for r, e := range exits {
+		if e < 1.0 {
+			t.Errorf("rank %d left bcast at %v before root entered", r, e)
+		}
+	}
+}
+
+func TestReduceWaitsForAllChildren(t *testing.T) {
+	var rootExit float64
+	run(t, 4, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		if c.Rank() == 3 {
+			c.Compute(1.5)
+		}
+		c.Reduce(0, 8)
+		if c.Rank() == 0 {
+			rootExit = c.Now()
+		}
+	})
+	if rootExit < 1.5 {
+		t.Errorf("root left reduce at %v before slowest rank entered", rootExit)
+	}
+}
+
+func TestAllreduceSynchronises(t *testing.T) {
+	exits := make([]float64, 4)
+	run(t, 4, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		c.Compute(float64(c.Rank()) * 0.5) // staggered entry, last at 1.5
+		c.Allreduce(8)
+		exits[c.Rank()] = c.Now()
+	})
+	for r, e := range exits {
+		if e < 1.5 {
+			t.Errorf("rank %d left allreduce at %v", r, e)
+		}
+	}
+}
+
+func TestAlltoallTiming(t *testing.T) {
+	// 4 ranks exchange 1 MB per pair: pairwise exchange has 3 steps; at
+	// each step every uplink and downlink carries exactly one 1 MB flow, so
+	// each step costs latency + 1e6/BW.
+	step := cluster.DefaultLatency + 1e6/cluster.GigabitBandwidth
+	dur := run(t, 4, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		c.Alltoall(1e6)
+	})
+	approx(t, dur, 3*step, 1e-6, "alltoall duration")
+}
+
+func TestAllgatherCompletes(t *testing.T) {
+	dur := run(t, 4, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		c.Allgather(1e5)
+	})
+	// Ring: 3 steps of latency + 1e5/BW each.
+	step := cluster.DefaultLatency + 1e5/cluster.GigabitBandwidth
+	approx(t, dur, 3*step, 1e-6, "allgather duration")
+}
+
+func TestGatherScatterComplete(t *testing.T) {
+	run(t, 4, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		c.Gather(0, 1000)
+		c.Scatter(0, 1000)
+	})
+}
+
+func TestCPUContentionStretchesCompute(t *testing.T) {
+	// Scenario 1: two competing processes on node 0 (dual CPU). Rank 0's
+	// compute shares 2 CPUs among 3 processes: stretch 1.5x.
+	var end0, end1 float64
+	run(t, 2, freeCfg, cluster.CPUOneNode(), func(c *Comm) {
+		c.Compute(2.0)
+		if c.Rank() == 0 {
+			end0 = c.Now()
+		} else {
+			end1 = c.Now()
+		}
+	})
+	approx(t, end0, 3.0, 1e-9, "contended compute on node 0")
+	approx(t, end1, 2.0, 1e-9, "dedicated compute on node 1")
+}
+
+func TestReducedBandwidthStretchesTransfer(t *testing.T) {
+	// Scenario 3: node 0's link shaped to 10 Mbps. 1 MB from rank 0 to 1
+	// crosses up0 (shaped): base latency + shaping queue delay +
+	// 1e6/1.25e6 = 0.8 s transfer.
+	want := cluster.DefaultLatency + cluster.ShapedLatency + 1e6/cluster.TenMbps
+	var recvEnd float64
+	run(t, 2, freeCfg, cluster.NetOneLink(), func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, 1e6)
+		case 1:
+			c.Recv(0, 1)
+			recvEnd = c.Now()
+		}
+	})
+	approx(t, recvEnd, want, 1e-9, "shaped transfer")
+}
+
+func TestUnshapedPathUnaffectedByOneLinkScenario(t *testing.T) {
+	// With only node 0's link shaped, traffic between nodes 1 and 2 runs at
+	// full speed.
+	want := cluster.DefaultLatency + 1e6/cluster.GigabitBandwidth
+	var recvEnd float64
+	run(t, 3, freeCfg, cluster.NetOneLink(), func(c *Comm) {
+		switch c.Rank() {
+		case 1:
+			c.Send(2, 1, 1e6)
+		case 2:
+			c.Recv(1, 1)
+			recvEnd = c.Now()
+		}
+	})
+	approx(t, recvEnd, want, 1e-9, "unshaped transfer")
+}
+
+func TestDeadlockReported(t *testing.T) {
+	cl := cluster.Build(cluster.Testbed(2), cluster.Dedicated())
+	_, err := Run(cl, 2, freeCfg, nil, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Recv(1, 1) // never sent
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("err = %v, want deadlock", err)
+	}
+}
+
+func TestInvalidPlacementRejected(t *testing.T) {
+	cl := cluster.Build(cluster.Testbed(2), cluster.Dedicated())
+	_, err := Run(cl, 2, Config{Placement: []int{0, 7}}, nil, func(c *Comm) {})
+	if err == nil || !strings.Contains(err.Error(), "invalid node") {
+		t.Errorf("err = %v, want placement error", err)
+	}
+}
+
+// recordingMonitor collects OpRecords per rank.
+type recordingMonitor struct {
+	recs [][]OpRecord
+}
+
+func newRecMon(n int) *recordingMonitor { return &recordingMonitor{recs: make([][]OpRecord, n)} }
+
+func (m *recordingMonitor) Record(rank int, rec OpRecord) {
+	m.recs[rank] = append(m.recs[rank], rec)
+}
+
+func TestMonitorSeesPublicOpsOnly(t *testing.T) {
+	mon := newRecMon(2)
+	cl := cluster.Build(cluster.Testbed(2), cluster.Dedicated())
+	_, err := Run(cl, 2, freeCfg, mon, func(c *Comm) {
+		peer := 1 - c.Rank()
+		c.Barrier() // internally many p2p ops; must record as ONE event
+		if c.Rank() == 0 {
+			c.Send(peer, 9, 500)
+		} else {
+			c.Recv(peer, 9)
+		}
+		c.Allreduce(8)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 2; rank++ {
+		recs := mon.recs[rank]
+		if len(recs) != 3 {
+			t.Fatalf("rank %d recorded %d events, want 3: %+v", rank, len(recs), recs)
+		}
+		if recs[0].Op != OpBarrier || recs[2].Op != OpAllreduce {
+			t.Errorf("rank %d ops = %v %v %v", rank, recs[0].Op, recs[1].Op, recs[2].Op)
+		}
+	}
+	if mon.recs[0][1].Op != OpSend || mon.recs[0][1].Bytes != 500 || mon.recs[0][1].Peer != 1 {
+		t.Errorf("send record = %+v", mon.recs[0][1])
+	}
+	if mon.recs[1][1].Op != OpRecv || mon.recs[1][1].Bytes != 500 || mon.recs[1][1].Peer != 0 {
+		t.Errorf("recv record = %+v", mon.recs[1][1])
+	}
+}
+
+func TestWaitRecordsRequestKind(t *testing.T) {
+	mon := newRecMon(2)
+	cl := cluster.Build(cluster.Testbed(2), cluster.Dedicated())
+	_, err := Run(cl, 2, freeCfg, mon, func(c *Comm) {
+		peer := 1 - c.Rank()
+		sr := c.Isend(peer, 1, 2048)
+		rr := c.Irecv(peer, 1)
+		c.Wait(rr)
+		c.Wait(sr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := mon.recs[0]
+	if len(recs) != 4 {
+		t.Fatalf("recorded %d events, want 4", len(recs))
+	}
+	if recs[2].Op != OpWait || recs[2].Sub != OpIrecv || recs[2].Bytes != 2048 {
+		t.Errorf("wait(recv) record = %+v", recs[2])
+	}
+	if recs[3].Op != OpWait || recs[3].Sub != OpIsend {
+		t.Errorf("wait(send) record = %+v", recs[3])
+	}
+}
+
+func TestSendrecvRecord(t *testing.T) {
+	mon := newRecMon(2)
+	cl := cluster.Build(cluster.Testbed(2), cluster.Dedicated())
+	_, err := Run(cl, 2, freeCfg, mon, func(c *Comm) {
+		peer := 1 - c.Rank()
+		c.Sendrecv(peer, 300, peer, 4)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := mon.recs[1][0]
+	if rec.Op != OpSendrecv || rec.Peer != 0 || rec.Peer2 != 0 || rec.Bytes != 300 || rec.Byte2 != 300 {
+		t.Errorf("sendrecv record = %+v", rec)
+	}
+}
+
+func TestCallOverheadCharged(t *testing.T) {
+	// With a large call overhead, a send+recv pair's time is dominated by
+	// the configured CPU cost.
+	cfg := Config{CallOverhead: 0.1, SelfLatency: -1, ReduceCostPerByte: -1}
+	dur := run(t, 2, cfg, cluster.Dedicated(), func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, 8)
+		} else {
+			c.Recv(0, 1)
+		}
+	})
+	if dur < 0.1 {
+		t.Errorf("duration %v does not include call overhead", dur)
+	}
+}
+
+func TestCollectiveProgressionManyRounds(t *testing.T) {
+	// Repeated collectives with interleaved computation finish and stay
+	// ordered; exercises the per-rank collective tag sequence.
+	dur := run(t, 4, freeCfg, cluster.Dedicated(), func(c *Comm) {
+		for i := 0; i < 50; i++ {
+			c.Allreduce(8)
+			c.Compute(0.001)
+			c.Barrier()
+		}
+	})
+	if dur < 0.05 {
+		t.Errorf("duration %v too small", dur)
+	}
+}
+
+func TestDeterministicRun(t *testing.T) {
+	once := func() float64 {
+		cl := cluster.Build(cluster.Testbed(4), cluster.CPUOneNode())
+		dur, err := Run(cl, 4, Config{}, nil, func(c *Comm) {
+			for i := 0; i < 20; i++ {
+				c.Compute(0.01 * float64(1+c.Rank()))
+				c.Alltoall(100000)
+				c.Allreduce(8)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dur
+	}
+	first := once()
+	for i := 0; i < 3; i++ {
+		if got := once(); got != first {
+			t.Fatalf("run %d duration %v != %v", i, got, first)
+		}
+	}
+}

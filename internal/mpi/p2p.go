@@ -1,0 +1,252 @@
+package mpi
+
+import (
+	"fmt"
+
+	"perfskel/internal/sim"
+)
+
+// Wildcards for Recv/Irecv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int64
+}
+
+// Request is a handle to an outstanding non-blocking operation.
+type Request struct {
+	op    Op // OpIsend or OpIrecv
+	peer  int
+	tag   int
+	bytes int64
+	done  *sim.Event
+	st    Status
+}
+
+// Op returns the kind of the request (OpIsend or OpIrecv).
+func (r *Request) Op() Op { return r.op }
+
+// Done reports whether the operation has completed (the Test of MPI).
+func (r *Request) Done() bool { return r.done.Fired() }
+
+// message is an in-flight point-to-point message. Matching is performed
+// eagerly on envelope announcement (control traffic is not modelled);
+// payload transfer pays latency plus a bandwidth-shared flow.
+type message struct {
+	src, dst, tag int
+	bytes         int64
+	eager         bool
+	arrived       bool     // payload fully delivered
+	sreq          *Request // sender's request
+	rreq          *Request // matched receive, nil until matched
+}
+
+func match(req *Request, m *message) bool {
+	return (req.peer == AnySource || req.peer == m.src) &&
+		(req.tag == AnyTag || req.tag == m.tag)
+}
+
+// startTransfer begins the payload movement of m: one-way latency followed
+// by a bandwidth-shared flow across the crossbar path.
+func (w *World) startTransfer(m *message) {
+	src, dst := w.ranks[m.src].node, w.ranks[m.dst].node
+	path := w.cl.Path(src, dst)
+	lat := w.cl.PathLatency(src, dst)
+	if src == dst {
+		lat = w.cfg.SelfLatency
+	}
+	eng := w.cl.Engine
+	eng.After(lat, func() {
+		if len(path) == 0 {
+			w.delivered(m)
+			return
+		}
+		eng.StartFlow(path, float64(m.bytes), func() { w.delivered(m) })
+	})
+}
+
+// delivered runs when the last payload byte reaches the destination.
+func (w *World) delivered(m *message) {
+	m.arrived = true
+	if !m.eager {
+		// Rendezvous send completes only when the payload is delivered.
+		m.sreq.done.Fire()
+	}
+	if m.rreq != nil {
+		w.completeRecv(m)
+	}
+}
+
+// bind matches message m to receive request rreq.
+func (w *World) bind(m *message, rreq *Request) {
+	m.rreq = rreq
+	if !m.eager && !m.arrived {
+		// Rendezvous: the transfer starts once the receive is posted.
+		w.startTransfer(m)
+	}
+	if m.arrived {
+		w.completeRecv(m)
+	}
+}
+
+func (w *World) completeRecv(m *message) {
+	m.rreq.st = Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}
+	m.rreq.done.Fire()
+}
+
+// isendRaw posts a send without recording it; collectives use it for their
+// internal traffic.
+func (c *Comm) isendRaw(dst, tag int, bytes int64) *Request {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("mpi: rank %d Isend to invalid rank %d", c.rank, dst))
+	}
+	if bytes < 0 {
+		panic("mpi: negative message size")
+	}
+	c.overhead()
+	w := c.w
+	req := &Request{op: OpIsend, peer: dst, tag: tag, bytes: bytes, done: w.cl.Engine.NewEvent()}
+	m := &message{
+		src: c.rank, dst: dst, tag: tag, bytes: bytes,
+		eager: bytes <= w.cfg.EagerThreshold,
+		sreq:  req,
+	}
+	if m.eager {
+		// Eager: payload leaves immediately, the send buffer is considered
+		// consumed, and the sender proceeds.
+		w.startTransfer(m)
+		req.done.Fire()
+	}
+	dstState := w.ranks[dst]
+	for i, rr := range dstState.posted {
+		if match(rr, m) {
+			dstState.posted = append(dstState.posted[:i], dstState.posted[i+1:]...)
+			w.bind(m, rr)
+			return req
+		}
+	}
+	dstState.pending = append(dstState.pending, m)
+	return req
+}
+
+// irecvRaw posts a receive without recording it.
+func (c *Comm) irecvRaw(src, tag int) *Request {
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		panic(fmt.Sprintf("mpi: rank %d Irecv from invalid rank %d", c.rank, src))
+	}
+	c.overhead()
+	w := c.w
+	req := &Request{op: OpIrecv, peer: src, tag: tag, done: w.cl.Engine.NewEvent()}
+	st := c.state()
+	for i, m := range st.pending {
+		if match(req, m) {
+			st.pending = append(st.pending[:i], st.pending[i+1:]...)
+			w.bind(m, req)
+			return req
+		}
+	}
+	st.posted = append(st.posted, req)
+	return req
+}
+
+// waitRaw blocks until req completes, without recording.
+func (c *Comm) waitRaw(req *Request) Status {
+	st := c.state()
+	st.proc.WaitEvent(req.done, fmt.Sprintf("rank%d wait %v peer=%d tag=%d bytes=%d",
+		c.rank, req.op, req.peer, req.tag, req.bytes))
+	if req.op == OpIrecv {
+		req.bytes = req.st.Bytes
+	}
+	return req.st
+}
+
+// sendrecvRaw exchanges messages with possibly different peers, as
+// MPI_Sendrecv does, without recording.
+func (c *Comm) sendrecvRaw(dst, src, tag int, sendBytes int64) Status {
+	sr := c.isendRaw(dst, tag, sendBytes)
+	rr := c.irecvRaw(src, tag)
+	stat := c.waitRaw(rr)
+	c.waitRaw(sr)
+	return stat
+}
+
+// Isend starts a non-blocking send of bytes to dst with the given tag.
+func (c *Comm) Isend(dst, tag int, bytes int64) *Request {
+	start := c.Now()
+	req := c.isendRaw(dst, tag, bytes)
+	c.record(OpRecord{Op: OpIsend, Peer: dst, Peer2: None, Bytes: bytes, Tag: tag, Start: start, End: c.Now()})
+	return req
+}
+
+// Irecv starts a non-blocking receive from src (or AnySource) with the
+// given tag (or AnyTag).
+func (c *Comm) Irecv(src, tag int) *Request {
+	start := c.Now()
+	req := c.irecvRaw(src, tag)
+	c.record(OpRecord{Op: OpIrecv, Peer: src, Peer2: None, Tag: tag, Start: start, End: c.Now()})
+	return req
+}
+
+// Wait blocks until req completes and returns its status.
+func (c *Comm) Wait(req *Request) Status {
+	start := c.Now()
+	stat := c.waitRaw(req)
+	peer := req.peer
+	if req.op == OpIrecv && stat.Source >= 0 {
+		peer = stat.Source
+	}
+	c.record(OpRecord{Op: OpWait, Sub: req.op, Peer: peer, Peer2: None, Bytes: req.bytes, Tag: req.tag, Start: start, End: c.Now()})
+	return stat
+}
+
+// Waitall blocks until every request completes.
+func (c *Comm) Waitall(reqs ...*Request) {
+	start := c.Now()
+	var total int64
+	for _, r := range reqs {
+		c.waitRaw(r)
+		total += r.bytes
+	}
+	c.record(OpRecord{Op: OpWaitall, Peer: None, Peer2: None, Bytes: total, Start: start, End: c.Now()})
+}
+
+// Send sends bytes to dst and blocks until the send buffer may be reused:
+// immediately for eager messages, on delivery for rendezvous ones.
+func (c *Comm) Send(dst, tag int, bytes int64) {
+	start := c.Now()
+	req := c.isendRaw(dst, tag, bytes)
+	c.waitRaw(req)
+	c.record(OpRecord{Op: OpSend, Peer: dst, Peer2: None, Bytes: bytes, Tag: tag, Start: start, End: c.Now()})
+}
+
+// Recv blocks until a matching message is received.
+func (c *Comm) Recv(src, tag int) Status {
+	start := c.Now()
+	req := c.irecvRaw(src, tag)
+	stat := c.waitRaw(req)
+	peer := src
+	if stat.Source >= 0 {
+		peer = stat.Source
+	}
+	c.record(OpRecord{Op: OpRecv, Peer: peer, Peer2: None, Bytes: stat.Bytes, Tag: stat.Tag, Start: start, End: c.Now()})
+	return stat
+}
+
+// Sendrecv sends sendBytes to dst while receiving from src, both with the
+// given tag, and returns the receive status.
+func (c *Comm) Sendrecv(dst int, sendBytes int64, src, tag int) Status {
+	start := c.Now()
+	stat := c.sendrecvRaw(dst, src, tag, sendBytes)
+	c.record(OpRecord{
+		Op: OpSendrecv, Peer: dst, Peer2: src,
+		Bytes: sendBytes, Byte2: stat.Bytes, Tag: tag,
+		Start: start, End: c.Now(),
+	})
+	return stat
+}

@@ -1,0 +1,109 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+
+	"perfskel/internal/cluster"
+)
+
+// randProgram generates a random symmetric SPMD program: a sequence of
+// steps drawn from a deadlock-free vocabulary (ring sendrecv, collectives,
+// isend/irecv/waitall exchanges, computation). The same steps run on every
+// rank, so any run that hangs indicates a runtime bug, not a program bug.
+type progStep struct {
+	kind  int
+	bytes int64
+	off   int
+	work  float64
+	root  int
+}
+
+func randProgram(rng *rand.Rand, n int) []progStep {
+	steps := make([]progStep, 5+rng.Intn(25))
+	for i := range steps {
+		steps[i] = progStep{
+			kind:  rng.Intn(8),
+			bytes: 1 << (3 + rng.Intn(18)), // 8 B .. 2 MiB
+			off:   1 + rng.Intn(n-1),
+			work:  rng.Float64() * 0.02,
+			root:  rng.Intn(n),
+		}
+	}
+	return steps
+}
+
+func runProgram(steps []progStep) App {
+	return func(c *Comm) {
+		n, r := c.Size(), c.Rank()
+		for i, s := range steps {
+			switch s.kind {
+			case 0:
+				c.Compute(s.work)
+			case 1:
+				c.Sendrecv((r+s.off)%n, s.bytes, (r-s.off+n)%n, i%1000)
+			case 2:
+				c.Allreduce(s.bytes % 4096)
+			case 3:
+				c.Barrier()
+			case 4:
+				c.Bcast(s.root, s.bytes)
+			case 5:
+				c.Alltoall(s.bytes % 100000)
+			case 6:
+				sr := c.Isend((r+s.off)%n, i%1000, s.bytes)
+				rr := c.Irecv((r-s.off+n)%n, i%1000)
+				c.Waitall(sr, rr)
+			case 7:
+				c.Reduce(s.root, s.bytes%8192)
+			}
+		}
+	}
+}
+
+// TestRandomSymmetricProgramsComplete: random symmetric programs finish on
+// every scenario, and resource sharing never makes them faster.
+func TestRandomSymmetricProgramsComplete(t *testing.T) {
+	const ranks = 4
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		app := runProgram(randProgram(rng, ranks))
+
+		clDed := cluster.Build(cluster.Testbed(ranks), cluster.Dedicated())
+		ded, err := Run(clDed, ranks, Config{}, nil, app)
+		if err != nil {
+			t.Fatalf("seed %d dedicated: %v", seed, err)
+		}
+		for _, sc := range cluster.PaperScenarios(ranks) {
+			cl := cluster.Build(cluster.Testbed(ranks), sc)
+			dur, err := Run(cl, ranks, Config{}, nil, app)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, sc.Name, err)
+			}
+			if dur < ded*(1-1e-9) {
+				t.Errorf("seed %d: %s ran %v, faster than dedicated %v", seed, sc.Name, dur, ded)
+			}
+		}
+	}
+}
+
+// TestRandomProgramsDeterministic: identical programs produce identical
+// virtual timings run after run.
+func TestRandomProgramsDeterministic(t *testing.T) {
+	const ranks = 4
+	for seed := int64(100); seed < 105; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		steps := randProgram(rng, ranks)
+		once := func() float64 {
+			cl := cluster.Build(cluster.Testbed(ranks), cluster.Combined())
+			dur, err := Run(cl, ranks, Config{}, nil, runProgram(steps))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dur
+		}
+		if a, b := once(), once(); a != b {
+			t.Errorf("seed %d: %v != %v", seed, a, b)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package nas
+
+import "perfskel/internal/mpi"
+
+// cgParams parameterises the conjugate-gradient model: outer eigenvalue
+// iterations, each running inner CG iterations. An inner iteration is a
+// sparse matrix-vector multiply (computation plus two transpose exchanges
+// with ring partners at distance 1 and size/2) and two dot-product
+// allreduces; each outer iteration ends with a norm phase.
+type cgParams struct {
+	outer    int
+	inner    int
+	work     float64 // matvec computation per inner iteration
+	msg1     int64   // first transpose exchange, bytes
+	msg2     int64   // second transpose exchange, bytes
+	normWork float64 // per-outer-iteration norm computation
+}
+
+// Class B calibrated: ~250 s on 4 ranks; dominant sequence = one inner CG
+// iteration (75 x 25 = 1875 -> Figure 4's ~0.13 s smallest good skeleton).
+var cgTable = map[Class]cgParams{
+	ClassS: {outer: 15, inner: 25, work: 1.2e-3, msg1: 40 << 10, msg2: 20 << 10, normWork: 0.5e-3},
+	ClassW: {outer: 15, inner: 25, work: 9.0e-3, msg1: 120 << 10, msg2: 60 << 10, normWork: 4.0e-3},
+	ClassA: {outer: 15, inner: 25, work: 0.085, msg1: 1 << 20, msg2: 512 << 10, normWork: 0.04},
+	ClassB: {outer: 75, inner: 25, work: 0.106, msg1: 2 << 20, msg2: 1 << 20, normWork: 0.05},
+}
+
+const (
+	tagCgExch1 = 30
+	tagCgExch2 = 31
+)
+
+func cgApp(class Class) (mpi.App, error) {
+	p, ok := cgTable[class]
+	if !ok {
+		keys := make([]Class, 0, len(cgTable))
+		for k := range cgTable {
+			keys = append(keys, k)
+		}
+		return nil, classErr(keys, class)
+	}
+	return func(c *mpi.Comm) {
+		n, r := c.Size(), c.Rank()
+		p1next, p1prev := (r+1)%n, (r-1+n)%n
+		half := n / 2
+		if half == 0 {
+			half = 1
+		}
+		p2next, p2prev := (r+half)%n, (r-half+n)%n
+		for o := 0; o < p.outer; o++ {
+			for i := 0; i < p.inner; i++ {
+				c.Compute(p.work * jitter(r, o, i))
+				c.Sendrecv(p1next, p.msg1, p1prev, tagCgExch1)
+				c.Allreduce(8) // dot product rho
+				c.Sendrecv(p2next, p.msg2, p2prev, tagCgExch2)
+				c.Allreduce(8) // dot product d
+			}
+			c.Compute(p.normWork * jitter(r, o))
+			c.Allreduce(8) // residual norm
+		}
+	}, nil
+}

@@ -1,0 +1,79 @@
+package nas
+
+import "perfskel/internal/mpi"
+
+// FT and EP are NPB members the paper's evaluation does not use; they are
+// provided for workload coverage beyond the reproduction (extensions) and
+// are returned by AllBenchmarks but not Benchmarks.
+
+// ftParams parameterises the 3-D FFT model: per iteration a local FFT
+// computation, a full data transpose (all-to-all of the rank's entire
+// partition), and a second FFT pass, ending with a checksum allreduce.
+type ftParams struct {
+	iters     int
+	fftWork   float64 // local FFT computation per pass
+	pairBytes int64   // transpose all-to-all, bytes per rank pair
+}
+
+var ftTable = map[Class]ftParams{
+	ClassS: {iters: 6, fftWork: 2.0e-3, pairBytes: 64 << 10},
+	ClassW: {iters: 6, fftWork: 8.0e-3, pairBytes: 512 << 10},
+	ClassA: {iters: 6, fftWork: 0.6, pairBytes: 8 << 20},
+	ClassB: {iters: 20, fftWork: 1.4, pairBytes: 24 << 20},
+}
+
+func ftApp(class Class) (mpi.App, error) {
+	p, ok := ftTable[class]
+	if !ok {
+		keys := make([]Class, 0, len(ftTable))
+		for k := range ftTable {
+			keys = append(keys, k)
+		}
+		return nil, classErr(keys, class)
+	}
+	return func(c *mpi.Comm) {
+		r := c.Rank()
+		for it := 0; it < p.iters; it++ {
+			c.Compute(p.fftWork * jitter(r, it, 0)) // FFT along local dims
+			c.Alltoall(p.pairBytes)                 // global transpose
+			c.Compute(p.fftWork * 0.5 * jitter(r, it, 1))
+			c.Allreduce(16) // checksum (one complex number)
+		}
+	}, nil
+}
+
+// epParams parameterises the embarrassingly parallel model: one long
+// local computation (random-number tabulation) followed by a handful of
+// result allreduces — near-zero communication by design.
+type epParams struct {
+	work float64
+}
+
+var epTable = map[Class]epParams{
+	ClassS: {work: 0.12},
+	ClassW: {work: 1.0},
+	ClassA: {work: 32},
+	ClassB: {work: 130},
+}
+
+func epApp(class Class) (mpi.App, error) {
+	p, ok := epTable[class]
+	if !ok {
+		keys := make([]Class, 0, len(epTable))
+		for k := range epTable {
+			keys = append(keys, k)
+		}
+		return nil, classErr(keys, class)
+	}
+	return func(c *mpi.Comm) {
+		r := c.Rank()
+		// Tabulation proceeds in chunks so traces show cyclic structure.
+		const chunks = 16
+		for i := 0; i < chunks; i++ {
+			c.Compute(p.work / chunks * jitter(r, i))
+		}
+		for i := 0; i < 3; i++ {
+			c.Allreduce(80) // Gaussian-pair counts
+		}
+	}, nil
+}

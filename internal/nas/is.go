@@ -1,0 +1,55 @@
+package nas
+
+import "perfskel/internal/mpi"
+
+// isParams parameterises the integer sort model: per ranking iteration a
+// local bucket-count computation, an allreduce of the bucket histogram, a
+// very large all-to-all redistributing the keys (the paper's example of a
+// dominant all-all transfer), and the local ranking of received keys.
+type isParams struct {
+	iters     int
+	countWork float64 // local bucket counting per iteration
+	rankWork  float64 // local ranking of received keys
+	histogram int64   // bucket histogram allreduce, bytes
+	pairBytes int64   // all-to-all exchange per rank pair, bytes
+}
+
+// Class B calibrated: ~28 s on 4 ranks; with only 10 iterations the
+// dominant sequence is a whole iteration including one full all-to-all,
+// giving Figure 4's largest smallest-good-skeleton (~2.8 s vs the paper's
+// 3 s).
+var isTable = map[Class]isParams{
+	ClassS: {iters: 10, countWork: 3.0e-3, rankWork: 1.0e-3, histogram: 1 << 10, pairBytes: 16 << 10},
+	ClassW: {iters: 10, countWork: 0.012, rankWork: 4.0e-3, histogram: 2 << 10, pairBytes: 256 << 10},
+	ClassA: {iters: 10, countWork: 0.5, rankWork: 0.12, histogram: 4 << 10, pairBytes: 8 << 20},
+	ClassB: {iters: 10, countWork: 1.55, rankWork: 0.45, histogram: 4 << 10, pairBytes: 32 << 20},
+}
+
+func isApp(class Class) (mpi.App, error) {
+	p, ok := isTable[class]
+	if !ok {
+		keys := make([]Class, 0, len(isTable))
+		for k := range isTable {
+			keys = append(keys, k)
+		}
+		return nil, classErr(keys, class)
+	}
+	return func(c *mpi.Comm) {
+		r := c.Rank()
+		sizes := make([]int64, c.Size())
+		for it := 0; it < p.iters; it++ {
+			c.Compute(p.countWork * jitter(r, it, 0))
+			c.Allreduce(p.histogram)
+			// Bucket sizes vary with the key distribution; the exchange is
+			// a variable all-to-all with ~10% per-pair imbalance.
+			for dst := range sizes {
+				sizes[dst] = int64(float64(p.pairBytes) * vary(0.1, r, it, dst))
+			}
+			c.Alltoallv(sizes)
+			c.Compute(p.rankWork * jitter(r, it, 1))
+		}
+		// Full verification: ranked keys are checked globally.
+		c.Allgather(1 << 10)
+		c.Allreduce(8)
+	}, nil
+}

@@ -1,0 +1,92 @@
+package nas
+
+import "perfskel/internal/mpi"
+
+// luParams parameterises the SSOR wavefront model. Ranks form a 2-D
+// processor grid; each iteration performs a lower-triangular and an
+// upper-triangular sweep. Each sweep is pipelined over k-blocks: a rank
+// receives boundary data from its north/west (lower) or south/east
+// (upper) neighbours, computes the block, and forwards. The per-block
+// messages are small and carry distinct tags (one per k-block), the
+// paper-era LU's plane-by-plane pipelining.
+type luParams struct {
+	iters     int     // SSOR iterations
+	blocks    int     // pipeline k-blocks per sweep
+	rhsWork   float64 // per-iteration RHS/norm computation
+	blockWork float64 // computation per block per sweep
+	msg       int64   // per-block boundary message, bytes
+	normEvery int     // allreduce interval (iterations)
+}
+
+// Class B calibrated: ~495 s on 4 ranks; dominant sequence = one SSOR
+// iteration including its residual allreduce (250 iterations -> Figure
+// 4's ~1.97 s smallest good skeleton). The distinct per-block tags keep
+// the iteration, not the block, as the repeating unit.
+var luTable = map[Class]luParams{
+	ClassS: {iters: 50, blocks: 8, rhsWork: 1.0e-3, blockWork: 0.6e-3, msg: 2 << 10, normEvery: 1},
+	ClassW: {iters: 300, blocks: 8, rhsWork: 1.4e-3, blockWork: 0.8e-3, msg: 6 << 10, normEvery: 1},
+	ClassA: {iters: 250, blocks: 8, rhsWork: 0.05, blockWork: 0.022, msg: 20 << 10, normEvery: 1},
+	ClassB: {iters: 250, blocks: 8, rhsWork: 0.2, blockWork: 0.0885, msg: 40 << 10, normEvery: 1},
+}
+
+const (
+	tagLuLower = 20 // + block index
+	tagLuUpper = 40 // + block index
+)
+
+func luApp(class Class) (mpi.App, error) {
+	p, ok := luTable[class]
+	if !ok {
+		keys := make([]Class, 0, len(luTable))
+		for k := range luTable {
+			keys = append(keys, k)
+		}
+		return nil, classErr(keys, class)
+	}
+	return func(c *mpi.Comm) {
+		n, r := c.Size(), c.Rank()
+		px, py := grid2d(n)
+		ix, iy := r%px, r/px
+		north, south := r-px, r+px
+		west, east := r-1, r+1
+		for it := 0; it < p.iters; it++ {
+			c.Compute(p.rhsWork * jitter(r, it))
+			// Lower-triangular sweep: wavefront from the (0,0) corner.
+			for b := 0; b < p.blocks; b++ {
+				if iy > 0 {
+					c.Recv(north, tagLuLower+b)
+				}
+				if ix > 0 {
+					c.Recv(west, tagLuLower+b)
+				}
+				c.Compute(p.blockWork * jitter(r, it, b))
+				if iy < py-1 {
+					c.Send(south, tagLuLower+b, p.msg)
+				}
+				if ix < px-1 {
+					c.Send(east, tagLuLower+b, p.msg)
+				}
+			}
+			// Upper-triangular sweep: wavefront from the opposite corner.
+			for b := 0; b < p.blocks; b++ {
+				if iy < py-1 {
+					c.Recv(south, tagLuUpper+b)
+				}
+				if ix < px-1 {
+					c.Recv(east, tagLuUpper+b)
+				}
+				c.Compute(p.blockWork * jitter(r, it, p.blocks+b))
+				if iy > 0 {
+					c.Send(north, tagLuUpper+b, p.msg)
+				}
+				if ix > 0 {
+					c.Send(west, tagLuUpper+b, p.msg)
+				}
+			}
+			if (it+1)%p.normEvery == 0 {
+				c.Allreduce(40) // residual norms
+			}
+		}
+		c.Allreduce(40)
+	}, nil
+}

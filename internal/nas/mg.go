@@ -1,0 +1,86 @@
+package nas
+
+import "perfskel/internal/mpi"
+
+// mgParams parameterises the multigrid V-cycle model. Ranks form a 2-D
+// torus; per V-cycle the fine grid is smoothed repeatedly (computation +
+// halo exchange with both torus neighbours), then the cycle descends and
+// re-ascends through coarser levels whose computation and halo sizes
+// shrink geometrically (factor 4 per level, one power of two per
+// dimension), ending with a residual allreduce.
+type mgParams struct {
+	cycles   int
+	smooths  int     // fine-grid smoothing steps per cycle
+	fineWork float64 // computation per fine smoothing step
+	face     int64   // fine-grid halo bytes
+	levels   int     // coarser levels visited (descent depth)
+}
+
+// Class B calibrated: ~38 s on 4 ranks; dominant sequence = one fine-grid
+// smoothing step (20 x 8 = 160 -> Figure 4's ~0.24 s smallest good
+// skeleton).
+var mgTable = map[Class]mgParams{
+	ClassS: {cycles: 4, smooths: 8, fineWork: 2.0e-3, face: 16 << 10, levels: 3},
+	ClassW: {cycles: 40, smooths: 8, fineWork: 4.5e-3, face: 64 << 10, levels: 4},
+	ClassA: {cycles: 20, smooths: 8, fineWork: 0.09, face: 256 << 10, levels: 5},
+	ClassB: {cycles: 20, smooths: 8, fineWork: 0.21, face: 512 << 10, levels: 5},
+}
+
+const (
+	tagMgX = 50
+	tagMgY = 51
+)
+
+func mgApp(class Class) (mpi.App, error) {
+	p, ok := mgTable[class]
+	if !ok {
+		keys := make([]Class, 0, len(mgTable))
+		for k := range mgTable {
+			keys = append(keys, k)
+		}
+		return nil, classErr(keys, class)
+	}
+	return func(c *mpi.Comm) {
+		n, r := c.Size(), c.Rank()
+		px, py := grid2d(n)
+		ix, iy := r%px, r/px
+		xr := iy*px + (ix+1)%px
+		xl := iy*px + (ix-1+px)%px
+		yd := ((iy+1)%py)*px + ix
+		yu := ((iy-1+py)%py)*px + ix
+		exchange := func(face int64) {
+			if px > 1 {
+				c.Sendrecv(xr, face, xl, tagMgX)
+			}
+			if py > 1 {
+				c.Sendrecv(yd, face, yu, tagMgY)
+			}
+		}
+		for cy := 0; cy < p.cycles; cy++ {
+			// Fine-grid smoothing: the dominant repeating unit.
+			for s := 0; s < p.smooths; s++ {
+				c.Compute(p.fineWork * jitter(r, cy, s))
+				exchange(p.face)
+			}
+			// Descend to coarser levels (restriction).
+			work, face := p.fineWork, p.face
+			for l := 1; l <= p.levels; l++ {
+				work /= 4
+				face /= 4
+				if face < 256 {
+					face = 256
+				}
+				c.Compute(work * jitter(r, cy, 100+l))
+				exchange(face)
+			}
+			// Ascend back (prolongation + correction).
+			for l := p.levels; l >= 1; l-- {
+				c.Compute(work * jitter(r, cy, 200+l))
+				exchange(face)
+				work *= 4
+				face *= 4
+			}
+			c.Allreduce(8) // residual norm
+		}
+	}, nil
+}

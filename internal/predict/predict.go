@@ -1,0 +1,93 @@
+// Package predict implements skeleton-based performance prediction and the
+// two baseline predictors the paper compares against (section 4.5).
+//
+// The skeleton method (section 4.2): the measured scaling ratio is the
+// application's dedicated execution time divided by the skeleton's
+// dedicated execution time (which can differ slightly from the intended
+// scaling factor K); the predicted application time under a resource-
+// sharing scenario is the skeleton's execution time in that scenario
+// multiplied by the measured scaling ratio.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"perfskel/internal/stats"
+)
+
+// Ratio returns the measured scaling ratio between the application's and
+// the skeleton's dedicated execution times.
+func Ratio(appDedicated, skelDedicated float64) float64 {
+	if skelDedicated <= 0 {
+		panic(fmt.Sprintf("predict: non-positive skeleton time %v", skelDedicated))
+	}
+	return appDedicated / skelDedicated
+}
+
+// Predict returns the predicted application execution time in a scenario
+// from the skeleton's execution time in that scenario and the measured
+// scaling ratio.
+func Predict(skelScenario, ratio float64) float64 {
+	return skelScenario * ratio
+}
+
+// ErrorPct returns the relative prediction error in percent.
+func ErrorPct(predicted, actual float64) float64 {
+	if actual <= 0 {
+		panic(fmt.Sprintf("predict: non-positive actual time %v", actual))
+	}
+	return 100 * math.Abs(predicted-actual) / actual
+}
+
+// AverageBaseline is the paper's "Average Prediction": the mean slowdown
+// of the whole suite under a scenario predicts every program's time in
+// that scenario. dedicated and actual map program name to its dedicated
+// and in-scenario execution times; the result maps program name to its
+// predicted time.
+func AverageBaseline(dedicated, actual map[string]float64) map[string]float64 {
+	var slowdowns []float64
+	for name, d := range dedicated {
+		a, ok := actual[name]
+		if !ok || d <= 0 {
+			continue
+		}
+		slowdowns = append(slowdowns, a/d)
+	}
+	mean := stats.Mean(slowdowns)
+	pred := make(map[string]float64, len(dedicated))
+	for name, d := range dedicated {
+		pred[name] = d * mean
+	}
+	return pred
+}
+
+// ClassSBaseline is the paper's "Class S Prediction": the benchmark's own
+// class S version is used as a hand-made skeleton. dedB and dedS are the
+// class B and class S dedicated times; scenS the class S times in the
+// scenario. The result maps program name to its predicted class B time in
+// the scenario.
+func ClassSBaseline(dedB, dedS, scenS map[string]float64) map[string]float64 {
+	pred := make(map[string]float64, len(dedB))
+	for name, b := range dedB {
+		s, ok1 := dedS[name]
+		sc, ok2 := scenS[name]
+		if !ok1 || !ok2 || s <= 0 {
+			continue
+		}
+		pred[name] = Predict(sc, Ratio(b, s))
+	}
+	return pred
+}
+
+// Summary aggregates prediction errors the way Figure 7 reports them.
+type Summary struct {
+	Min float64
+	Avg float64
+	Max float64
+}
+
+// Summarize returns the min/avg/max of a set of errors.
+func Summarize(errs []float64) Summary {
+	return Summary{Min: stats.Min(errs), Avg: stats.Mean(errs), Max: stats.Max(errs)}
+}

@@ -1,0 +1,101 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatioAndPredict(t *testing.T) {
+	r := Ratio(100, 2)
+	if r != 50 {
+		t.Errorf("ratio = %v, want 50", r)
+	}
+	if p := Predict(3, r); p != 150 {
+		t.Errorf("predict = %v, want 150", p)
+	}
+}
+
+func TestErrorPct(t *testing.T) {
+	if e := ErrorPct(110, 100); math.Abs(e-10) > 1e-12 {
+		t.Errorf("error = %v, want 10", e)
+	}
+	if e := ErrorPct(90, 100); math.Abs(e-10) > 1e-12 {
+		t.Errorf("error = %v, want 10 (symmetric)", e)
+	}
+	if e := ErrorPct(100, 100); e != 0 {
+		t.Errorf("error = %v, want 0", e)
+	}
+}
+
+func TestPredictionIdentityProperty(t *testing.T) {
+	// Property: if the skeleton slows down by exactly the same factor as
+	// the application, the prediction is exact.
+	f := func(appDed, skelDed, slowdown float64) bool {
+		appDed = 1 + math.Mod(math.Abs(appDed), 1e6)
+		skelDed = 0.01 + math.Mod(math.Abs(skelDed), 1e3)
+		slowdown = 1 + math.Mod(math.Abs(slowdown), 10)
+		if math.IsNaN(appDed) || math.IsNaN(skelDed) || math.IsNaN(slowdown) {
+			return true
+		}
+		ratio := Ratio(appDed, skelDed)
+		pred := Predict(skelDed*slowdown, ratio)
+		actual := appDed * slowdown
+		return ErrorPct(pred, actual) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAverageBaselineUniformSlowdown(t *testing.T) {
+	// When all programs slow down equally the average baseline is exact.
+	ded := map[string]float64{"A": 100, "B": 50, "C": 10}
+	act := map[string]float64{"A": 150, "B": 75, "C": 15}
+	pred := AverageBaseline(ded, act)
+	for name := range ded {
+		if e := ErrorPct(pred[name], act[name]); e > 1e-9 {
+			t.Errorf("%s: error %v under uniform slowdown", name, e)
+		}
+	}
+}
+
+func TestAverageBaselineDivergentSlowdowns(t *testing.T) {
+	// With divergent slowdowns the average baseline must err on both
+	// sides: this is the paper's argument for per-application skeletons.
+	ded := map[string]float64{"fast": 100, "slow": 100}
+	act := map[string]float64{"fast": 110, "slow": 300} // 1.1x vs 3x
+	pred := AverageBaseline(ded, act)
+	if ErrorPct(pred["fast"], act["fast"]) < 50 {
+		t.Errorf("fast error %v, want large", ErrorPct(pred["fast"], act["fast"]))
+	}
+	if ErrorPct(pred["slow"], act["slow"]) < 20 {
+		t.Errorf("slow error %v, want large", ErrorPct(pred["slow"], act["slow"]))
+	}
+}
+
+func TestClassSBaseline(t *testing.T) {
+	dedB := map[string]float64{"CG": 240}
+	dedS := map[string]float64{"CG": 0.8}
+	scenS := map[string]float64{"CG": 1.2} // class S slowed 1.5x
+	pred := ClassSBaseline(dedB, dedS, scenS)
+	if math.Abs(pred["CG"]-360) > 1e-9 {
+		t.Errorf("pred = %v, want 360", pred["CG"])
+	}
+	// Missing entries are skipped, not zero-filled.
+	pred = ClassSBaseline(map[string]float64{"X": 1}, map[string]float64{}, map[string]float64{})
+	if _, ok := pred["X"]; ok {
+		t.Error("prediction emitted for missing class S data")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 9})
+	if s.Min != 1 || s.Max != 9 || s.Avg != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	z := Summarize(nil)
+	if z.Min != 0 || z.Avg != 0 || z.Max != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}

@@ -1,0 +1,177 @@
+package signature
+
+import (
+	"math"
+	"sort"
+
+	"perfskel/internal/mpi"
+	"perfskel/internal/trace"
+)
+
+// hardKey is the part of an event that must match exactly for two events
+// to be clustered: different MPI primitives, blocking vs non-blocking
+// calls, and different communication partners are never grouped (paper
+// section 3.2).
+type hardKey struct {
+	op    mpi.Op
+	sub   mpi.Op
+	peer  int
+	peer2 int
+	tag   int
+}
+
+func keyOf(e trace.Event) hardKey {
+	return hardKey{op: e.Op, sub: e.Sub, peer: e.Peer, peer2: e.Peer2, tag: e.Tag}
+}
+
+func keyLess(a, b hardKey) bool {
+	switch {
+	case a.op != b.op:
+		return a.op < b.op
+	case a.sub != b.sub:
+		return a.sub < b.sub
+	case a.peer != b.peer:
+		return a.peer < b.peer
+	case a.peer2 != b.peer2:
+		return a.peer2 < b.peer2
+	default:
+		return a.tag < b.tag
+	}
+}
+
+// ranges holds the trace-wide normalisation scales of the soft dimensions
+// of the dissimilarity measure: the maximum message size and maximum
+// compute duration observed. Normalising by the maximum makes the
+// threshold a relative-difference bound — a threshold of t merges events
+// whose sizes differ by at most t of the largest size — matching the
+// paper's observation that thresholds below 0.20 suffice for the NAS
+// suite.
+type ranges struct {
+	bytes float64 // largest message size across all communication events
+	dur   float64 // longest duration across all compute events
+}
+
+func rangesOf(tr *trace.Trace) ranges {
+	var r ranges
+	for _, evs := range tr.Events {
+		for _, e := range evs {
+			if e.IsCompute() {
+				r.dur = math.Max(r.dur, e.Duration())
+			} else {
+				r.bytes = math.Max(r.bytes, float64(e.Bytes))
+				if e.Op == mpi.OpSendrecv {
+					r.bytes = math.Max(r.bytes, float64(e.Byte2))
+				}
+			}
+		}
+	}
+	return r
+}
+
+// durationNoise is the absolute measurement resolution below which two
+// compute durations are considered identical (the paper's tracer has
+// microsecond resolution; the simulator's only noise is float rounding).
+const durationNoise = 1e-9
+
+// item is one event occurrence awaiting cluster assignment.
+type item struct {
+	rank, idx int
+	v1, v2    float64
+}
+
+// clusterTrace groups the trace's events under the given similarity
+// threshold and returns the per-rank event streams as cluster references
+// (in original order) plus the cluster table.
+//
+// Clustering is single-linkage on the event's soft parameter (compute
+// duration, or message size) within each hard key: values are sorted and
+// split wherever the gap to the predecessor exceeds threshold times the
+// trace-wide scale. This is order-independent and global across ranks, so
+// corresponding events on symmetric ranks always land in the same cluster
+// — which keeps the generated per-rank skeleton programs mutually
+// consistent (mismatched compression across ranks would deadlock the
+// skeleton). Each cluster's parameters are the mean of its members, the
+// paper's "average event".
+func clusterTrace(tr *trace.Trace, threshold float64) ([][]*Cluster, []*Cluster) {
+	r := rangesOf(tr)
+
+	byKey := make(map[hardKey][]item)
+	for rank, evs := range tr.Events {
+		for idx, e := range evs {
+			k := keyOf(e)
+			var it item
+			it.rank, it.idx = rank, idx
+			if e.IsCompute() {
+				it.v1 = e.Duration()
+			} else {
+				it.v1 = float64(e.Bytes)
+				it.v2 = float64(e.Byte2)
+			}
+			byKey[k] = append(byKey[k], it)
+		}
+	}
+
+	keys := make([]hardKey, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+
+	var clusters []*Cluster
+	assign := make([][]*Cluster, tr.NRanks)
+	for rank, evs := range tr.Events {
+		assign[rank] = make([]*Cluster, len(evs))
+	}
+
+	for _, k := range keys {
+		items := byKey[k]
+		scale1, floor1 := r.bytes, 0.5
+		if k.op == mpi.OpCompute {
+			scale1, floor1 = r.dur, durationNoise
+		}
+		groups := linkage(items, func(it item) float64 { return it.v1 }, threshold*scale1+floor1)
+		for _, g := range groups {
+			// Sendrecv events carry a second size; split each group again
+			// on it so receive sizes are bounded by the same threshold.
+			subs := [][]item{g}
+			if k.op == mpi.OpSendrecv {
+				subs = linkage(g, func(it item) float64 { return it.v2 }, threshold*scale1+floor1)
+			}
+			for _, sub := range subs {
+				c := &Cluster{
+					ID: len(clusters), Op: k.op, Sub: k.sub,
+					Peer: k.peer, Peer2: k.peer2, Tag: k.tag,
+				}
+				clusters = append(clusters, c)
+				for _, it := range sub {
+					e := tr.Events[it.rank][it.idx]
+					c.add(float64(e.Bytes), float64(e.Byte2), e.Duration())
+					assign[it.rank][it.idx] = c
+				}
+			}
+		}
+	}
+
+	perRank := make([][]*Cluster, tr.NRanks)
+	for rank := range assign {
+		perRank[rank] = assign[rank]
+	}
+	return perRank, clusters
+}
+
+// linkage sorts items by the value function and splits them into groups
+// wherever consecutive values differ by more than maxGap (single-linkage
+// agglomeration in one dimension).
+func linkage(items []item, value func(item) float64, maxGap float64) [][]item {
+	s := append([]item(nil), items...)
+	sort.SliceStable(s, func(i, j int) bool { return value(s[i]) < value(s[j]) })
+	var groups [][]item
+	start := 0
+	for i := 1; i <= len(s); i++ {
+		if i == len(s) || value(s[i])-value(s[i-1]) > maxGap {
+			groups = append(groups, s[start:i])
+			start = i
+		}
+	}
+	return groups
+}

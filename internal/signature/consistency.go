@@ -1,0 +1,104 @@
+package signature
+
+import (
+	"fmt"
+
+	"perfskel/internal/mpi"
+)
+
+// Consistent reports whether the per-rank sequences describe a mutually
+// consistent communication pattern once loops are expanded:
+//
+//   - every rank performs the exact same sequence of collective
+//     operations (the same clusters, in the same order — collectives must
+//     be called by all ranks in matching order, and a cluster of jittered
+//     collective calls split differently across ranks would desynchronise
+//     the skeleton's collective tag sequence);
+//   - for every (source, destination, tag) triple, the number of send
+//     operations equals the number of receive operations.
+//
+// A signature that fails this check would generate a performance skeleton
+// whose ranks deadlock. The threshold search in Build therefore skips
+// inconsistent thresholds.
+//
+// Receives with wildcard source or tag cannot be matched statically; if
+// any are present, only the collective check is performed.
+func (s *Signature) Consistent() error {
+	type p2pKey struct {
+		src, dst, tag int
+	}
+	collSeqs := make([][]int, s.NRanks) // expanded collective cluster ids
+	sends := make(map[p2pKey]int)
+	recvs := make(map[p2pKey]int)
+	wildcards := false
+
+	for rank := range s.PerRank {
+		var coll []int
+		var walk func(seq []Node, mult int)
+		walk = func(seq []Node, mult int) {
+			for _, nd := range seq {
+				switch x := nd.(type) {
+				case *Loop:
+					// Point-to-point counts accumulate with the full loop
+					// multiplicity; the collective sub-sequence of one
+					// iteration is captured once and repeated.
+					before := len(coll)
+					walk(x.Body, mult*x.Count)
+					iter := append([]int(nil), coll[before:]...)
+					for i := 1; i < x.Count; i++ {
+						coll = append(coll, iter...)
+					}
+				case Leaf:
+					c := x.C
+					switch {
+					case c.Op.IsCollective():
+						coll = append(coll, c.ID)
+					case c.Op == mpi.OpSend || c.Op == mpi.OpIsend:
+						sends[p2pKey{src: rank, dst: c.Peer, tag: c.Tag}] += mult
+					case c.Op == mpi.OpRecv || c.Op == mpi.OpIrecv:
+						if c.Peer == mpi.AnySource || c.Tag == mpi.AnyTag {
+							wildcards = true
+						} else {
+							recvs[p2pKey{src: c.Peer, dst: rank, tag: c.Tag}] += mult
+						}
+					case c.Op == mpi.OpSendrecv:
+						sends[p2pKey{src: rank, dst: c.Peer, tag: c.Tag}] += mult
+						recvs[p2pKey{src: c.Peer2, dst: rank, tag: c.Tag}] += mult
+					}
+				}
+			}
+		}
+		walk(s.PerRank[rank], 1)
+		collSeqs[rank] = coll
+	}
+
+	for r := 1; r < s.NRanks; r++ {
+		if len(collSeqs[r]) != len(collSeqs[0]) {
+			return fmt.Errorf("signature: rank %d performs %d collective calls, rank 0 %d",
+				r, len(collSeqs[r]), len(collSeqs[0]))
+		}
+		for i := range collSeqs[0] {
+			if collSeqs[r][i] != collSeqs[0][i] {
+				a, b := s.Clusters[collSeqs[0][i]], s.Clusters[collSeqs[r][i]]
+				return fmt.Errorf("signature: collective call %d differs: rank 0 %v, rank %d %v",
+					i, a, r, b)
+			}
+		}
+	}
+	if wildcards {
+		return nil // point-to-point matching cannot be checked statically
+	}
+	for k, n := range sends {
+		if recvs[k] != n {
+			return fmt.Errorf("signature: %d sends %d->%d tag %d but %d receives",
+				n, k.src, k.dst, k.tag, recvs[k])
+		}
+	}
+	for k, n := range recvs {
+		if sends[k] != n {
+			return fmt.Errorf("signature: %d receives %d->%d tag %d but %d sends",
+				n, k.src, k.dst, k.tag, sends[k])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package signature
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonNode is the serialised form of a signature Node: exactly one of
+// Leaf (a cluster id) or Loop is set.
+type jsonNode struct {
+	Leaf *int      `json:"leaf,omitempty"`
+	Loop *jsonLoop `json:"loop,omitempty"`
+}
+
+type jsonLoop struct {
+	Count int        `json:"count"`
+	Body  []jsonNode `json:"body"`
+}
+
+type jsonSignature struct {
+	NRanks      int          `json:"nranks"`
+	AppTime     float64      `json:"apptime"`
+	TraceEvents int          `json:"traceevents"`
+	Threshold   float64      `json:"threshold"`
+	Ratio       float64      `json:"ratio"`
+	TargetMet   bool         `json:"targetmet"`
+	Clusters    []*Cluster   `json:"clusters"`
+	PerRank     [][]jsonNode `json:"perrank"`
+}
+
+func encodeSigSeq(seq []Node) []jsonNode {
+	out := make([]jsonNode, 0, len(seq))
+	for _, nd := range seq {
+		switch x := nd.(type) {
+		case Leaf:
+			id := x.C.ID
+			out = append(out, jsonNode{Leaf: &id})
+		case *Loop:
+			out = append(out, jsonNode{Loop: &jsonLoop{Count: x.Count, Body: encodeSigSeq(x.Body)}})
+		}
+	}
+	return out
+}
+
+func decodeSigSeq(seq []jsonNode, clusters []*Cluster) ([]Node, error) {
+	out := make([]Node, 0, len(seq))
+	for i, jn := range seq {
+		switch {
+		case jn.Leaf != nil && jn.Loop == nil:
+			id := *jn.Leaf
+			if id < 0 || id >= len(clusters) {
+				return nil, fmt.Errorf("signature: leaf references cluster %d of %d", id, len(clusters))
+			}
+			out = append(out, Leaf{C: clusters[id]})
+		case jn.Loop != nil && jn.Leaf == nil:
+			if jn.Loop.Count < 0 {
+				return nil, fmt.Errorf("signature: negative loop count %d", jn.Loop.Count)
+			}
+			body, err := decodeSigSeq(jn.Loop.Body, clusters)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, NewLoop(jn.Loop.Count, body))
+		default:
+			return nil, fmt.Errorf("signature: node %d is neither leaf nor loop", i)
+		}
+	}
+	return out, nil
+}
+
+// Write serialises the signature as JSON. Cluster duration samples are
+// included so SpreadCompute skeleton construction works after a reload.
+func (s *Signature) Write(w io.Writer) error {
+	js := jsonSignature{
+		NRanks: s.NRanks, AppTime: s.AppTime, TraceEvents: s.TraceEvents,
+		Threshold: s.Threshold, Ratio: s.Ratio, TargetMet: s.TargetMet,
+		Clusters: s.Clusters,
+	}
+	for _, seq := range s.PerRank {
+		js.PerRank = append(js.PerRank, encodeSigSeq(seq))
+	}
+	return json.NewEncoder(w).Encode(js)
+}
+
+// Read deserialises a signature written by Write.
+func Read(r io.Reader) (*Signature, error) {
+	var js jsonSignature
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return nil, fmt.Errorf("signature: decode: %w", err)
+	}
+	if js.NRanks <= 0 || len(js.PerRank) != js.NRanks {
+		return nil, fmt.Errorf("signature: %d ranks with %d sequences", js.NRanks, len(js.PerRank))
+	}
+	for i, c := range js.Clusters {
+		if c == nil || c.ID != i {
+			return nil, fmt.Errorf("signature: cluster table corrupt at %d", i)
+		}
+	}
+	s := &Signature{
+		NRanks: js.NRanks, AppTime: js.AppTime, TraceEvents: js.TraceEvents,
+		Threshold: js.Threshold, Ratio: js.Ratio, TargetMet: js.TargetMet,
+		Clusters: js.Clusters,
+	}
+	for _, seq := range js.PerRank {
+		dec, err := decodeSigSeq(seq, js.Clusters)
+		if err != nil {
+			return nil, err
+		}
+		s.PerRank = append(s.PerRank, dec)
+	}
+	return s, nil
+}
+
+// Save writes the signature to a file.
+func (s *Signature) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a signature from a file.
+func Load(path string) (*Signature, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,98 @@
+package signature
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/trace"
+)
+
+func signatureForIO(t *testing.T) *Signature {
+	t.Helper()
+	cl := cluster.Build(cluster.Testbed(2), cluster.Dedicated())
+	rec := trace.NewRecorder(2)
+	dur, err := mpi.Run(cl, 2, freeCfg, rec, func(c *mpi.Comm) {
+		peer := 1 - c.Rank()
+		for i := 0; i < 15; i++ {
+			c.Compute(0.01)
+			c.Sendrecv(peer, 20000, peer, 1)
+			c.Allreduce(8)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(rec.Finish(dur), Options{TargetRatio: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSignatureRoundTrip(t *testing.T) {
+	s := signatureForIO(t)
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NRanks != s.NRanks || got.AppTime != s.AppTime ||
+		got.Threshold != s.Threshold || got.Ratio != s.Ratio || got.Len() != s.Len() {
+		t.Errorf("metadata mismatch: %+v vs %+v", got, s)
+	}
+	for r := range s.PerRank {
+		if !sameBody(got.PerRank[r], s.PerRank[r]) {
+			// Clusters are distinct pointers after reload; compare
+			// structurally by string form instead.
+			if got.PerRank[r][0].String() != s.PerRank[r][0].String() {
+				t.Errorf("rank %d structure differs:\n%v\nvs\n%v", r, got.PerRank[r], s.PerRank[r])
+			}
+		}
+	}
+	if got.String() != s.String() {
+		t.Error("rendered signatures differ after round trip")
+	}
+	// Duration samples survive (needed for SpreadCompute after reload).
+	for i, c := range s.Clusters {
+		if c.Op == mpi.OpCompute && len(got.Clusters[i].Durations) != len(c.Durations) {
+			t.Errorf("cluster %d lost duration samples", i)
+		}
+	}
+}
+
+func TestSignatureSaveLoad(t *testing.T) {
+	s := signatureForIO(t)
+	path := filepath.Join(t.TempDir(), "sig.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Errorf("loaded %d leaves, want %d", got.Len(), s.Len())
+	}
+}
+
+func TestSignatureReadRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`{"nranks":2,"perrank":[[]]}`,
+		`{"nranks":1,"clusters":[],"perrank":[[{"leaf":5}]]}`,
+		`{"nranks":1,"clusters":[],"perrank":[[{}]]}`,
+		`{"nranks":1,"clusters":[{"ID":7}],"perrank":[[]]}`,
+		`garbage`,
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", c)
+		}
+	}
+}

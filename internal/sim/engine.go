@@ -1,0 +1,257 @@
+// Package sim implements a deterministic discrete-event simulator with
+// cooperatively scheduled virtual processes and fluid resource models.
+//
+// The simulator is the substrate on which the message-passing runtime
+// (internal/mpi) and the simulated cluster testbed (internal/cluster) are
+// built. It replaces the physical cluster used by the paper: virtual
+// processes stand in for OS processes, CPU tasks for computation, and
+// network flows for wire transfers.
+//
+// Determinism: exactly one virtual process executes user code at any real
+// instant, and processes that become runnable at the same virtual time run
+// in process-id order. Task completions that coincide in virtual time are
+// processed in task-creation order. Two runs of the same program therefore
+// produce identical virtual timings.
+//
+// Resource models:
+//
+//   - CPUs use processor sharing: a node with ncpu processors and n runnable
+//     compute tasks gives each task rate speed*min(1, ncpu/n).
+//   - Network flows share link capacity max-min fairly (progressive
+//     filling), the standard fluid approximation of TCP fairness on the
+//     paper's switched Ethernet testbed.
+//   - Timers fire at an absolute virtual deadline.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Engine is a discrete-event simulation engine. Create one with New, add
+// resources and processes, then call Run. The zero value is not usable.
+type Engine struct {
+	now         float64
+	procs       []*Proc
+	ready       []*Proc // runnable procs, kept sorted by id
+	tasks       []*task // active resource-consuming tasks
+	taskSeq     int64
+	completions int
+	alive       int // non-daemon procs that have not finished
+	yield       chan struct{}
+	failure     error
+	stopped     bool
+	ran         bool
+	wg          sync.WaitGroup
+
+	cpus  []*CPU
+	links []*Resource
+
+	// MaxVirtualTime aborts Run with an error if the virtual clock passes
+	// it. Zero means no limit. It is a safety net against runaway
+	// workloads, not a normal termination mechanism.
+	MaxVirtualTime float64
+}
+
+// New returns an empty engine with the clock at virtual time zero.
+func New() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Proc is a virtual process: a goroutine whose passage of virtual time is
+// entirely explicit through Compute, Sleep and WaitEvent calls. User code
+// between those calls consumes zero virtual time.
+type Proc struct {
+	id     int
+	name   string
+	daemon bool
+	eng    *Engine
+	resume chan struct{}
+	parked bool   // blocked inside a yield, waiting for resume
+	done   bool   // body returned
+	reason string // what the proc is blocked on, for deadlock reports
+}
+
+// ID returns the process id, assigned in spawn order starting at zero.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Spawn registers a new virtual process running body. Daemon processes
+// (such as competing load processes) do not keep the simulation alive: Run
+// returns once every non-daemon process has finished. Spawn must be called
+// before Run.
+func (e *Engine) Spawn(name string, daemon bool, body func(p *Proc)) *Proc {
+	if e.ran {
+		panic("sim: Spawn after Run")
+	}
+	p := &Proc{
+		id:     len(e.procs),
+		name:   name,
+		daemon: daemon,
+		eng:    e,
+		resume: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	if !daemon {
+		e.alive++
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		<-p.resume
+		if e.stopped {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if r == errStopped {
+					return // engine shut down while we were blocked
+				}
+				if e.failure == nil {
+					e.failure = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+				}
+				p.done = true
+				e.yield <- struct{}{}
+			}
+		}()
+		body(p)
+		p.done = true
+		if !p.daemon {
+			e.alive--
+		}
+		e.yield <- struct{}{}
+	}()
+	return p
+}
+
+// errStopped is panicked inside blocked procs when the engine shuts down,
+// unwinding them so their goroutines exit.
+var errStopped = fmt.Errorf("sim: engine stopped")
+
+// block parks the calling proc until the scheduler resumes it. reason is
+// recorded for deadlock diagnostics. Must be called from the proc's own
+// goroutine while it is the running proc.
+func (p *Proc) block(reason string) {
+	p.reason = reason
+	p.parked = true
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	if p.eng.stopped {
+		panic(errStopped)
+	}
+	p.reason = ""
+}
+
+// wake moves a parked proc to the ready queue. Must be called from
+// scheduler context or from the running proc.
+func (e *Engine) wake(p *Proc) {
+	if !p.parked {
+		panic("sim: wake of non-parked proc " + p.name)
+	}
+	p.parked = false
+	i := sort.Search(len(e.ready), func(i int) bool { return e.ready[i].id >= p.id })
+	e.ready = append(e.ready, nil)
+	copy(e.ready[i+1:], e.ready[i:])
+	e.ready[i] = p
+}
+
+// DeadlockError reports that the simulation can make no further progress
+// while non-daemon processes are still blocked.
+type DeadlockError struct {
+	Time    float64
+	Blocked []string // "name: reason" for every blocked proc
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%.6f, blocked: %v", d.Time, d.Blocked)
+}
+
+// Run executes the simulation until every non-daemon process finishes. It
+// returns a *DeadlockError if no progress is possible, or the panic of any
+// process converted to an error. Run may be called only once.
+func (e *Engine) Run() error {
+	if e.ran {
+		panic("sim: Run called twice")
+	}
+	e.ran = true
+	// All procs start ready at time zero, in id order.
+	for _, p := range e.procs {
+		p.parked = true
+		e.wake(p)
+	}
+	for {
+		if e.failure != nil {
+			break
+		}
+		if e.alive == 0 {
+			break
+		}
+		if len(e.ready) > 0 {
+			p := e.ready[0]
+			e.ready = e.ready[1:]
+			p.resume <- struct{}{}
+			<-e.yield
+			continue
+		}
+		if len(e.tasks) == 0 {
+			var blocked []string
+			for _, p := range e.procs {
+				if !p.done && !p.daemon {
+					blocked = append(blocked, p.name+": "+p.reason)
+				}
+			}
+			e.failure = &DeadlockError{Time: e.now, Blocked: blocked}
+			break
+		}
+		if e.MaxVirtualTime > 0 && e.now > e.MaxVirtualTime {
+			e.failure = fmt.Errorf("sim: virtual time %.3f exceeded limit %.3f", e.now, e.MaxVirtualTime)
+			break
+		}
+		e.advance()
+	}
+	e.shutdown()
+	return e.failure
+}
+
+// shutdown unwinds every still-parked process so its goroutine exits, then
+// waits for all process goroutines.
+func (e *Engine) shutdown() {
+	e.stopped = true
+	// Every unfinished proc is blocked on <-p.resume: either parked inside
+	// block(), sitting in the ready queue, or not yet resumed for the first
+	// time. A blocking send reaches each of them exactly once; they observe
+	// e.stopped and unwind.
+	for _, p := range e.procs {
+		if !p.done {
+			p.parked = false
+			p.resume <- struct{}{}
+		}
+	}
+	e.ready = nil
+	e.wg.Wait()
+}
+
+// Stats reports engine activity counters, for observability and
+// benchmarking.
+type Stats struct {
+	Events int     // task completions processed
+	Procs  int     // virtual processes spawned
+	Now    float64 // final virtual time
+}
+
+// Stats returns the engine's activity counters.
+func (e *Engine) Stats() Stats {
+	return Stats{Events: e.completions, Procs: len(e.procs), Now: e.now}
+}

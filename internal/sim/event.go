@@ -1,0 +1,41 @@
+package sim
+
+// Event is a one-shot virtual-time condition: processes wait on it, and
+// once fired every current and future waiter proceeds immediately. It is
+// the synchronization primitive the message-passing layer builds request
+// completion on.
+type Event struct {
+	eng     *Engine
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent returns an unfired event.
+func (e *Engine) NewEvent() *Event { return &Event{eng: e} }
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire marks the event fired and wakes all waiters. Firing an already-fired
+// event is a no-op. Fire may be called from a running process or from a
+// task completion callback.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, p := range ev.waiters {
+		ev.eng.wake(p)
+	}
+	ev.waiters = nil
+}
+
+// WaitEvent blocks the calling process until ev fires. Returns immediately
+// if it has already fired.
+func (p *Proc) WaitEvent(ev *Event, reason string) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.block(reason)
+}

@@ -1,0 +1,400 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const tol = 1e-9
+
+func approx(t *testing.T, got, want, eps float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > eps {
+		t.Errorf("%s = %.9f, want %.9f (±%g)", what, got, want, eps)
+	}
+}
+
+func TestSingleComputeDedicated(t *testing.T) {
+	e := New()
+	cpu := e.NewCPU("n0", 2, 1.0)
+	var end float64
+	e.Spawn("p0", false, func(p *Proc) {
+		p.Compute(cpu, 3.5)
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, end, 3.5, tol, "dedicated compute time")
+}
+
+func TestProcessorSharingThreeOnTwo(t *testing.T) {
+	// Three equal compute tasks on a dual-CPU node each get 2/3 of a
+	// processor: 1s of work takes 1.5s.
+	e := New()
+	cpu := e.NewCPU("n0", 2, 1.0)
+	ends := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("p", false, func(p *Proc) {
+			p.Compute(cpu, 1.0)
+			ends[i] = p.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, end := range ends {
+		approx(t, end, 1.5, tol, "shared compute time "+string(rune('0'+i)))
+	}
+}
+
+func TestProcessorSharingUnderSubscribed(t *testing.T) {
+	// Two tasks on two CPUs: no stretch.
+	e := New()
+	cpu := e.NewCPU("n0", 2, 1.0)
+	var end float64
+	e.Spawn("a", false, func(p *Proc) { p.Compute(cpu, 2.0); end = p.Now() })
+	e.Spawn("b", false, func(p *Proc) { p.Compute(cpu, 2.0) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, end, 2.0, tol, "undersubscribed compute")
+}
+
+func TestCPUSpeedScalesWork(t *testing.T) {
+	e := New()
+	cpu := e.NewCPU("n0", 1, 2.0) // double-speed node
+	var end float64
+	e.Spawn("p", false, func(p *Proc) { p.Compute(cpu, 4.0); end = p.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, end, 2.0, tol, "fast-node compute")
+}
+
+func TestContentionChangesMidTask(t *testing.T) {
+	// p runs 2s of work alone on 1 CPU; q arrives at t=1 with 1s of work.
+	// From t=1 both share: p needs 1 more unit at rate 1/2 -> done t=3;
+	// q: rate 1/2 until p leaves... both have 1 unit left at t=1, so both
+	// finish at t=3.
+	e := New()
+	cpu := e.NewCPU("n0", 1, 1.0)
+	var pEnd, qEnd float64
+	e.Spawn("p", false, func(p *Proc) { p.Compute(cpu, 2.0); pEnd = p.Now() })
+	e.Spawn("q", false, func(p *Proc) {
+		p.Sleep(1.0)
+		p.Compute(cpu, 1.0)
+		qEnd = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, pEnd, 3.0, tol, "p end")
+	approx(t, qEnd, 3.0, tol, "q end")
+}
+
+func TestSleepAndTimerOrdering(t *testing.T) {
+	e := New()
+	var order []string
+	e.Spawn("a", false, func(p *Proc) { p.Sleep(2); order = append(order, "a") })
+	e.Spawn("b", false, func(p *Proc) { p.Sleep(1); order = append(order, "b") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Errorf("order = %v, want [b a]", order)
+	}
+}
+
+func TestSingleFlow(t *testing.T) {
+	e := New()
+	out := e.NewResource("out0", 100) // 100 B/s
+	in := e.NewResource("in1", 100)
+	var end float64
+	e.Spawn("p", false, func(p *Proc) {
+		ev := e.NewEvent()
+		e.StartFlow([]*Resource{out, in}, 250, ev.Fire)
+		p.WaitEvent(ev, "flow")
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, end, 2.5, tol, "single flow time")
+}
+
+func TestFlowsShareBottleneck(t *testing.T) {
+	// Two flows through the same 100 B/s resource, 100 bytes each: each
+	// gets 50 B/s until both finish at t=2.
+	e := New()
+	r := e.NewResource("link", 100)
+	ends := make([]float64, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn("p", false, func(p *Proc) {
+			ev := e.NewEvent()
+			e.StartFlow([]*Resource{r}, 100, ev.Fire)
+			p.WaitEvent(ev, "flow")
+			ends[i] = p.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, ends[0], 2.0, tol, "flow 0")
+	approx(t, ends[1], 2.0, tol, "flow 1")
+}
+
+func TestMaxMinFairness(t *testing.T) {
+	// Flow A crosses r1 (cap 100) and r2 (cap 30); flow B crosses r1 only.
+	// Max-min: A is limited to 30 by r2, B gets the residual 70 on r1.
+	e := New()
+	r1 := e.NewResource("r1", 100)
+	r2 := e.NewResource("r2", 30)
+	var aEnd, bEnd float64
+	e.Spawn("a", false, func(p *Proc) {
+		ev := e.NewEvent()
+		e.StartFlow([]*Resource{r1, r2}, 30, ev.Fire) // 1s at rate 30
+		p.WaitEvent(ev, "flowA")
+		aEnd = p.Now()
+	})
+	e.Spawn("b", false, func(p *Proc) {
+		ev := e.NewEvent()
+		e.StartFlow([]*Resource{r1}, 70, ev.Fire) // 1s at rate 70
+		p.WaitEvent(ev, "flowB")
+		bEnd = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, aEnd, 1.0, tol, "max-min flow A")
+	approx(t, bEnd, 1.0, tol, "max-min flow B")
+}
+
+func TestFlowRateRecomputedOnDeparture(t *testing.T) {
+	// Two flows share 100 B/s. Flow A has 50 bytes, flow B has 150.
+	// Phase 1: both at 50 B/s; A done at t=1 (B has 100 left).
+	// Phase 2: B alone at 100 B/s; done at t=2.
+	e := New()
+	r := e.NewResource("link", 100)
+	var aEnd, bEnd float64
+	e.Spawn("a", false, func(p *Proc) {
+		ev := e.NewEvent()
+		e.StartFlow([]*Resource{r}, 50, ev.Fire)
+		p.WaitEvent(ev, "flowA")
+		aEnd = p.Now()
+	})
+	e.Spawn("b", false, func(p *Proc) {
+		ev := e.NewEvent()
+		e.StartFlow([]*Resource{r}, 150, ev.Fire)
+		p.WaitEvent(ev, "flowB")
+		bEnd = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, aEnd, 1.0, tol, "departing flow A")
+	approx(t, bEnd, 2.0, tol, "residual flow B")
+}
+
+func TestEventWakesAllWaiters(t *testing.T) {
+	e := New()
+	ev := e.NewEvent()
+	woken := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", false, func(p *Proc) {
+			p.WaitEvent(ev, "waiting")
+			woken++
+		})
+	}
+	e.Spawn("firer", false, func(p *Proc) {
+		p.Sleep(1)
+		ev.Fire()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 3 {
+		t.Errorf("woken = %d, want 3", woken)
+	}
+}
+
+func TestWaitOnFiredEventReturnsImmediately(t *testing.T) {
+	e := New()
+	ev := e.NewEvent()
+	var tEnd float64
+	e.Spawn("p", false, func(p *Proc) {
+		ev.Fire()
+		p.WaitEvent(ev, "should not block")
+		tEnd = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, tEnd, 0, tol, "fired-event wait")
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := New()
+	ev := e.NewEvent()
+	e.Spawn("stuck", false, func(p *Proc) {
+		p.WaitEvent(ev, "never fires")
+	})
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Blocked) != 1 || !strings.Contains(de.Blocked[0], "never fires") {
+		t.Errorf("blocked = %v", de.Blocked)
+	}
+}
+
+func TestDaemonDoesNotKeepSimAlive(t *testing.T) {
+	e := New()
+	cpu := e.NewCPU("n0", 1, 1.0)
+	var end float64
+	e.Spawn("load", true, func(p *Proc) {
+		for {
+			p.Compute(cpu, 10)
+		}
+	})
+	e.Spawn("rank", false, func(p *Proc) {
+		p.Compute(cpu, 1) // shares with load: rate 1/2, takes 2s
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, end, 2.0, tol, "compute against daemon load")
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := New()
+	e.Spawn("boom", false, func(p *Proc) { panic("kaboom") })
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("err = %v, want panic propagation", err)
+	}
+}
+
+func TestPanicShutdownUnwindsOtherProcs(t *testing.T) {
+	e := New()
+	ev := e.NewEvent()
+	for i := 0; i < 5; i++ {
+		e.Spawn("waiter", false, func(p *Proc) { p.WaitEvent(ev, "forever") })
+	}
+	e.Spawn("boom", false, func(p *Proc) { p.Sleep(1); panic("die") })
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "die") {
+		t.Errorf("err = %v", err)
+	}
+	// Run returning at all proves shutdown unwound the blocked waiters.
+}
+
+func TestDeterministicWakeOrder(t *testing.T) {
+	// Procs woken at the same virtual time run in spawn (id) order.
+	e := New()
+	var order []int
+	ev := e.NewEvent()
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn("w", false, func(p *Proc) {
+			p.WaitEvent(ev, "barrier")
+			order = append(order, i)
+		})
+	}
+	e.Spawn("firer", false, func(p *Proc) { p.Sleep(1); ev.Fire() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("wake order = %v, want ascending ids", order)
+		}
+	}
+}
+
+func TestZeroWorkAndZeroBytesComplete(t *testing.T) {
+	e := New()
+	cpu := e.NewCPU("n0", 1, 1.0)
+	r := e.NewResource("r", 10)
+	var end float64
+	e.Spawn("p", false, func(p *Proc) {
+		p.Compute(cpu, 0)
+		ev := e.NewEvent()
+		e.StartFlow([]*Resource{r}, 0, ev.Fire)
+		p.WaitEvent(ev, "zero flow")
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, end, 0, tol, "zero work/bytes")
+}
+
+func TestMaxVirtualTimeLimit(t *testing.T) {
+	e := New()
+	e.MaxVirtualTime = 5
+	e.Spawn("p", false, func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(1)
+		}
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("err = %v, want virtual time limit error", err)
+	}
+}
+
+func TestComputeAndFlowIndependentResources(t *testing.T) {
+	// A compute task and a flow proceed concurrently without interfering.
+	e := New()
+	cpu := e.NewCPU("n0", 1, 1.0)
+	r := e.NewResource("r", 100)
+	var cEnd, fEnd float64
+	e.Spawn("c", false, func(p *Proc) { p.Compute(cpu, 2); cEnd = p.Now() })
+	e.Spawn("f", false, func(p *Proc) {
+		ev := e.NewEvent()
+		e.StartFlow([]*Resource{r}, 200, ev.Fire)
+		p.WaitEvent(ev, "flow")
+		fEnd = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, cEnd, 2.0, tol, "compute independent")
+	approx(t, fEnd, 2.0, tol, "flow independent")
+}
+
+func TestReproducibleTimings(t *testing.T) {
+	run := func() float64 {
+		e := New()
+		cpu := e.NewCPU("n0", 2, 1.0)
+		r := e.NewResource("r", 1000)
+		var end float64
+		for i := 0; i < 4; i++ {
+			e.Spawn("p", false, func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Compute(cpu, 0.1)
+					ev := e.NewEvent()
+					e.StartFlow([]*Resource{r}, 500, ev.Fire)
+					p.WaitEvent(ev, "flow")
+				}
+				end = p.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d end = %v, want exactly %v", i, got, first)
+		}
+	}
+}

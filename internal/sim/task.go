@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CPU models the processors of one node under processor-sharing: with n
+// runnable compute tasks on a node of ncpu processors each task progresses
+// at rate speed*min(1, ncpu/n) work units per second. This is the fluid
+// model of the round-robin timesharing the paper's Linux testbed exhibits.
+type CPU struct {
+	name   string
+	ncpu   int
+	speed  float64 // work units per second per processor
+	active int     // running compute tasks (maintained during advance)
+}
+
+// NewCPU adds a node CPU group with ncpu processors of the given speed (in
+// work units per second; 1.0 means one dedicated-second of work per second).
+func (e *Engine) NewCPU(name string, ncpu int, speed float64) *CPU {
+	if ncpu <= 0 || speed <= 0 {
+		panic("sim: NewCPU requires positive ncpu and speed")
+	}
+	c := &CPU{name: name, ncpu: ncpu, speed: speed}
+	e.cpus = append(e.cpus, c)
+	return c
+}
+
+// Name returns the CPU group's name.
+func (c *CPU) Name() string { return c.name }
+
+// Resource is a capacity-limited network resource (a NIC or link direction).
+// Concurrent flows crossing it share its capacity max-min fairly.
+type Resource struct {
+	name     string
+	capacity float64 // bytes per second
+
+	// scratch fields used by the max-min computation
+	remCap  float64
+	unfixed int
+}
+
+// NewResource adds a network resource with the given capacity in bytes/s.
+func (e *Engine) NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 {
+		panic("sim: NewResource requires positive capacity")
+	}
+	r := &Resource{name: name, capacity: capacity}
+	e.links = append(e.links, r)
+	return r
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the resource's capacity in bytes per second.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// SetCapacity changes the capacity, e.g. to model the paper's iproute2
+// bandwidth limitation. It must be set before flows that should observe it
+// are started; changing it mid-run affects rates from the next event on.
+func (r *Resource) SetCapacity(c float64) {
+	if c <= 0 {
+		panic("sim: SetCapacity requires positive capacity")
+	}
+	r.capacity = c
+}
+
+type taskKind int
+
+const (
+	taskCompute taskKind = iota
+	taskFlow
+	taskTimer
+)
+
+// task is a unit of virtual-time-consuming activity.
+type task struct {
+	id        int64
+	kind      taskKind
+	cpu       *CPU        // compute
+	path      []*Resource // flow
+	remaining float64     // work units (compute), bytes (flow)
+	deadline  float64     // absolute time (timer)
+	rate      float64     // current progress rate
+	onDone    func()      // runs in scheduler context at completion
+}
+
+func (e *Engine) addTask(t *task) {
+	e.taskSeq++
+	t.id = e.taskSeq
+	e.tasks = append(e.tasks, t)
+}
+
+// StartCompute begins a compute task of the given amount of work (in
+// dedicated-processor seconds at speed 1.0) on cpu. onDone runs in
+// scheduler context when the work completes. Most callers want
+// Proc.Compute instead.
+func (e *Engine) StartCompute(cpu *CPU, work float64, onDone func()) {
+	if work <= 0 {
+		e.After(0, onDone)
+		return
+	}
+	e.addTask(&task{kind: taskCompute, cpu: cpu, remaining: work, onDone: onDone})
+}
+
+// StartFlow begins a network transfer of bytes across the resources in
+// path. The flow's rate at any instant is its max-min fair share, the
+// minimum over the path. onDone runs in scheduler context when the last
+// byte is delivered. Latency must be modelled separately (see After).
+func (e *Engine) StartFlow(path []*Resource, bytes float64, onDone func()) {
+	if len(path) == 0 {
+		panic("sim: StartFlow with empty path")
+	}
+	if bytes <= 0 {
+		e.After(0, onDone)
+		return
+	}
+	e.addTask(&task{kind: taskFlow, path: path, remaining: bytes, onDone: onDone})
+}
+
+// After schedules onDone to run in scheduler context after delay seconds of
+// virtual time.
+func (e *Engine) After(delay float64, onDone func()) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.addTask(&task{kind: taskTimer, deadline: e.now + delay, onDone: onDone})
+}
+
+// Compute blocks the calling process for the given amount of work (in
+// dedicated-processor seconds) on cpu, stretched by whatever contention the
+// processor-sharing model imposes.
+func (p *Proc) Compute(cpu *CPU, work float64) {
+	done := false
+	p.eng.StartCompute(cpu, work, func() {
+		done = true
+		p.eng.wake(p)
+	})
+	p.block(fmt.Sprintf("compute %.6fs on %s", work, cpu.name))
+	if !done {
+		panic("sim: compute wake without completion")
+	}
+}
+
+// Sleep blocks the calling process for d seconds of virtual time.
+func (p *Proc) Sleep(d float64) {
+	p.eng.After(d, func() { p.eng.wake(p) })
+	p.block(fmt.Sprintf("sleep %.6fs", d))
+}
+
+// computeRates assigns the current progress rate to every active task.
+func (e *Engine) computeRates() {
+	for _, c := range e.cpus {
+		c.active = 0
+	}
+	for _, t := range e.tasks {
+		if t.kind == taskCompute {
+			t.cpu.active++
+		}
+	}
+	// Processor sharing per CPU group.
+	for _, t := range e.tasks {
+		if t.kind == taskCompute {
+			c := t.cpu
+			t.rate = c.speed * math.Min(1, float64(c.ncpu)/float64(c.active))
+		}
+	}
+	// Max-min fair sharing for flows via progressive filling.
+	var flows []*task
+	var resList []*Resource
+	resSet := make(map[*Resource]bool)
+	for _, t := range e.tasks {
+		if t.kind == taskFlow {
+			flows = append(flows, t)
+			t.rate = -1 // unfixed
+			for _, r := range t.path {
+				if !resSet[r] {
+					resSet[r] = true
+					resList = append(resList, r)
+					r.remCap = r.capacity
+					r.unfixed = 0
+				}
+				r.unfixed++
+			}
+		}
+	}
+	unfixed := len(flows)
+	for unfixed > 0 {
+		// Find the bottleneck resource: smallest fair share among resources
+		// that still carry unfixed flows. Iteration over resList (flow
+		// creation order) keeps tie-breaking deterministic.
+		var bottleneck *Resource
+		share := math.Inf(1)
+		for _, r := range resList {
+			if r.unfixed == 0 {
+				continue
+			}
+			s := r.remCap / float64(r.unfixed)
+			if s < share {
+				share = s
+				bottleneck = r
+			}
+		}
+		if bottleneck == nil {
+			panic("sim: max-min filling found no bottleneck with flows unfixed")
+		}
+		for _, f := range flows {
+			if f.rate >= 0 {
+				continue
+			}
+			uses := false
+			for _, r := range f.path {
+				if r == bottleneck {
+					uses = true
+					break
+				}
+			}
+			if !uses {
+				continue
+			}
+			f.rate = share
+			unfixed--
+			for _, r := range f.path {
+				r.remCap -= share
+				if r.remCap < 0 {
+					r.remCap = 0
+				}
+				r.unfixed--
+			}
+		}
+	}
+}
+
+// advance moves virtual time forward to the next task completion and runs
+// the completion callbacks in task-creation order. Must only be called when
+// no process is runnable and at least one task is active.
+func (e *Engine) advance() {
+	e.computeRates()
+	dt := math.Inf(1)
+	for _, t := range e.tasks {
+		var d float64
+		switch t.kind {
+		case taskTimer:
+			d = t.deadline - e.now
+		default:
+			d = t.remaining / t.rate
+		}
+		if d < dt {
+			dt = d
+		}
+	}
+	if dt < 0 {
+		dt = 0
+	}
+	if math.IsInf(dt, 1) {
+		panic("sim: advance with no finishing task")
+	}
+	// Identify completions before applying progress, using a small relative
+	// slack so float drift cannot strand a near-zero remainder.
+	const slack = 1e-12
+	var completed []*task
+	var remaining []*task
+	for _, t := range e.tasks {
+		var d float64
+		switch t.kind {
+		case taskTimer:
+			d = t.deadline - e.now
+		default:
+			d = t.remaining / t.rate
+		}
+		if d <= dt*(1+slack)+1e-15 {
+			completed = append(completed, t)
+		} else {
+			if t.kind != taskTimer {
+				t.remaining -= t.rate * dt
+			}
+			remaining = append(remaining, t)
+		}
+	}
+	e.now += dt
+	e.tasks = remaining
+	sort.Slice(completed, func(i, j int) bool { return completed[i].id < completed[j].id })
+	e.completions += len(completed)
+	for _, t := range completed {
+		t.remaining = 0
+		if t.onDone != nil {
+			t.onDone()
+		}
+	}
+}

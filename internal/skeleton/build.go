@@ -1,0 +1,339 @@
+package skeleton
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/signature"
+)
+
+// ScaleMode selects how unreduced communication operations are scaled
+// down by K (step 3 of section 3.3).
+type ScaleMode int
+
+const (
+	// ByteScale divides the byte count by K, the paper's approach. Its
+	// known weakness: the latency component of the scaled operation is not
+	// reduced, inflating skeleton communication time under low-bandwidth
+	// sharing.
+	ByteScale ScaleMode = iota
+	// TimeScale divides the operation's *estimated time* by K under an
+	// assumed latency/bandwidth, converting back to a byte count and
+	// dropping operations whose scaled time falls below one latency — the
+	// improvement the paper says requires assumptions about the execution
+	// environment (section 3.3).
+	TimeScale
+)
+
+// Options tunes skeleton construction beyond the paper's defaults.
+type Options struct {
+	// Mode selects communication scaling (default ByteScale, the paper's).
+	Mode ScaleMode
+	// Latency and Bandwidth are the environment assumptions of TimeScale;
+	// defaults are the simulated testbed's (50 us, 125 MB/s).
+	Latency   float64
+	Bandwidth float64
+	// SpreadCompute reproduces the empirical distribution of compute
+	// durations (cycling through quantiles per loop iteration) instead of
+	// the cluster mean — the paper's future-work fix for unbalanced
+	// scenarios (section 4.4).
+	SpreadCompute bool
+	// Coverage is the dominant-sequence coverage threshold for the
+	// smallest-good-skeleton bound (default DefaultCoverage).
+	Coverage float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Latency == 0 {
+		o.Latency = cluster.DefaultLatency
+	}
+	if o.Bandwidth == 0 {
+		o.Bandwidth = cluster.GigabitBandwidth
+	}
+	if o.Coverage == 0 {
+		o.Coverage = DefaultCoverage
+	}
+	return o
+}
+
+// Build constructs a performance skeleton from an execution signature with
+// integer scaling factor K, following the paper's four-step procedure
+// (section 3.3):
+//
+//  1. Loop iteration counts are divided by K; remainder iterations are
+//     unrolled into the unreduced part.
+//  2. Groups of K identical operations anywhere in the unreduced part are
+//     replaced by a single (unscaled) occurrence.
+//  3. Remaining unreduced operations are scaled down by K by adjusting
+//     parameters (see ScaleMode).
+//  4. The result is an executable synthetic program (and can be rendered
+//     to C or Go source, see codegen).
+func Build(sig *signature.Signature, k int) (*Program, error) {
+	return BuildOpts(sig, k, Options{})
+}
+
+// BuildOpts is Build with explicit construction options.
+func BuildOpts(sig *signature.Signature, k int, opts Options) (*Program, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("skeleton: scaling factor K must be >= 1, got %d", k)
+	}
+	opts = opts.withDefaults()
+	p := &Program{
+		NRanks:      sig.NRanks,
+		K:           k,
+		AppTime:     sig.AppTime,
+		TargetTime:  sig.AppTime / float64(k),
+		MinGoodTime: MinGoodTime(sig, opts.Coverage),
+	}
+	p.Good = p.TargetTime >= p.MinGoodTime-1e-9
+	for r := 0; r < sig.NRanks; r++ {
+		p.PerRank = append(p.PerRank, scaleSeq(sig.PerRank[r], k, opts))
+	}
+	return p, nil
+}
+
+// BuildForTime constructs a skeleton with an intended execution time,
+// deriving K = round(AppTime / target) as the paper's experiments do for
+// their 10/5/2/1/0.5-second skeletons.
+func BuildForTime(sig *signature.Signature, target float64) (*Program, error) {
+	if target <= 0 {
+		return nil, fmt.Errorf("skeleton: target time must be positive, got %v", target)
+	}
+	k := int(math.Round(sig.AppTime / target))
+	if k < 1 {
+		k = 1
+	}
+	return Build(sig, k)
+}
+
+// distQuantiles is how many duration quantiles SpreadCompute retains per
+// compute cluster.
+const distQuantiles = 8
+
+// opFromCluster converts a signature cluster centroid to a skeleton
+// operation plus its measured dedicated duration.
+func opFromCluster(c *signature.Cluster, opts Options) (Op, float64) {
+	op := Op{
+		Kind: c.Op, Sub: c.Sub,
+		Peer: c.Peer, Peer2: c.Peer2, Tag: c.Tag,
+		Bytes: int64(math.Round(c.Bytes)),
+		Byte2: int64(math.Round(c.Byte2)),
+	}
+	if c.Op == mpi.OpCompute {
+		op.Work = c.Duration
+		if opts.SpreadCompute && len(c.Durations) > 1 {
+			op.Dist = quantiles(c.Durations, distQuantiles)
+		}
+	}
+	return op, c.Duration
+}
+
+// quantiles returns n evenly spaced midpoint quantiles of the samples, in
+// a bit-reversed (interleaved) order so that loops whose iteration count
+// is not a multiple of n still sample the distribution nearly evenly.
+func quantiles(samples []float64, n int) []float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	ordered := make([]float64, n)
+	for i := 0; i < n; i++ {
+		idx := (2*i + 1) * len(s) / (2 * n)
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		ordered[i] = s[idx]
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = ordered[bitReverse(i, n)]
+	}
+	return out
+}
+
+// bitReverse reverses the bits of i within the width of n (a power of
+// two); for non-power-of-two n it degrades to identity.
+func bitReverse(i, n int) int {
+	if n&(n-1) != 0 {
+		return i
+	}
+	r := 0
+	for m := 1; m < n; m <<= 1 {
+		r <<= 1
+		if i&1 != 0 {
+			r |= 1
+		}
+		i >>= 1
+	}
+	return r
+}
+
+// opKey is the comparable identity of an operation for the group-of-K
+// rule; it excludes the (unhashable, informational) duration distribution.
+type opKey struct {
+	Kind  mpi.Op
+	Sub   mpi.Op
+	Peer  int
+	Peer2 int
+	Tag   int
+	Bytes int64
+	Byte2 int64
+	Work  float64
+}
+
+func identity(op Op) opKey {
+	return opKey{
+		Kind: op.Kind, Sub: op.Sub,
+		Peer: op.Peer, Peer2: op.Peer2, Tag: op.Tag,
+		Bytes: op.Bytes, Byte2: op.Byte2, Work: op.Work,
+	}
+}
+
+// pendingOp is an unreduced operation awaiting the group-of-K pass.
+type pendingOp struct {
+	op  Op
+	dur float64
+}
+
+// scaleSeq applies the scaling procedure to one rank's signature sequence.
+func scaleSeq(seq []signature.Node, k int, opts Options) []Node {
+	var out []Node
+	var pending []pendingOp
+
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		// Step 2+3 over the whole unreduced stretch: count occurrences per
+		// identical operation; every K-th occurrence is kept unscaled
+		// (representing its group of K), and occurrences past the last
+		// full group are kept with parameters scaled down by K.
+		counts := make(map[opKey]int)
+		for _, po := range pending {
+			counts[identity(po.op)]++
+		}
+		seen := make(map[opKey]int)
+		for _, po := range pending {
+			id := identity(po.op)
+			j := seen[id]
+			seen[id] = j + 1
+			q := counts[id] / k
+			switch {
+			case j < q*k && j%k == 0:
+				// Representative of a full group of K.
+				out = append(out, OpNode{Op: po.op, Dur: po.dur})
+			case j < q*k:
+				// Absorbed into its group's representative.
+			default:
+				// Leftover: scale parameters down by K.
+				if op, keep := scaleOpts(po.op, k, opts); keep {
+					out = append(out, OpNode{Op: op, Dur: po.dur / float64(k)})
+				}
+			}
+		}
+		pending = pending[:0]
+	}
+
+	var process func(nodes []signature.Node)
+	process = func(nodes []signature.Node) {
+		for _, nd := range nodes {
+			switch x := nd.(type) {
+			case signature.Leaf:
+				op, dur := opFromCluster(x.C, opts)
+				pending = append(pending, pendingOp{op: op, dur: dur})
+			case *signature.Loop:
+				q, r := x.Count/k, x.Count%k
+				if q > 0 {
+					flush()
+					out = append(out, LoopNode{Count: q, Body: verbatim(x.Body, opts)})
+				}
+				// Remainder iterations join the unreduced part; nested
+				// loops inside them are scaled recursively.
+				for i := 0; i < r; i++ {
+					process(x.Body)
+				}
+			}
+		}
+	}
+	process(seq)
+	flush()
+	return out
+}
+
+// verbatim converts signature nodes to skeleton nodes without scaling
+// (for the bodies of reduced loops: each retained iteration is a full
+// original iteration).
+func verbatim(seq []signature.Node, opts Options) []Node {
+	out := make([]Node, 0, len(seq))
+	for _, nd := range seq {
+		switch x := nd.(type) {
+		case signature.Leaf:
+			op, dur := opFromCluster(x.C, opts)
+			out = append(out, OpNode{Op: op, Dur: dur})
+		case *signature.Loop:
+			out = append(out, LoopNode{Count: x.Count, Body: verbatim(x.Body, opts)})
+		}
+	}
+	return out
+}
+
+// scaleOpts reduces an operation's parameters by K (step 3) under the
+// selected mode. The returned bool is false when the operation should be
+// dropped entirely (TimeScale, scaled time below one latency). Dropping is
+// symmetric across ranks because it depends only on the operation's own
+// parameters, which match on both ends of a communication.
+func scaleOpts(op Op, k int, opts Options) (Op, bool) {
+	op2 := op
+	op2.Work /= float64(k)
+	if op.Bytes <= 0 || !op.Kind.IsCollective() && op.Kind != mpi.OpSend && op.Kind != mpi.OpRecv &&
+		op.Kind != mpi.OpIsend && op.Kind != mpi.OpIrecv && op.Kind != mpi.OpSendrecv && op.Kind != mpi.OpWait {
+		return op2, true
+	}
+	switch opts.Mode {
+	case TimeScale:
+		t := opts.Latency + float64(op.Bytes)/opts.Bandwidth
+		scaled := t / float64(k)
+		if scaled <= opts.Latency {
+			// The operation's scaled time is below one latency: it cannot
+			// be represented by a smaller message. Symmetric operations
+			// (collectives, sendrecv) are dropped outright — every rank
+			// makes the same decision. One-sided point-to-point operations
+			// are never dropped: an Irecv records zero bytes at post time,
+			// so the two ends of a message could decide differently and
+			// deadlock the skeleton; they shrink to the minimum instead.
+			if op.Kind.IsCollective() || op.Kind == mpi.OpSendrecv {
+				return op2, false
+			}
+			op2.Bytes = 1
+			if op.Byte2 > 0 {
+				op2.Byte2 = 1
+			}
+			return op2, true
+		}
+		op2.Bytes = int64(math.Max(1, (scaled-opts.Latency)*opts.Bandwidth))
+		if op.Byte2 > 0 {
+			t2 := opts.Latency + float64(op.Byte2)/opts.Bandwidth
+			op2.Byte2 = int64(math.Max(1, (t2/float64(k)-opts.Latency)*opts.Bandwidth))
+		}
+	default: // ByteScale
+		op2.Bytes = op.Bytes / int64(k)
+		if op2.Bytes == 0 {
+			op2.Bytes = 1
+		}
+		if op.Byte2 > 0 {
+			op2.Byte2 = op.Byte2 / int64(k)
+			if op2.Byte2 == 0 {
+				op2.Byte2 = 1
+			}
+		}
+	}
+	return op2, true
+}
+
+// scaleOp reduces an operation's parameters by K with the paper's byte
+// scaling; kept for the basic path and tests.
+func scaleOp(op Op, k int) Op {
+	out, _ := scaleOpts(op, k, Options{}.withDefaults())
+	return out
+}

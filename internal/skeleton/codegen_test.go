@@ -1,0 +1,186 @@
+package skeleton
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"perfskel/internal/mpi"
+)
+
+func codegenProgram(t *testing.T) *Program {
+	t.Helper()
+	sig := traceAndSign(t, 2, 5, iterApp)
+	p, err := Build(sig, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCSourceStructure(t *testing.T) {
+	p := codegenProgram(t)
+	src := CSource(p)
+	for _, want := range []string{
+		"#include <mpi.h>",
+		"MPI_Init",
+		"MPI_Finalize",
+		"static void skel_rank0(void)",
+		"static void skel_rank1(void)",
+		"skel_compute(",
+		"MPI_Sendrecv(",
+		"MPI_Allreduce(",
+		"#define SKEL_RANKS 2",
+		"for (int i0 = 0; i0 < 10; i0++)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("C source missing %q", want)
+		}
+	}
+	// Braces must balance.
+	if o, c := strings.Count(src, "{"), strings.Count(src, "}"); o != c {
+		t.Errorf("unbalanced braces: %d open, %d close", o, c)
+	}
+}
+
+func TestCSourceBufferCoversLargestMessage(t *testing.T) {
+	p := codegenProgram(t)
+	src := CSource(p)
+	if !strings.Contains(src, "#define SKEL_BUF") {
+		t.Fatal("no buffer size define")
+	}
+	// The iterApp exchanges 50000-byte messages; the buffer must be at
+	// least that large. Extract the define.
+	var size int64
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(line, "#define SKEL_BUF") {
+			fields := strings.Fields(line)
+			for i := len(fields[2]) - 1; i >= 0; i-- {
+				if fields[2][i] < '0' || fields[2][i] > '9' {
+					t.Fatalf("unparseable buffer size %q", fields[2])
+				}
+			}
+			for _, ch := range fields[2] {
+				size = size*10 + int64(ch-'0')
+			}
+		}
+	}
+	if size < 50000 {
+		t.Errorf("buffer size %d smaller than largest message", size)
+	}
+}
+
+func TestGoSourceStructure(t *testing.T) {
+	p := codegenProgram(t)
+	src := GoSource(p)
+	for _, want := range []string{
+		"package main",
+		"perfskel.NewTestbed(2",
+		"c.Sendrecv(",
+		"c.Allreduce(",
+		"case 0:",
+		"case 1:",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("Go source missing %q", want)
+		}
+	}
+	if o, c := strings.Count(src, "{"), strings.Count(src, "}"); o != c {
+		t.Errorf("unbalanced braces: %d open, %d close", o, c)
+	}
+}
+
+func TestCSourceCoversEveryOpKind(t *testing.T) {
+	// The handcrafted all-ops program from the executor test must render
+	// every operation without "unsupported" placeholders.
+	p := &Program{NRanks: 2, K: 1, PerRank: [][]Node{allOpsSeq(0), allOpsSeq(1)}}
+	src := CSource(p)
+	if strings.Contains(src, "unsupported") {
+		t.Error("C source contains unsupported ops")
+	}
+	for _, want := range []string{
+		"MPI_Send(", "MPI_Recv(", "MPI_Isend(", "MPI_Irecv(",
+		"skel_wait_kind(", "skel_waitall()", "MPI_Barrier(",
+		"MPI_Bcast(", "MPI_Reduce(", "MPI_Allreduce(", "MPI_Alltoall(",
+		"MPI_Allgather(", "MPI_Gather(", "MPI_Scatter(",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("C source missing %q", want)
+		}
+	}
+	gosrc := GoSource(p)
+	if strings.Contains(gosrc, "unsupported") {
+		t.Error("Go source contains unsupported ops")
+	}
+}
+
+func allOpsSeq(rank int) []Node {
+	peer := 1 - rank
+	return []Node{
+		OpNode{Op: Op{Kind: mpi.OpCompute, Work: 0.001}},
+		OpNode{Op: Op{Kind: mpi.OpSend, Peer: peer, Tag: 1, Bytes: 100}},
+		OpNode{Op: Op{Kind: mpi.OpRecv, Peer: peer, Tag: 1}},
+		OpNode{Op: Op{Kind: mpi.OpIsend, Peer: peer, Tag: 2, Bytes: 100}},
+		OpNode{Op: Op{Kind: mpi.OpIrecv, Peer: peer, Tag: 2}},
+		OpNode{Op: Op{Kind: mpi.OpWait, Sub: mpi.OpIrecv}},
+		OpNode{Op: Op{Kind: mpi.OpWait, Sub: mpi.OpIsend}},
+		OpNode{Op: Op{Kind: mpi.OpWaitall}},
+		OpNode{Op: Op{Kind: mpi.OpSendrecv, Peer: peer, Peer2: peer, Tag: 3, Bytes: 10, Byte2: 10}},
+		OpNode{Op: Op{Kind: mpi.OpBarrier}},
+		OpNode{Op: Op{Kind: mpi.OpBcast, Peer: 0, Bytes: 8}},
+		OpNode{Op: Op{Kind: mpi.OpReduce, Peer: 0, Bytes: 8}},
+		OpNode{Op: Op{Kind: mpi.OpAllreduce, Bytes: 8}},
+		OpNode{Op: Op{Kind: mpi.OpAlltoall, Bytes: 8}},
+		OpNode{Op: Op{Kind: mpi.OpAllgather, Bytes: 8}},
+		OpNode{Op: Op{Kind: mpi.OpGather, Peer: 0, Bytes: 8}},
+		OpNode{Op: Op{Kind: mpi.OpScatter, Peer: 0, Bytes: 8}},
+	}
+}
+
+func TestGeneratedSourcesHaveNoFormattingErrors(t *testing.T) {
+	// A stray verb mismatch would leave "%!" markers in the output.
+	sig := traceAndSign(t, 2, 5, iterApp)
+	for _, k := range []int{1, 7, 500} {
+		p, err := Build(sig, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, src := range map[string]string{"C": CSource(p), "Go": GoSource(p)} {
+			if strings.Contains(src, "%!") {
+				t.Errorf("K=%d %s source contains formatting errors", k, name)
+			}
+		}
+	}
+}
+
+func TestCodegenOfRescaledProgram(t *testing.T) {
+	app := func(c *mpi.Comm) {
+		n, r := c.Size(), c.Rank()
+		for i := 0; i < 20; i++ {
+			c.Compute(0.01)
+			c.Sendrecv((r+1)%n, 5000, (r-1+n)%n, 1)
+			c.Allreduce(8)
+		}
+	}
+	sig := traceAndSign(t, 4, 5, app)
+	p, err := Build(sig, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := Rescale(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := CSource(p8)
+	if !strings.Contains(src, "#define SKEL_RANKS 8") {
+		t.Error("rescaled C source has wrong rank count")
+	}
+	if o, c := strings.Count(src, "{"), strings.Count(src, "}"); o != c {
+		t.Errorf("unbalanced braces in rescaled source: %d vs %d", o, c)
+	}
+	for r := 0; r < 8; r++ {
+		if !strings.Contains(src, fmt.Sprintf("static void skel_rank%d(void)", r)) {
+			t.Errorf("missing rank %d function", r)
+		}
+	}
+}

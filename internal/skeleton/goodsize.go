@@ -1,0 +1,54 @@
+package skeleton
+
+import "perfskel/internal/signature"
+
+// DefaultCoverage is the fraction of a rank's execution time a repeating
+// sequence must represent to qualify as the dominant execution sequence.
+const DefaultCoverage = 0.5
+
+// MinGoodTime estimates the minimum execution time of a "good" skeleton
+// (paper section 3.4): a skeleton is good if it retains at least one full
+// iteration of the application's dominant execution sequence. The dominant
+// sequence is the most-iterated loop (effective iteration count = product
+// of its own and all enclosing loop counts) that still covers at least
+// coverage of the rank's time; a skeleton scaled by K keeps >= 1 iteration
+// of a loop with effective count P iff K <= P, so the minimum good
+// skeleton time is AppTime / P.
+//
+// The returned bound is the largest per-rank minimum, so that every rank
+// keeps a dominant iteration. If some rank has no qualifying loop, its
+// execution has no exploitable cyclic structure and the bound is the full
+// application time.
+func MinGoodTime(sig *signature.Signature, coverage float64) float64 {
+	if coverage <= 0 {
+		coverage = DefaultCoverage
+	}
+	bound := 0.0
+	for r := 0; r < sig.NRanks; r++ {
+		rankTime := sig.RankTime(r)
+		bestP := 0
+		var walk func(seq []signature.Node, outer int)
+		walk = func(seq []signature.Node, outer int) {
+			for _, nd := range seq {
+				l, ok := nd.(*signature.Loop)
+				if !ok {
+					continue
+				}
+				p := outer * l.Count
+				if l.TotalTime()*float64(outer) >= coverage*rankTime && p > bestP {
+					bestP = p
+				}
+				walk(l.Body, p)
+			}
+		}
+		walk(sig.PerRank[r], 1)
+		minR := sig.AppTime
+		if bestP > 0 {
+			minR = sig.AppTime / float64(bestP)
+		}
+		if minR > bound {
+			bound = minR
+		}
+	}
+	return bound
+}

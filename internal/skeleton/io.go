@@ -1,0 +1,127 @@
+package skeleton
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonNode is the serialised form of a program Node: exactly one of Op or
+// Loop is set.
+type jsonNode struct {
+	Op   *Op       `json:"op,omitempty"`
+	Dur  float64   `json:"dur,omitempty"`
+	Loop *jsonLoop `json:"loop,omitempty"`
+}
+
+type jsonLoop struct {
+	Count int        `json:"count"`
+	Body  []jsonNode `json:"body"`
+}
+
+type jsonProgram struct {
+	NRanks      int          `json:"nranks"`
+	K           int          `json:"k"`
+	AppTime     float64      `json:"apptime"`
+	TargetTime  float64      `json:"targettime"`
+	MinGoodTime float64      `json:"mingoodtime"`
+	Good        bool         `json:"good"`
+	PerRank     [][]jsonNode `json:"perrank"`
+}
+
+func encodeSeq(seq []Node) []jsonNode {
+	out := make([]jsonNode, 0, len(seq))
+	for _, nd := range seq {
+		switch x := nd.(type) {
+		case OpNode:
+			op := x.Op
+			out = append(out, jsonNode{Op: &op, Dur: x.Dur})
+		case LoopNode:
+			out = append(out, jsonNode{Loop: &jsonLoop{Count: x.Count, Body: encodeSeq(x.Body)}})
+		}
+	}
+	return out
+}
+
+func decodeSeq(seq []jsonNode) ([]Node, error) {
+	out := make([]Node, 0, len(seq))
+	for i, jn := range seq {
+		switch {
+		case jn.Op != nil && jn.Loop == nil:
+			out = append(out, OpNode{Op: *jn.Op, Dur: jn.Dur})
+		case jn.Loop != nil && jn.Op == nil:
+			if jn.Loop.Count < 0 {
+				return nil, fmt.Errorf("skeleton: negative loop count %d", jn.Loop.Count)
+			}
+			body, err := decodeSeq(jn.Loop.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, LoopNode{Count: jn.Loop.Count, Body: body})
+		default:
+			return nil, fmt.Errorf("skeleton: node %d is neither op nor loop", i)
+		}
+	}
+	return out, nil
+}
+
+// Write serialises the program as JSON.
+func (p *Program) Write(w io.Writer) error {
+	jp := jsonProgram{
+		NRanks: p.NRanks, K: p.K,
+		AppTime: p.AppTime, TargetTime: p.TargetTime,
+		MinGoodTime: p.MinGoodTime, Good: p.Good,
+	}
+	for _, seq := range p.PerRank {
+		jp.PerRank = append(jp.PerRank, encodeSeq(seq))
+	}
+	return json.NewEncoder(w).Encode(jp)
+}
+
+// Read deserialises a program written by Write.
+func Read(r io.Reader) (*Program, error) {
+	var jp jsonProgram
+	if err := json.NewDecoder(r).Decode(&jp); err != nil {
+		return nil, fmt.Errorf("skeleton: decode: %w", err)
+	}
+	if jp.NRanks <= 0 || len(jp.PerRank) != jp.NRanks {
+		return nil, fmt.Errorf("skeleton: %d ranks with %d programs", jp.NRanks, len(jp.PerRank))
+	}
+	p := &Program{
+		NRanks: jp.NRanks, K: jp.K,
+		AppTime: jp.AppTime, TargetTime: jp.TargetTime,
+		MinGoodTime: jp.MinGoodTime, Good: jp.Good,
+	}
+	for _, seq := range jp.PerRank {
+		dec, err := decodeSeq(seq)
+		if err != nil {
+			return nil, err
+		}
+		p.PerRank = append(p.PerRank, dec)
+	}
+	return p, nil
+}
+
+// Save writes the program to a file.
+func (p *Program) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a program from a file.
+func Load(path string) (*Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,294 @@
+package skeleton
+
+import (
+	"math"
+	"testing"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/signature"
+	"perfskel/internal/trace"
+)
+
+func TestTimeScaleShrinksToTimeBudget(t *testing.T) {
+	// A 1 MB op scaled by K=100 under TimeScale: t = L + 1e6/B, bytes' =
+	// (t/100 - L) * B.
+	lat, bw := 50e-6, 125e6
+	op := Op{Kind: mpi.OpSendrecv, Peer: 1, Peer2: 1, Bytes: 1 << 20}
+	scaled, keep := scaleOpts(op, 100, Options{Mode: TimeScale, Latency: lat, Bandwidth: bw}.withDefaults())
+	if !keep {
+		t.Fatal("op dropped although scaled time exceeds latency")
+	}
+	wantT := (lat + float64(op.Bytes)/bw) / 100
+	gotT := lat + float64(scaled.Bytes)/bw
+	if math.Abs(gotT-wantT)/wantT > 0.01 {
+		t.Errorf("scaled op time %v, want %v", gotT, wantT)
+	}
+}
+
+func TestTimeScaleDropsSymmetricLatencyBoundOps(t *testing.T) {
+	// A small collective scaled by a huge K falls below one latency and is
+	// dropped.
+	op := Op{Kind: mpi.OpAllreduce, Peer: mpi.None, Bytes: 8}
+	if _, keep := scaleOpts(op, 1000, Options{Mode: TimeScale}.withDefaults()); keep {
+		t.Error("latency-bound collective not dropped under TimeScale")
+	}
+	// Point-to-point ops must never be dropped (the two ends could decide
+	// differently); they shrink to 1 byte instead.
+	p2p := Op{Kind: mpi.OpSend, Peer: 1, Bytes: 8}
+	scaled, keep := scaleOpts(p2p, 1000, Options{Mode: TimeScale}.withDefaults())
+	if !keep || scaled.Bytes != 1 {
+		t.Errorf("p2p op: keep=%v bytes=%d, want kept at 1 byte", keep, scaled.Bytes)
+	}
+}
+
+func TestByteScaleKeepsEverything(t *testing.T) {
+	op := Op{Kind: mpi.OpAllreduce, Peer: mpi.None, Bytes: 8}
+	scaled, keep := scaleOpts(op, 1000, Options{}.withDefaults())
+	if !keep || scaled.Bytes != 1 {
+		t.Errorf("byte scale: keep=%v bytes=%d", keep, scaled.Bytes)
+	}
+}
+
+func TestTimeScaleSkeletonRunsCloserToTargetUnderLatency(t *testing.T) {
+	// A signature whose unreduced part holds 90 latency-bound allreduces
+	// (no loop structure, so step 1 cannot reduce them) scaled by K=100:
+	// byte scaling keeps all 90 at 1 byte — 90 un-scalable latencies —
+	// while time scaling drops them, landing near the target.
+	comp := &signature.Cluster{ID: 0, Op: mpi.OpCompute, Peer: mpi.None, Peer2: mpi.None, Duration: 1.0, Count: 1}
+	ar := &signature.Cluster{ID: 1, Op: mpi.OpAllreduce, Peer: mpi.None, Peer2: mpi.None, Bytes: 64, Duration: 2e-4, Count: 90}
+	seq := []signature.Node{signature.Leaf{C: comp}}
+	for i := 0; i < 90; i++ {
+		seq = append(seq, signature.Leaf{C: ar})
+	}
+	appTime := 1.0 + 90*2e-4
+	sig := &signature.Signature{
+		NRanks: 2, AppTime: appTime,
+		PerRank:  [][]signature.Node{seq, seq},
+		Clusters: []*signature.Cluster{comp, ar},
+	}
+	const k = 100
+	run := func(opts Options) float64 {
+		p, err := BuildOpts(sig, k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := cluster.Build(cluster.Testbed(2), cluster.Dedicated())
+		d, err := Run(p, cl, freeCfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	target := appTime / k
+	byteT := run(Options{Mode: ByteScale})
+	timeT := run(Options{Mode: TimeScale})
+	if math.Abs(timeT-target) >= math.Abs(byteT-target) {
+		t.Errorf("time scaling (%v) not closer to target %v than byte scaling (%v)", timeT, target, byteT)
+	}
+	if byteT < target*1.3 {
+		t.Errorf("byte scaling %v does not exhibit the latency overshoot (target %v)", byteT, target)
+	}
+}
+
+func TestSpreadComputeAttachesQuantiles(t *testing.T) {
+	// Compute durations alternate between two levels; with SpreadCompute
+	// the skeleton op carries a distribution spanning them.
+	app := func(c *mpi.Comm) {
+		peer := 1 - c.Rank()
+		for i := 0; i < 40; i++ {
+			if i%2 == 0 {
+				c.Compute(0.010)
+			} else {
+				c.Compute(0.014)
+			}
+			c.Sendrecv(peer, 1000, peer, 1)
+		}
+	}
+	// A high threshold merges both compute levels into one cluster.
+	cl := cluster.Build(cluster.Testbed(2), cluster.Dedicated())
+	sig := traceAndSignThreshold(t, cl, app, 0.5)
+	p, err := BuildOpts(sig, 4, Options{SpreadCompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	scan(p, func(op Op) {
+		if op.Kind == mpi.OpCompute && len(op.Dist) > 1 {
+			lo, hi := op.Dist[0], op.Dist[len(op.Dist)-1]
+			if lo < 0.011 && hi > 0.013 {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Errorf("no compute op carries the bimodal duration distribution: %s", p)
+	}
+}
+
+func TestSpreadComputePreservesMeanWork(t *testing.T) {
+	// The quantile distribution's mean must match the cluster mean: the
+	// spread skeleton reproduces variability without changing total work.
+	app := func(c *mpi.Comm) {
+		peer := 1 - c.Rank()
+		for i := 0; i < 60; i++ {
+			c.Compute(0.010 + 0.004*float64(i%3))
+			c.Sendrecv(peer, 1000, peer, 1)
+		}
+	}
+	cl := cluster.Build(cluster.Testbed(2), cluster.Dedicated())
+	sig := traceAndSignThreshold(t, cl, app, 0.5)
+	spread, err := BuildOpts(sig, 6, Options{SpreadCompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	scan(spread, func(op Op) {
+		if op.Kind != mpi.OpCompute || len(op.Dist) == 0 {
+			return
+		}
+		sum := 0.0
+		for _, d := range op.Dist {
+			sum += d
+		}
+		m := sum / float64(len(op.Dist))
+		if math.Abs(m-op.Work)/op.Work > 0.05 {
+			t.Errorf("distribution mean %v deviates from cluster mean %v", m, op.Work)
+		}
+		checked++
+	})
+	if checked == 0 {
+		t.Error("no compute op carried a distribution")
+	}
+}
+
+func TestSpreadComputeImprovesUnbalancedPrediction(t *testing.T) {
+	// Ranks alternate light/heavy computation out of phase, synchronising
+	// every iteration: under unbalanced CPU sharing the application's
+	// slowdown depends on the duration distribution, which the mean-based
+	// skeleton misses (the paper's explanation of its unbalanced-scenario
+	// error, section 4.4).
+	app := func(c *mpi.Comm) {
+		for i := 0; i < 120; i++ {
+			if (i+c.Rank())%2 == 0 {
+				c.Compute(0.05)
+			} else {
+				c.Compute(0.15)
+			}
+			c.Barrier()
+		}
+	}
+	cl := cluster.Build(cluster.Testbed(2), cluster.Dedicated())
+	sig := traceAndSignThreshold(t, cl, app, 0.9) // merge both levels
+	appDed, err := mpi.Run(cluster.Build(cluster.Testbed(2), cluster.Dedicated()), 2, freeCfg, nil, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appShared, err := mpi.Run(cluster.Build(cluster.Testbed(2), cluster.CPUOneNode()), 2, freeCfg, nil, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errOf := func(opts Options) float64 {
+		p, err := BuildOpts(sig, 10, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ded, err := Run(p, cluster.Build(cluster.Testbed(2), cluster.Dedicated()), freeCfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := Run(p, cluster.Build(cluster.Testbed(2), cluster.CPUOneNode()), freeCfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := sh * appDed / ded
+		return math.Abs(pred-appShared) / appShared
+	}
+	meanErr := errOf(Options{})
+	spreadErr := errOf(Options{SpreadCompute: true})
+	if spreadErr >= meanErr {
+		t.Errorf("spread error %.3f not below mean error %.3f for unbalanced scenario", spreadErr, meanErr)
+	}
+	if meanErr < 0.05 {
+		t.Errorf("mean-based error %.3f too small; test workload not discriminating", meanErr)
+	}
+}
+
+// traceAndSignThreshold traces app on cl and compresses at a fixed
+// threshold.
+func traceAndSignThreshold(t *testing.T, cl *cluster.Cluster, app mpi.App, thr float64) *signature.Signature {
+	t.Helper()
+	rec := trace.NewRecorder(cl.Nodes())
+	dur, err := mpi.Run(cl, cl.Nodes(), freeCfg, rec, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := signature.Build(rec.Finish(dur), signature.Options{InitialThreshold: thr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig
+}
+
+func TestRescaleRingSkeleton(t *testing.T) {
+	// A ring-pattern skeleton built at 4 ranks reruns at 8 ranks.
+	app := func(c *mpi.Comm) {
+		n, r := c.Size(), c.Rank()
+		next, prev := (r+1)%n, (r-1+n)%n
+		for i := 0; i < 30; i++ {
+			c.Compute(0.01)
+			c.Sendrecv(next, 50000, prev, 1)
+			c.Allreduce(8)
+		}
+	}
+	sig := traceAndSign(t, 4, 5, app)
+	p, err := Build(sig, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := Rescale(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p8.NRanks != 8 || len(p8.PerRank) != 8 {
+		t.Fatalf("rescaled program has %d ranks", p8.NRanks)
+	}
+	cl := cluster.Build(cluster.Testbed(8), cluster.Dedicated())
+	d8, err := Run(p8, cl, freeCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weak scaling: the rescaled skeleton's time stays in the same ballpark
+	// (collectives get slightly more expensive).
+	cl4 := cluster.Build(cluster.Testbed(4), cluster.Dedicated())
+	d4, err := Run(p, cl4, freeCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d8 < d4*0.8 || d8 > d4*1.5 {
+		t.Errorf("rescaled skeleton ran %v vs original %v", d8, d4)
+	}
+}
+
+func TestRescaleIdentityAndErrors(t *testing.T) {
+	sig := traceAndSign(t, 2, 5, iterApp)
+	p, err := Build(sig, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := Rescale(p, 2)
+	if err != nil || same != p {
+		t.Errorf("identity rescale: %v, %v", same, err)
+	}
+	if _, err := Rescale(p, 0); err == nil {
+		t.Error("want error for zero ranks")
+	}
+	// A rank-dependent program cannot be rescaled.
+	asym := &Program{NRanks: 2, K: 1, PerRank: [][]Node{
+		{OpNode{Op: Op{Kind: mpi.OpCompute, Work: 1}}},
+		{OpNode{Op: Op{Kind: mpi.OpCompute, Work: 2}}},
+	}}
+	if _, err := Rescale(asym, 4); err == nil {
+		t.Error("want error for rank-dependent program")
+	}
+}

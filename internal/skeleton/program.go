@@ -1,0 +1,149 @@
+// Package skeleton generates performance skeletons from execution
+// signatures (paper section 3.3): the signature's loop structure is scaled
+// down by a factor K — loop counts divided, remainders unrolled, groups of
+// K identical unreduced operations collapsed, leftovers scaled by
+// parameter adjustment — and the result is an executable synthetic program
+// whose execution time is approximately 1/K of the application's in any
+// resource-sharing scenario. The package also estimates the shortest
+// "good" skeleton (section 3.4) and emits C/MPI and Go source code for the
+// skeleton program.
+package skeleton
+
+import (
+	"fmt"
+	"strings"
+
+	"perfskel/internal/mpi"
+)
+
+// Op is one synthetic skeleton operation. The struct is comparable;
+// identical operations (as required by the group-of-K rule) are exactly
+// the equal values.
+type Op struct {
+	Kind  mpi.Op
+	Sub   mpi.Op // for waits: kind of request to wait for
+	Peer  int
+	Peer2 int
+	Tag   int
+	Bytes int64
+	Byte2 int64
+	Work  float64 // compute: dedicated-CPU seconds
+	// Dist, when non-empty, holds duration quantiles a compute operation
+	// cycles through per loop iteration instead of using Work (the
+	// SpreadCompute option); the group-of-K identity ignores it.
+	Dist []float64 `json:",omitempty"`
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case mpi.OpCompute:
+		return fmt.Sprintf("compute(%.6fs)", o.Work)
+	case mpi.OpSendrecv:
+		return fmt.Sprintf("%v(dst=%d,src=%d,bytes=%d)", o.Kind, o.Peer, o.Peer2, o.Bytes)
+	default:
+		return fmt.Sprintf("%v(peer=%d,bytes=%d)", o.Kind, o.Peer, o.Bytes)
+	}
+}
+
+// Node is a skeleton program element: an OpNode or a LoopNode.
+type Node interface {
+	// Time returns the represented dedicated-run time of the node using
+	// the signature's measured durations.
+	Time() float64
+	fmt.Stringer
+}
+
+// OpNode is a single operation occurrence.
+type OpNode struct {
+	Op Op
+	// Dur is the operation's expected dedicated-testbed duration (from the
+	// signature centroid), used for size accounting only; execution
+	// regenerates real costs.
+	Dur float64
+}
+
+// Time implements Node.
+func (o OpNode) Time() float64 { return o.Dur }
+
+func (o OpNode) String() string { return o.Op.String() }
+
+// LoopNode repeats Body Count times.
+type LoopNode struct {
+	Count int
+	Body  []Node
+}
+
+// Time implements Node.
+func (l LoopNode) Time() float64 {
+	t := 0.0
+	for _, n := range l.Body {
+		t += n.Time()
+	}
+	return t * float64(l.Count)
+}
+
+func (l LoopNode) String() string {
+	parts := make([]string, len(l.Body))
+	for i, n := range l.Body {
+		parts[i] = n.String()
+	}
+	return fmt.Sprintf("[%s]x%d", strings.Join(parts, " "), l.Count)
+}
+
+// Program is a complete performance skeleton: one operation tree per rank.
+type Program struct {
+	NRanks     int
+	K          int     // scaling factor applied
+	AppTime    float64 // the traced application's dedicated execution time
+	TargetTime float64 // intended skeleton time = AppTime / K
+	// MinGoodTime is the framework's estimate of the shortest skeleton
+	// that still predicts well (one full dominant-sequence iteration).
+	MinGoodTime float64
+	// Good is false when TargetTime < MinGoodTime; the framework's
+	// "warning" of section 3.4.
+	Good    bool
+	PerRank [][]Node
+}
+
+// ExpectedTime returns the skeleton's expected dedicated execution time
+// for rank r, from the signature's measured durations.
+func (p *Program) ExpectedTime(r int) float64 {
+	t := 0.0
+	for _, n := range p.PerRank[r] {
+		t += n.Time()
+	}
+	return t
+}
+
+// Ops returns the total operation count of rank r's program with loops
+// expanded (the skeleton's dynamic length).
+func (p *Program) Ops(r int) int {
+	var count func(seq []Node) int
+	count = func(seq []Node) int {
+		n := 0
+		for _, nd := range seq {
+			switch x := nd.(type) {
+			case OpNode:
+				n++
+			case LoopNode:
+				n += x.Count * count(x.Body)
+			}
+		}
+		return n
+	}
+	return count(p.PerRank[r])
+}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "skeleton: K=%d target=%.3fs (app %.3fs, min good %.3fs, good=%v)\n",
+		p.K, p.TargetTime, p.AppTime, p.MinGoodTime, p.Good)
+	for r, seq := range p.PerRank {
+		fmt.Fprintf(&b, "rank %d:", r)
+		for _, n := range seq {
+			fmt.Fprintf(&b, " %s", n)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

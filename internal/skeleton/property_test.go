@@ -1,0 +1,146 @@
+package skeleton
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/signature"
+	"perfskel/internal/trace"
+)
+
+// randLoopApp generates a random symmetric iterative program: a loop of
+// random body steps (the cyclic structure real applications have) with a
+// random prologue. Skeletons of such programs must build, run and scale.
+func randLoopApp(rng *rand.Rand, n int) mpi.App {
+	iters := 20 + rng.Intn(60)
+	type step struct {
+		kind  int
+		bytes int64
+		off   int
+		work  float64
+	}
+	body := make([]step, 1+rng.Intn(5))
+	for i := range body {
+		body[i] = step{
+			kind:  rng.Intn(4),
+			bytes: 1 << (6 + rng.Intn(14)),
+			off:   1 + rng.Intn(n-1),
+			work:  0.001 + rng.Float64()*0.02,
+		}
+	}
+	prologueWork := rng.Float64() * 0.05
+	return func(c *mpi.Comm) {
+		r := c.Rank()
+		c.Compute(prologueWork)
+		for it := 0; it < iters; it++ {
+			for i, s := range body {
+				switch s.kind {
+				case 0:
+					c.Compute(s.work)
+				case 1:
+					c.Sendrecv((r+s.off)%n, s.bytes, (r-s.off+n)%n, i)
+				case 2:
+					c.Allreduce(s.bytes % 2048)
+				case 3:
+					sr := c.Isend((r+s.off)%n, 100+i, s.bytes)
+					rr := c.Irecv((r-s.off+n)%n, 100+i)
+					c.Waitall(sr, rr)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinePropertyRandomPrograms: for random iterative programs, the
+// full trace -> signature -> skeleton pipeline produces runnable skeletons
+// whose dedicated time is within a factor of two of AppTime/K.
+func TestPipelinePropertyRandomPrograms(t *testing.T) {
+	const ranks = 4
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		app := randLoopApp(rng, ranks)
+
+		cl := cluster.Build(cluster.Testbed(ranks), cluster.Dedicated())
+		rec := trace.NewRecorder(ranks)
+		appTime, err := mpi.Run(cl, ranks, mpi.Config{}, rec, app)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr := rec.Finish(appTime)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		k := 2 + rng.Intn(10)
+		sig, err := signature.Build(tr, signature.Options{TargetRatio: float64(k) / 2})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Signature sanity: represented time matches the trace.
+		for r := 0; r < ranks; r++ {
+			if got := sig.RankTime(r); math.Abs(got-appTime)/appTime > 0.05 {
+				t.Errorf("seed %d rank %d: signature time %v vs app %v", seed, r, got, appTime)
+			}
+		}
+		prog, err := Build(sig, k)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		clS := cluster.Build(cluster.Testbed(ranks), cluster.Dedicated())
+		skelTime, err := Run(prog, clS, mpi.Config{}, nil)
+		if err != nil {
+			t.Fatalf("seed %d: skeleton run: %v", seed, err)
+		}
+		// Factor-of-two around the target, plus a few milliseconds of
+		// absolute slack: very short programs are dominated by per-message
+		// latency floors that no scaling can reduce.
+		target := appTime / float64(k)
+		if skelTime < target/2-0.003 || skelTime > target*2+0.003 {
+			t.Errorf("seed %d: skeleton ran %v, target %v (K=%d)", seed, skelTime, target, k)
+		}
+	}
+}
+
+// TestPipelinePropertySlowdownTracking: random programs' skeletons track
+// the application's slowdown under CPU sharing within 15%.
+func TestPipelinePropertySlowdownTracking(t *testing.T) {
+	const ranks = 4
+	for seed := int64(50); seed < 58; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		app := randLoopApp(rng, ranks)
+
+		rec := trace.NewRecorder(ranks)
+		appDed, err := mpi.Run(cluster.Build(cluster.Testbed(ranks), cluster.Dedicated()), ranks, mpi.Config{}, rec, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, err := signature.Build(rec.Finish(appDed), signature.Options{TargetRatio: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := Build(sig, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := cluster.CPUAllNodes(ranks)
+		appShared, err := mpi.Run(cluster.Build(cluster.Testbed(ranks), sc), ranks, mpi.Config{}, nil, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		skelDed, err := Run(prog, cluster.Build(cluster.Testbed(ranks), cluster.Dedicated()), mpi.Config{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		skelShared, err := Run(prog, cluster.Build(cluster.Testbed(ranks), sc), mpi.Config{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		appSlow := appShared / appDed
+		skelSlow := skelShared / skelDed
+		if math.Abs(appSlow-skelSlow)/appSlow > 0.15 {
+			t.Errorf("seed %d: app slowdown %.3f vs skeleton %.3f", seed, appSlow, skelSlow)
+		}
+	}
+}

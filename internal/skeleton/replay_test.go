@@ -1,0 +1,102 @@
+package skeleton
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/nas"
+	"perfskel/internal/trace"
+)
+
+// TestUnscaledSkeletonReplaysApplication is the cost-model round trip: a
+// K=1 skeleton is a replay of the compressed trace, so its execution time
+// must reproduce the application's within a couple of percent — on the
+// dedicated testbed and under every sharing scenario. This validates that
+// trace, signature and executor share one consistent cost model.
+func TestUnscaledSkeletonReplaysApplication(t *testing.T) {
+	for _, name := range []string{"MG", "IS", "CG"} {
+		app, err := nas.App(name, nas.ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := cluster.Build(cluster.Testbed(4), cluster.Dedicated())
+		rec := trace.NewRecorder(4)
+		appDed, err := mpi.Run(cl, 4, mpi.Config{}, rec, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, _, err := BuildFromTrace(rec.Finish(appDed), 1, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		scenarios := append([]cluster.Scenario{cluster.Dedicated()}, cluster.PaperScenarios(4)...)
+		for _, sc := range scenarios {
+			clA := cluster.Build(cluster.Testbed(4), sc)
+			appT, err := mpi.Run(clA, 4, mpi.Config{}, nil, app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clS := cluster.Build(cluster.Testbed(4), sc)
+			skelT, err := Run(prog, clS, mpi.Config{}, nil)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, sc.Name, err)
+			}
+			if rel := math.Abs(skelT-appT) / appT; rel > 0.05 {
+				t.Errorf("%s %s: K=1 replay %v vs app %v (%.1f%% off)",
+					name, sc.Name, skelT, appT, 100*rel)
+			}
+		}
+	}
+}
+
+// TestBuildFromTraceRobustToAdversarialJitter: applications whose compute
+// durations vary strongly and differently per rank are exactly what makes
+// naive clustering split event classes inconsistently across ranks. For
+// any such program, BuildFromTrace must either produce a skeleton that
+// runs to completion or refuse loudly — never emit one that deadlocks.
+func TestBuildFromTraceRobustToAdversarialJitter(t *testing.T) {
+	const ranks = 4
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		iters := 15 + rng.Intn(30)
+		base := 0.002 + rng.Float64()*0.01
+		spread := 0.3 + rng.Float64()*0.5 // up to +/-80% variation
+		msg := int64(1 << (8 + rng.Intn(12)))
+		perRank := make([][]float64, ranks)
+		for r := range perRank {
+			perRank[r] = make([]float64, iters)
+			for i := range perRank[r] {
+				perRank[r][i] = base * (1 + spread*(2*rng.Float64()-1))
+			}
+		}
+		app := func(c *mpi.Comm) {
+			n, r := c.Size(), c.Rank()
+			for i := 0; i < iters; i++ {
+				c.Compute(perRank[r][i])
+				c.Sendrecv((r+1)%n, msg, (r-1+n)%n, 1)
+				c.Allreduce(8)
+			}
+		}
+		cl := cluster.Build(cluster.Testbed(ranks), cluster.Dedicated())
+		rec := trace.NewRecorder(ranks)
+		dur, err := mpi.Run(cl, ranks, mpi.Config{}, rec, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 2 + rng.Intn(8)
+		prog, _, err := BuildFromTrace(rec.Finish(dur), k, Options{})
+		if err != nil {
+			// A loud refusal is acceptable; silence followed by deadlock
+			// is not.
+			continue
+		}
+		clS := cluster.Build(cluster.Testbed(ranks), cluster.Dedicated())
+		clS.Engine.MaxVirtualTime = dur*10 + 10
+		if _, err := Run(prog, clS, mpi.Config{}, nil); err != nil {
+			t.Errorf("seed %d (K=%d): consistent-by-construction skeleton failed: %v", seed, k, err)
+		}
+	}
+}

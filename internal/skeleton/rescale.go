@@ -1,0 +1,215 @@
+package skeleton
+
+import (
+	"fmt"
+
+	"perfskel/internal/mpi"
+)
+
+// Rescale retargets a skeleton built from an n-rank trace to run on m
+// ranks, addressing the paper's stated extension of scaling predictions
+// across different numbers of processors (section 5). The transformation
+// assumes weak scaling (per-rank work and message sizes unchanged) and an
+// SPMD program whose ranks differ only in their communication partners:
+//
+//   - point-to-point peers are interpreted as ring offsets (peer - rank
+//     mod n) and re-instantiated as (rank' + offset mod m);
+//   - collective roots are kept absolute (mod m);
+//   - every rank's program must be identical after offset normalisation,
+//     otherwise the program's structure is rank-dependent (e.g. the LU
+//     wavefront's grid corners) and Rescale refuses rather than emit a
+//     skeleton that could deadlock.
+func Rescale(p *Program, m int) (*Program, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("skeleton: rescale to %d ranks", m)
+	}
+	if p.NRanks == m {
+		return p, nil
+	}
+	// Normalise every rank's program to offset form and require agreement.
+	ref, err := normalizeSeq(p.PerRank[0], 0, p.NRanks)
+	if err != nil {
+		return nil, err
+	}
+	for r := 1; r < p.NRanks; r++ {
+		nr, err := normalizeSeq(p.PerRank[r], r, p.NRanks)
+		if err != nil {
+			return nil, err
+		}
+		if !sameSkeletonSeq(ref, nr) {
+			return nil, fmt.Errorf("skeleton: rank %d's program is not a peer-shifted copy of rank 0's; cannot rescale rank-dependent structure", r)
+		}
+	}
+	out := &Program{
+		NRanks: m, K: p.K,
+		AppTime: p.AppTime, TargetTime: p.TargetTime,
+		MinGoodTime: p.MinGoodTime, Good: p.Good,
+	}
+	for r := 0; r < m; r++ {
+		seq, err := instantiateSeq(ref, r, m)
+		if err != nil {
+			return nil, err
+		}
+		out.PerRank = append(out.PerRank, seq)
+	}
+	return out, nil
+}
+
+// offsetNone marks an absent peer in normalised form.
+const offsetNone = 1 << 30
+
+// normalizeSeq rewrites peers as ring offsets relative to rank.
+func normalizeSeq(seq []Node, rank, n int) ([]Node, error) {
+	out := make([]Node, 0, len(seq))
+	for _, nd := range seq {
+		switch x := nd.(type) {
+		case OpNode:
+			op := x.Op
+			np, err := normalizePeer(op.Kind, op.Peer, rank, n, recvSide(op, false))
+			if err != nil {
+				return nil, err
+			}
+			op.Peer = np
+			if op.Kind == mpi.OpSendrecv {
+				np2, err := normalizePeer(op.Kind, op.Peer2, rank, n, true)
+				if err != nil {
+					return nil, err
+				}
+				op.Peer2 = np2
+			}
+			out = append(out, OpNode{Op: op, Dur: x.Dur})
+		case LoopNode:
+			body, err := normalizeSeq(x.Body, rank, n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, LoopNode{Count: x.Count, Body: body})
+		}
+	}
+	return out, nil
+}
+
+// recvSide reports whether the op's primary peer is a receive source.
+func recvSide(op Op, peer2 bool) bool {
+	if peer2 {
+		return true
+	}
+	switch op.Kind {
+	case mpi.OpRecv, mpi.OpIrecv:
+		return true
+	case mpi.OpWait:
+		return op.Sub == mpi.OpIrecv
+	}
+	return false
+}
+
+func normalizePeer(kind mpi.Op, peer, rank, n int, recv bool) (int, error) {
+	switch {
+	case peer == mpi.None:
+		return offsetNone, nil
+	case peer == mpi.AnySource:
+		return mpi.AnySource, nil
+	case kind.IsCollective():
+		return peer, nil // roots stay absolute
+	case peer < 0 || peer >= n:
+		return 0, fmt.Errorf("skeleton: peer %d out of %d-rank world", peer, n)
+	default:
+		// Signed ring offset: distances are preserved under rescaling, so
+		// offsets above n/2 are interpreted as negative (a left neighbour
+		// at n=4 is offset -1, not +3, when moving to n=8). The ambiguous
+		// half-ring offset n/2 resolves by direction: a send at +n/2 pairs
+		// with a receive at -n/2, keeping the two sides matched at every
+		// world size.
+		o := (peer - rank + n) % n
+		if o > n/2 || (recv && o == n/2) {
+			o -= n
+		}
+		return o, nil
+	}
+}
+
+// instantiateSeq converts offset form back to absolute peers for rank of
+// an m-rank world.
+func instantiateSeq(seq []Node, rank, m int) ([]Node, error) {
+	out := make([]Node, 0, len(seq))
+	for _, nd := range seq {
+		switch x := nd.(type) {
+		case OpNode:
+			op := x.Op
+			op.Peer = instantiatePeer(op.Kind, op.Peer, rank, m)
+			if op.Kind == mpi.OpSendrecv {
+				op.Peer2 = instantiatePeer(op.Kind, op.Peer2, rank, m)
+			}
+			out = append(out, OpNode{Op: op, Dur: x.Dur})
+		case LoopNode:
+			body, err := instantiateSeq(x.Body, rank, m)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, LoopNode{Count: x.Count, Body: body})
+		}
+	}
+	return out, nil
+}
+
+func instantiatePeer(kind mpi.Op, peer, rank, m int) int {
+	switch {
+	case peer == offsetNone:
+		return mpi.None
+	case peer == mpi.AnySource:
+		return mpi.AnySource
+	case kind.IsCollective():
+		return peer % m
+	default:
+		return ((rank+peer)%m + m) % m
+	}
+}
+
+// sameSkeletonSeq compares two skeleton sequences: structure (op kinds,
+// peers, tags, loop counts) must match exactly; magnitudes (compute work,
+// byte counts) only within a small relative tolerance, because per-rank
+// cluster centroids of the same phase differ slightly under natural
+// jitter. The instantiated program uses rank 0's magnitudes.
+func sameSkeletonSeq(a, b []Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		switch x := a[i].(type) {
+		case OpNode:
+			y, ok := b[i].(OpNode)
+			if !ok || !approxSameOp(x.Op, y.Op) {
+				return false
+			}
+		case LoopNode:
+			y, ok := b[i].(LoopNode)
+			if !ok || x.Count != y.Count || !sameSkeletonSeq(x.Body, y.Body) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// rescaleTolerance is the relative magnitude slack sameSkeletonSeq allows.
+const rescaleTolerance = 0.05
+
+func approxSameOp(a, b Op) bool {
+	if a.Kind != b.Kind || a.Sub != b.Sub || a.Peer != b.Peer || a.Peer2 != b.Peer2 || a.Tag != b.Tag {
+		return false
+	}
+	return approx(a.Work, b.Work) && approx(float64(a.Bytes), float64(b.Bytes)) &&
+		approx(float64(a.Byte2), float64(b.Byte2))
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d <= rescaleTolerance*m
+}

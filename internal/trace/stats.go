@@ -1,0 +1,45 @@
+package trace
+
+import "perfskel/internal/mpi"
+
+// Stats summarises where a traced execution spent its time, the measure
+// behind the paper's Figure 2 (percentage of time in MPI operations vs
+// other computation).
+type Stats struct {
+	ComputeTime float64 // summed across ranks, seconds
+	MPITime     float64 // summed across ranks, seconds
+	ComputeFrac float64 // fraction of total rank-time in computation
+	MPIFrac     float64 // fraction of total rank-time in MPI operations
+	OpCounts    map[mpi.Op]int
+	OpTime      map[mpi.Op]float64
+	Events      int
+}
+
+// Stats computes time-breakdown statistics for the trace. Fractions are of
+// total rank-time (NRanks x AppTime); any residue not covered by events
+// (sub-nanosecond gaps) is ignored.
+func (t *Trace) Stats() Stats {
+	s := Stats{
+		OpCounts: make(map[mpi.Op]int),
+		OpTime:   make(map[mpi.Op]float64),
+	}
+	for _, evs := range t.Events {
+		for _, e := range evs {
+			d := e.Duration()
+			s.OpCounts[e.Op]++
+			s.OpTime[e.Op] += d
+			if e.IsCompute() {
+				s.ComputeTime += d
+			} else {
+				s.MPITime += d
+			}
+			s.Events++
+		}
+	}
+	total := float64(t.NRanks) * t.AppTime
+	if total > 0 {
+		s.ComputeFrac = s.ComputeTime / total
+		s.MPIFrac = s.MPITime / total
+	}
+	return s
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"perfskel/internal/mpi"
+)
+
+// Timeline renders a text Gantt chart of the trace: one row per rank over
+// width time buckets, each cell showing the bucket's dominant activity:
+//
+//	# computation   M MPI operation   . idle / untraced
+//
+// It is the quick visual check that a skeleton's activity pattern mirrors
+// its application's.
+func (t *Trace) Timeline(width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if t.AppTime <= 0 {
+		return "(empty trace)\n"
+	}
+	dt := t.AppTime / float64(width)
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %.6f s total, %.6f s per column ('#' compute, 'M' MPI, '.' idle)\n",
+		t.AppTime, dt)
+	for r, evs := range t.Events {
+		comp := make([]float64, width)
+		comm := make([]float64, width)
+		for _, e := range evs {
+			// Spread the event's duration over the buckets it covers.
+			lo := int(e.Start / dt)
+			hi := int(e.End / dt)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				bs := float64(i) * dt
+				be := bs + dt
+				overlap := min64(e.End, be) - max64(e.Start, bs)
+				if overlap <= 0 {
+					continue
+				}
+				if e.IsCompute() {
+					comp[i] += overlap
+				} else {
+					comm[i] += overlap
+				}
+			}
+		}
+		fmt.Fprintf(&b, "rank %2d |", r)
+		for i := 0; i < width; i++ {
+			switch {
+			case comp[i] >= comm[i] && comp[i] > dt/4:
+				b.WriteByte('#')
+			case comm[i] > dt/4:
+				b.WriteByte('M')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Summary renders the trace's statistics as an aligned per-operation
+// table, plus the overall compute/MPI split.
+func (t *Trace) Summary() string {
+	s := t.Stats()
+	type row struct {
+		op    mpi.Op
+		count int
+		time  float64
+	}
+	rows := make([]row, 0, len(s.OpCounts))
+	for op, n := range s.OpCounts {
+		rows = append(rows, row{op: op, count: n, time: s.OpTime[op]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].time > rows[j].time })
+	total := float64(t.NRanks) * t.AppTime
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d ranks, %.6f s parallel time, %d events\n", t.NRanks, t.AppTime, t.Len())
+	fmt.Fprintf(&b, "computation %.1f%%, MPI %.1f%% of total rank-time\n\n",
+		100*s.ComputeFrac, 100*s.MPIFrac)
+	fmt.Fprintf(&b, "%-14s %10s %14s %8s\n", "operation", "count", "time (s)", "%")
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * r.time / total
+		}
+		fmt.Fprintf(&b, "%-14v %10d %14.6f %7.1f%%\n", r.op, r.count, r.time, pct)
+	}
+	return b.String()
+}

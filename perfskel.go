@@ -1,0 +1,307 @@
+// Package perfskel automatically constructs and evaluates performance
+// skeletons of message-passing programs, reproducing Sodhi & Subhlok,
+// "Automatic Construction and Evaluation of Performance Skeletons"
+// (IPPS 2005).
+//
+// A performance skeleton is a short-running synthetic program whose
+// execution time under any resource-sharing scenario reflects the
+// execution time of the application it represents: running the skeleton
+// for a second or two predicts what the full application would take. The
+// pipeline is
+//
+//	trace -> execution signature -> performance skeleton -> prediction
+//
+// Programs run on a simulated cluster testbed (virtual time, processor-
+// sharing CPUs, max-min fair links) against an MPI-like runtime, so the
+// whole pipeline is deterministic and needs no real cluster.
+//
+// # Quickstart
+//
+//	env := perfskel.NewTestbed(4, perfskel.Dedicated())
+//	app, _ := perfskel.NASApp("CG", perfskel.ClassB)
+//	tr, appTime, _ := env.Trace(4, app)
+//
+//	sig, _ := perfskel.BuildSignature(tr, 10)          // compression ratio Q
+//	skel, _ := perfskel.BuildSkeletonForTime(sig, 5.0) // a 5-second skeleton
+//
+//	ded, _ := perfskel.NewTestbed(4, perfskel.Dedicated()).RunSkeleton(skel)
+//	shared := perfskel.NewTestbed(4, perfskel.CPUOneNode())
+//	t, _ := shared.RunSkeleton(skel)
+//	predicted := perfskel.PredictTime(appTime, ded, t)
+package perfskel
+
+import (
+	"fmt"
+	"math"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/gridsel"
+	"perfskel/internal/mpi"
+	"perfskel/internal/nas"
+	"perfskel/internal/predict"
+	"perfskel/internal/signature"
+	"perfskel/internal/skeleton"
+	"perfskel/internal/trace"
+)
+
+// Re-exported core types. Comm is the MPI-like per-rank handle application
+// code runs against; Trace, Signature and Skeleton are the pipeline's
+// intermediate artefacts.
+type (
+	// Comm is a rank's communicator: the MPI-subset API (Send, Recv,
+	// Isend, Irecv, Wait, collectives, Compute).
+	Comm = mpi.Comm
+	// App is a per-rank program body.
+	App = mpi.App
+	// Op identifies an operation kind in traces and skeletons.
+	Op = mpi.Op
+	// Request is a non-blocking operation handle.
+	Request = mpi.Request
+	// Status describes a completed receive.
+	Status = mpi.Status
+	// Trace is a recorded execution trace.
+	Trace = trace.Trace
+	// TraceEvent is one trace entry.
+	TraceEvent = trace.Event
+	// Signature is a compressed execution signature.
+	Signature = signature.Signature
+	// SignatureOptions tunes signature construction.
+	SignatureOptions = signature.Options
+	// Skeleton is an executable performance skeleton program.
+	Skeleton = skeleton.Program
+	// Scenario is a resource-sharing configuration.
+	Scenario = cluster.Scenario
+	// Topology describes a simulated cluster.
+	Topology = cluster.Topology
+	// MPIConfig tunes the message-passing runtime's cost model.
+	MPIConfig = mpi.Config
+	// Class selects a NAS problem class.
+	Class = nas.Class
+)
+
+// NAS problem classes.
+const (
+	ClassS = nas.ClassS
+	ClassW = nas.ClassW
+	ClassA = nas.ClassA
+	ClassB = nas.ClassB
+)
+
+// Receive wildcards.
+const (
+	AnySource = mpi.AnySource
+	AnyTag    = mpi.AnyTag
+)
+
+// The paper's resource-sharing scenarios.
+var (
+	// Dedicated is the unshared baseline.
+	Dedicated = cluster.Dedicated
+	// CPUOneNode adds two competing compute processes on one node.
+	CPUOneNode = cluster.CPUOneNode
+	// CPUAllNodes adds two competing compute processes on every node.
+	CPUAllNodes = cluster.CPUAllNodes
+	// NetOneLink shapes one link to 10 Mbps.
+	NetOneLink = cluster.NetOneLink
+	// NetAllLinks shapes every link to 10 Mbps.
+	NetAllLinks = cluster.NetAllLinks
+	// Combined is CPUOneNode plus NetOneLink.
+	Combined = cluster.Combined
+	// PaperScenarios returns the paper's five scenarios in order.
+	PaperScenarios = cluster.PaperScenarios
+)
+
+// Env is a simulated execution environment: a cluster topology under a
+// resource-sharing scenario. Each Run builds a fresh simulation, so an Env
+// is reusable and safe for repeated measurements.
+type Env struct {
+	Topo Topology
+	Sc   Scenario
+	// MPI tunes the runtime cost model; the zero value uses defaults.
+	MPI MPIConfig
+}
+
+// NewTestbed returns the paper's testbed — n dual-CPU nodes on Gigabit
+// Ethernet — under the given scenario.
+func NewTestbed(n int, sc Scenario) *Env {
+	return &Env{Topo: cluster.Testbed(n), Sc: sc}
+}
+
+// NewEnv returns an environment with a custom topology.
+func NewEnv(topo Topology, sc Scenario) *Env { return &Env{Topo: topo, Sc: sc} }
+
+// Run executes app as nranks ranks and returns the parallel execution
+// time in virtual seconds.
+func (e *Env) Run(nranks int, app App) (float64, error) {
+	cl := cluster.Build(e.Topo, e.Sc)
+	return mpi.Run(cl, nranks, e.MPI, nil, app)
+}
+
+// Trace executes app and records its execution trace (the paper's
+// profiling-library step). Returns the trace and the execution time.
+func (e *Env) Trace(nranks int, app App) (*Trace, float64, error) {
+	cl := cluster.Build(e.Topo, e.Sc)
+	rec := trace.NewRecorder(nranks)
+	dur, err := mpi.Run(cl, nranks, e.MPI, rec, app)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rec.Finish(dur), dur, nil
+}
+
+// RunSkeleton executes a performance skeleton and returns its execution
+// time.
+func (e *Env) RunSkeleton(p *Skeleton) (float64, error) {
+	cl := cluster.Build(e.Topo, e.Sc)
+	return skeleton.Run(p, cl, e.MPI, nil)
+}
+
+// BuildSignature compresses a trace into an execution signature with the
+// given target compression ratio Q (the paper uses Q = K/2 for a skeleton
+// of scaling factor K; pass 0 for a single clustering pass at threshold
+// zero).
+func BuildSignature(tr *Trace, targetRatio float64) (*Signature, error) {
+	return signature.Build(tr, signature.Options{TargetRatio: targetRatio})
+}
+
+// BuildSignatureOpts compresses a trace with full control of the
+// clustering options.
+func BuildSignatureOpts(tr *Trace, opts SignatureOptions) (*Signature, error) {
+	return signature.Build(tr, opts)
+}
+
+// BuildSkeleton constructs a performance skeleton with integer scaling
+// factor K: the skeleton's dedicated execution time is about 1/K of the
+// application's.
+func BuildSkeleton(sig *Signature, k int) (*Skeleton, error) {
+	return skeleton.Build(sig, k)
+}
+
+// BuildSkeletonForTime constructs a skeleton with an intended execution
+// time in seconds, deriving K from the traced application time.
+func BuildSkeletonForTime(sig *Signature, seconds float64) (*Skeleton, error) {
+	return skeleton.BuildForTime(sig, seconds)
+}
+
+// MinGoodSkeletonTime estimates the shortest skeleton that still predicts
+// reliably (one full iteration of the dominant execution sequence, paper
+// section 3.4).
+func MinGoodSkeletonTime(sig *Signature) float64 {
+	return skeleton.MinGoodTime(sig, skeleton.DefaultCoverage)
+}
+
+// PredictTime predicts the application's execution time in a scenario
+// from its dedicated time, the skeleton's dedicated time, and the
+// skeleton's time in the scenario (paper section 4.2: skeleton time times
+// the measured scaling ratio).
+func PredictTime(appDedicated, skelDedicated, skelScenario float64) float64 {
+	return predict.Predict(skelScenario, predict.Ratio(appDedicated, skelDedicated))
+}
+
+// PredictionErrorPct returns the relative prediction error in percent.
+func PredictionErrorPct(predicted, actual float64) float64 {
+	return predict.ErrorPct(predicted, actual)
+}
+
+// CSource renders a skeleton as a standalone C/MPI program.
+func CSource(p *Skeleton) string { return skeleton.CSource(p) }
+
+// GoSource renders a skeleton as a Go program against this package.
+func GoSource(p *Skeleton) string { return skeleton.GoSource(p) }
+
+// NASApp returns one of the six NAS Parallel Benchmark models (BT, CG,
+// IS, LU, MG, SP) at the given class.
+func NASApp(name string, class Class) (App, error) { return nas.App(name, class) }
+
+// NASBenchmarks lists the available benchmark names.
+func NASBenchmarks() []string { return nas.Benchmarks() }
+
+// SkeletonOptions tunes skeleton construction beyond the paper's defaults
+// (communication scale mode, compute-duration distributions).
+type SkeletonOptions = skeleton.Options
+
+// Communication scaling modes for SkeletonOptions.Mode.
+const (
+	// ByteScale divides message bytes by K (the paper's method).
+	ByteScale = skeleton.ByteScale
+	// TimeScale divides estimated message time by K under assumed
+	// latency/bandwidth, dropping latency-bound symmetric operations.
+	TimeScale = skeleton.TimeScale
+)
+
+// BuildSkeletonOpts constructs a skeleton with explicit options.
+func BuildSkeletonOpts(sig *Signature, k int, opts SkeletonOptions) (*Skeleton, error) {
+	return skeleton.BuildOpts(sig, k, opts)
+}
+
+// RescaleSkeleton retargets a skeleton built from an n-rank trace to m
+// ranks (weak scaling; SPMD programs whose ranks differ only in
+// communication partners).
+func RescaleSkeleton(p *Skeleton, m int) (*Skeleton, error) { return skeleton.Rescale(p, m) }
+
+// ScenarioByName returns "dedicated" or one of the five sharing scenarios
+// by name for an n-node cluster.
+func ScenarioByName(name string, n int) (Scenario, error) { return cluster.ByName(name, n) }
+
+// CrossTraffic describes stochastic background flows; combine with a
+// scenario via WithCrossTraffic.
+type CrossTraffic = cluster.CrossTraffic
+
+// WithCrossTraffic adds background network traffic to a scenario.
+func WithCrossTraffic(sc Scenario, t CrossTraffic) Scenario {
+	return cluster.WithCrossTraffic(sc, t)
+}
+
+// LoadTrace reads a trace file written by Trace.Save or cmd/skeltrace.
+func LoadTrace(path string) (*Trace, error) { return trace.Load(path) }
+
+// LoadSignature reads a signature file written by Signature.Save.
+func LoadSignature(path string) (*Signature, error) { return signature.Load(path) }
+
+// LoadSkeleton reads a skeleton program written by Skeleton.Save or
+// cmd/skelgen.
+func LoadSkeleton(path string) (*Skeleton, error) { return skeleton.Load(path) }
+
+// Candidate is a node set under consideration for resource selection.
+type Candidate = gridsel.Candidate
+
+// Estimate is a skeleton-probe result for one candidate.
+type Estimate = gridsel.Estimate
+
+// Selector ranks candidate node sets by skeleton probes — the paper's
+// motivating resource-selection use case.
+type Selector = gridsel.Selector
+
+// NewSelector builds a resource selector from a skeleton and the
+// application's dedicated execution time, measuring the scaling ratio on
+// the given reference testbed.
+func NewSelector(skel *Skeleton, appDedicated float64, ref Topology) (*Selector, error) {
+	return gridsel.NewSelector(skel, appDedicated, ref, MPIConfig{})
+}
+
+// TestbedTopology returns the paper's n-node dual-CPU topology, for
+// building heterogeneous Candidate variants.
+func TestbedTopology(n int) Topology { return cluster.Testbed(n) }
+
+// BuildSkeletonFromTrace runs the complete construction pipeline for
+// scaling factor K: the similarity threshold is searched until the
+// compression ratio reaches the paper's Q = K/2 and the skeleton is
+// verified mutually consistent across ranks (an inconsistent skeleton
+// would deadlock). This is the recommended entry point; BuildSignature +
+// BuildSkeleton expose the individual stages.
+func BuildSkeletonFromTrace(tr *Trace, k int, opts SkeletonOptions) (*Skeleton, *Signature, error) {
+	return skeleton.BuildFromTrace(tr, k, opts)
+}
+
+// BuildSkeletonFromTraceForTime is BuildSkeletonFromTrace with an intended
+// skeleton execution time instead of an explicit K.
+func BuildSkeletonFromTraceForTime(tr *Trace, seconds float64, opts SkeletonOptions) (*Skeleton, *Signature, error) {
+	if seconds <= 0 {
+		return nil, nil, fmt.Errorf("perfskel: target time must be positive, got %v", seconds)
+	}
+	k := int(math.Round(tr.AppTime / seconds))
+	if k < 1 {
+		k = 1
+	}
+	return skeleton.BuildFromTrace(tr, k, opts)
+}
