@@ -1,0 +1,144 @@
+// Command skelvet runs perfskel's MPI-aware static analysis over module
+// packages or individual Go source files (such as generated skeleton
+// programs).
+//
+// Usage:
+//
+//	skelvet [flags] [target ...]
+//
+// Each target is a package directory, a single .go file, or the literal
+// "./..." for every package in the module (the default). Targets are
+// parsed and fully type-checked against the module's real API before
+// the rules run, so a program that merely formats cleanly but would not
+// compile is already a finding.
+//
+// Exit status is 1 if any diagnostic is reported, 2 on usage or load
+// errors.
+//
+// Flags:
+//
+//	-rules r1,r2   run only the listed rules (default: all)
+//	-list          print the available rules and exit
+//	-v             also print per-target progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"perfskel/internal/analysis"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated rule ids to run (default: all)")
+	list := flag.Bool("list", false, "list available rules and exit")
+	verbose := flag.Bool("v", false, "print per-target progress")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: skelvet [flags] [package-dir | file.go | ./...] ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-26s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *rules != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*rules, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "skelvet: unknown rule %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	findings := 0
+	for _, arg := range args {
+		var pkgs []*analysis.Package
+		switch {
+		case arg == "./..." || arg == "...":
+			paths, err := loader.ModulePackages()
+			if err != nil {
+				fatal(err)
+			}
+			for _, p := range paths {
+				pkg, err := loader.Load(p)
+				if err != nil {
+					fatal(err)
+				}
+				pkgs = append(pkgs, pkg)
+			}
+		case strings.HasSuffix(arg, ".go"):
+			pkg, err := loader.LoadFile(arg)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, pkg)
+		default:
+			info, err := os.Stat(arg)
+			if err != nil || !info.IsDir() {
+				fatal(fmt.Errorf("target %q is neither a package directory, a .go file, nor ./...", arg))
+			}
+			pkg, err := loader.LoadDir(arg)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+
+		for _, pkg := range pkgs {
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "skelvet: checking %s\n", pkg.Path)
+			}
+			for _, d := range analysis.Check(pkg, analyzers) {
+				findings++
+				fmt.Println(shortenPos(d, loader.ModuleRoot()))
+			}
+		}
+	}
+
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "skelvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// shortenPos rewrites absolute file positions relative to the module
+// root for stable, readable output.
+func shortenPos(d analysis.Diagnostic, root string) string {
+	s := d.String()
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		s = strings.Replace(s, d.Pos.Filename, rel, 1)
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "skelvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,222 @@
+// Package analysis is skelvet: an MPI-aware static-analysis framework
+// for perfskel programs — handwritten applications, the simulator and
+// runtime packages, and the Go sources the skeleton generator emits.
+//
+// The pipeline trace -> signature -> skeleton -> prediction is only
+// trustworthy if every stage is deterministic and every skeleton program
+// is a valid message-passing program: a skeleton that deadlocks, leaks a
+// request, or diverges across ranks silently corrupts the
+// predicted/actual ratios the whole evaluation rests on. The dynamic
+// check (skeleton.Consistent, and ultimately the simulator's deadlock
+// detector) catches some of this at run time; this package catches it
+// statically, before anything executes.
+//
+// The framework is deliberately small: an Analyzer is a named rule with
+// a Run function over a type-checked package (a Pass); diagnostics carry
+// a rule id, position, severity and message. Loading and type checking
+// use only the standard library (go/parser, go/types with a
+// module-aware source importer), so the module stays dependency-free.
+//
+// A finding can be suppressed with a justification comment on the same
+// or the preceding line:
+//
+//	//skelvet:ignore <rule>[,<rule>...] <reason>
+//
+// The reason is mandatory — an ignore directive without one is itself a
+// diagnostic — so every exception in the tree is documented.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severity levels. Every shipped rule currently reports Error: the
+// verification gate treats any finding as fatal.
+const (
+	Warning Severity = iota
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Warning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Diagnostic is one finding: a rule id, a source position, a severity
+// and a human-readable message.
+type Diagnostic struct {
+	Rule     string
+	Pos      token.Position
+	Severity Severity
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s [%s]", d.Pos, d.Severity, d.Message, d.Rule)
+}
+
+// Analyzer is one static-analysis rule.
+type Analyzer struct {
+	// Name is the rule id, used in output and in ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the rule catches.
+	Doc string
+	// Scope, when non-nil, restricts the rule to the listed import
+	// paths. A nil scope applies everywhere.
+	Scope []string
+	// Run analyzes one package and reports findings via Pass.Reportf.
+	Run func(*Pass)
+}
+
+func (a *Analyzer) applies(path string) bool {
+	if a.Scope == nil {
+		return true
+	}
+	for _, p := range a.Scope {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:     p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Severity: Error,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the shipped rule set.
+func All() []*Analyzer {
+	return []*Analyzer{
+		UnwaitedRequest,
+		SendSendDeadlock,
+		TagMismatch,
+		RankDivergentCollective,
+		Nondeterminism,
+	}
+}
+
+// ByName returns the analyzer with the given rule id, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Check runs the given analyzers over one loaded package and returns
+// the surviving diagnostics, sorted by position. Findings matched by a
+// justified skelvet:ignore directive are dropped; directives missing a
+// justification are themselves reported under the rule id "directive".
+func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Run == nil || !a.applies(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	diags = applyDirectives(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// ---- shared AST/type helpers used by the rules ----
+
+// inspectStack walks f in source order, invoking fn with each node and
+// the stack of its ancestors (stack[len(stack)-1] is n itself).
+func inspectStack(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		fn(n, stack)
+		return true
+	})
+}
+
+// commMethod reports whether call is a method call on the runtime's
+// Comm type (or the perfskel.Comm alias) and returns the method name.
+func commMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	t := info.TypeOf(sel.X)
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Comm" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// intConstArg constant-folds expr to an int64 via the type checker.
+func intConstArg(info *types.Info, expr ast.Expr) (int64, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}

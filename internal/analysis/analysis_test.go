@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sharedLoader caches one module-wide loader across the tests in this
+// package; type-checking the module (and the stdlib from source) once
+// keeps the suite fast. Tests in a package run sequentially, so the
+// unsynchronised cache is safe.
+var sharedLoader *Loader
+
+func loader(t *testing.T) *Loader {
+	t.Helper()
+	if sharedLoader == nil {
+		l, err := NewLoader(".")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		sharedLoader = l
+	}
+	return sharedLoader
+}
+
+// wantsIn extracts the `// want <rule>` markers from a fixture file:
+// line number -> expected rule.
+func wantsIn(t *testing.T, path, rule string) map[int]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[int]bool{}
+	for i, line := range strings.Split(string(data), "\n") {
+		idx := strings.Index(line, "// want ")
+		if idx < 0 {
+			continue
+		}
+		got := strings.Fields(line[idx+len("// want "):])
+		if len(got) == 0 || got[0] != rule {
+			t.Fatalf("%s:%d: want marker %q does not name rule %q", path, i+1, line[idx:], rule)
+		}
+		wants[i+1] = true
+	}
+	if len(wants) == 0 {
+		t.Fatalf("%s: no want markers", path)
+	}
+	return wants
+}
+
+// TestFixturesFireExpectedRules runs each rule over its known-bad
+// fixture and asserts it fires exactly at the marked lines.
+func TestFixturesFireExpectedRules(t *testing.T) {
+	cases := []struct {
+		file string
+		rule string
+	}{
+		{"unwaited.go", "unwaited-request"},
+		{"sendsend.go", "sendsend-deadlock"},
+		{"tagmismatch.go", "tag-mismatch"},
+		{"collective.go", "rank-divergent-collective"},
+		{"determinism.go", "nondeterminism"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.file)
+			a := ByName(tc.rule)
+			if a == nil {
+				t.Fatalf("no analyzer %q", tc.rule)
+			}
+			pkg, err := loader(t).LoadFile(path)
+			if err != nil {
+				t.Fatalf("fixture must typecheck: %v", err)
+			}
+			want := wantsIn(t, path, tc.rule)
+			got := map[int]bool{}
+			for _, d := range Check(pkg, []*Analyzer{a}) {
+				if d.Rule != tc.rule {
+					t.Errorf("unexpected rule %s: %s", d.Rule, d)
+					continue
+				}
+				if got[d.Pos.Line] {
+					t.Errorf("duplicate diagnostic on line %d: %s", d.Pos.Line, d)
+				}
+				got[d.Pos.Line] = true
+			}
+			for line := range want {
+				if !got[line] {
+					t.Errorf("%s:%d: expected %s diagnostic, got none", path, line, tc.rule)
+				}
+			}
+			for line := range got {
+				if !want[line] {
+					t.Errorf("%s:%d: unexpected %s diagnostic", path, line, tc.rule)
+				}
+			}
+		})
+	}
+}
+
+// TestShippedPackagesAreClean runs the full rule set over every package
+// in the module: the tree must stay free of findings (exceptions are
+// carried by justified skelvet:ignore directives).
+func TestShippedPackagesAreClean(t *testing.T) {
+	l := loader(t)
+	paths, err := l.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("suspiciously few packages found: %v", paths)
+	}
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		for _, d := range Check(pkg, All()) {
+			t.Errorf("%s: %s", path, d)
+		}
+	}
+}
+
+// TestIgnoreDirectives checks that a justified directive suppresses its
+// finding and an unjustified one is itself reported.
+func TestIgnoreDirectives(t *testing.T) {
+	src := `package main
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func main() {
+	fmt.Println(rand.Int()) //skelvet:ignore nondeterminism demo: reason text makes this a documented exception
+
+	fmt.Println(rand.Int()) //skelvet:ignore nondeterminism
+}
+`
+	pkg, err := loader(t).LoadSource("directives.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rules []string
+	for _, d := range Check(pkg, All()) {
+		rules = append(rules, fmt.Sprintf("%s@%d", d.Rule, d.Pos.Line))
+	}
+	want := []string{"nondeterminism@11", "directive@11"}
+	if strings.Join(rules, " ") != strings.Join(want, " ") {
+		t.Errorf("got diagnostics %v, want %v", rules, want)
+	}
+}
+
+// TestLoadSourceRejectsTypeErrors: the loader is the typecheck gate for
+// generated code, so it must fail loudly on code that merely parses.
+func TestLoadSourceRejectsTypeErrors(t *testing.T) {
+	src := `package main
+
+import "perfskel"
+
+func main() {
+	env := perfskel.NewTestbed(2, perfskel.Dedicated())
+	env.Run("two", nil) // wrong argument type
+}
+`
+	if _, err := loader(t).LoadSource("broken.go", src); err == nil {
+		t.Fatal("expected a typecheck error for a string rank count")
+	}
+}
+
+// TestLoaderResolvesModuleAndStdlib spot-checks import resolution for
+// both worlds.
+func TestLoaderResolvesModuleAndStdlib(t *testing.T) {
+	l := loader(t)
+	pkg, err := l.Load(l.ModulePath() + "/internal/mpi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "mpi" {
+		t.Errorf("loaded package name %q, want mpi", pkg.Types.Name())
+	}
+	root, err := l.Load(l.ModulePath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Types.Scope().Lookup("NewTestbed") == nil {
+		t.Error("root package lost NewTestbed")
+	}
+}

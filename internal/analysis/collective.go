@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// RankDivergentCollective flags collective calls that only some ranks
+// execute. Collectives must be called by every rank in the same order;
+// a Barrier inside `if c.Rank() == 0` desynchronises the world and
+// (depending on the collective's algorithm) hangs or silently skews
+// timings. The rule compares the collective call sequence of each
+// branch of rank-conditioned control flow:
+//
+//   - for an if/else whose condition involves c.Rank(), the then and
+//     else branches must perform identical collective sequences;
+//   - for a switch on c.Rank(), every case must perform the same
+//     flattened collective sequence (constant-count loops are
+//     expanded, so `[Barrier]x4` equals four literal Barriers).
+//
+// Per-rank programs that perform identical collectives — the shape the
+// skeleton generator emits for consistent skeletons — pass untouched.
+var RankDivergentCollective = &Analyzer{
+	Name: "rank-divergent-collective",
+	Doc: "collectives inside rank-conditioned branches must be performed " +
+		"identically by every rank, or the ranks desynchronise.",
+	Run: runRankDivergentCollective,
+}
+
+// maxCollSeqLen caps loop expansion; sequences that would exceed it are
+// compared structurally (unexpanded) instead.
+const maxCollSeqLen = 1 << 16
+
+func runRankDivergentCollective(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.IfStmt:
+				if !isRankCall(pass.Info, s.Cond) {
+					return true
+				}
+				thenSeq := collSeqStmts(pass, s.Body.List)
+				var elseSeq []string
+				if s.Else != nil {
+					switch e := s.Else.(type) {
+					case *ast.BlockStmt:
+						elseSeq = collSeqStmts(pass, e.List)
+					default:
+						elseSeq = collSeqStmts(pass, []ast.Stmt{e})
+					}
+				}
+				if !equalSeq(thenSeq, elseSeq) {
+					pass.Reportf(s.Pos(),
+						"collective calls diverge across ranks: the branch taken when the Rank() condition holds performs [%s], other ranks perform [%s]",
+						strings.Join(thenSeq, " "), strings.Join(elseSeq, " "))
+				}
+			case *ast.SwitchStmt:
+				if s.Tag == nil || !isRankCall(pass.Info, s.Tag) {
+					return true
+				}
+				type caseSeq struct {
+					cc  *ast.CaseClause
+					seq []string
+				}
+				var cases []caseSeq
+				for _, stmt := range s.Body.List {
+					if cc, ok := stmt.(*ast.CaseClause); ok {
+						cases = append(cases, caseSeq{cc, collSeqStmts(pass, cc.Body)})
+					}
+				}
+				for i := 1; i < len(cases); i++ {
+					if !equalSeq(cases[i].seq, cases[0].seq) {
+						pass.Reportf(cases[i].cc.Pos(),
+							"collective calls diverge across ranks: this case performs [%s], the case at %s performs [%s]",
+							strings.Join(cases[i].seq, " "),
+							pass.Fset.Position(cases[0].cc.Pos()),
+							strings.Join(cases[0].seq, " "))
+						break // one report per switch is enough
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func equalSeq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// collSeqStmts flattens the collective call sequence performed by
+// stmts, expanding constant-count loops.
+func collSeqStmts(pass *Pass, stmts []ast.Stmt) []string {
+	var seq []string
+	for _, s := range stmts {
+		seq = appendCollSeq(pass, seq, s)
+	}
+	return seq
+}
+
+func appendCollSeq(pass *Pass, seq []string, n ast.Node) []string {
+	switch s := n.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			seq = appendCollSeq(pass, seq, st)
+		}
+	case *ast.ForStmt:
+		body := collSeqStmts(pass, s.Body.List)
+		if len(body) == 0 {
+			return seq
+		}
+		if count, ok := constTripCount(pass, s); ok {
+			if len(seq)+len(body)*int(count) <= maxCollSeqLen {
+				for i := int64(0); i < count; i++ {
+					seq = append(seq, body...)
+				}
+				return seq
+			}
+			// Too large to expand: compare structurally.
+			return append(seq, "loop"+strconv.FormatInt(count, 10)+"{"+strings.Join(body, " ")+"}")
+		}
+		return append(seq, "loop?{"+strings.Join(body, " ")+"}")
+	case *ast.RangeStmt:
+		body := collSeqStmts(pass, s.Body.List)
+		if len(body) > 0 {
+			seq = append(seq, "range{"+strings.Join(body, " ")+"}")
+		}
+	case *ast.IfStmt:
+		// A nested if (rank-conditioned or not) contributes its own
+		// structure; rank-conditioned ones are reported separately.
+		thenSeq := collSeqStmts(pass, s.Body.List)
+		var elseSeq []string
+		if s.Else != nil {
+			elseSeq = appendCollSeq(pass, nil, s.Else)
+		}
+		if len(thenSeq) > 0 || len(elseSeq) > 0 {
+			seq = append(seq, "if{"+strings.Join(thenSeq, " ")+"}else{"+strings.Join(elseSeq, " ")+"}")
+		}
+	case ast.Node:
+		ast.Inspect(s, func(m ast.Node) bool {
+			switch inner := m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt, *ast.IfStmt, *ast.BlockStmt:
+				if m != n {
+					seq = appendCollSeq(pass, seq, inner)
+					return false
+				}
+			case *ast.CallExpr:
+				if name, ok := commMethod(pass.Info, inner); ok && collectiveNames[name] {
+					seq = append(seq, name)
+				}
+			}
+			return true
+		})
+	}
+	return seq
+}
+
+// constTripCount recognises the canonical counting loop
+// `for i := 0; i < N; i++` (and `i <= N`) with constant bounds and
+// returns its trip count.
+func constTripCount(pass *Pass, s *ast.ForStmt) (int64, bool) {
+	if s.Init == nil || s.Cond == nil {
+		return 0, false
+	}
+	init, ok := s.Init.(*ast.AssignStmt)
+	if !ok || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return 0, false
+	}
+	start, ok := intConstArg(pass.Info, init.Rhs[0])
+	if !ok {
+		return 0, false
+	}
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return 0, false
+	}
+	end, ok := intConstArg(pass.Info, cond.Y)
+	if !ok {
+		return 0, false
+	}
+	switch cond.Op.String() {
+	case "<":
+		// fall through
+	case "<=":
+		end++
+	default:
+		return 0, false
+	}
+	if inc, ok := s.Post.(*ast.IncDecStmt); !ok || inc.Tok.String() != "++" {
+		return 0, false
+	}
+	if end <= start {
+		return 0, true
+	}
+	return end - start, true
+}

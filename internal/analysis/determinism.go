@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nondeterminism flags constructs that break run-to-run reproducibility
+// inside the packages whose determinism the replay/resume machinery and
+// the paper's evaluation depend on: the simulator core, the MPI
+// runtime, the cluster model, the trace/signature pipeline, the
+// skeleton generator — and generated skeleton programs themselves
+// (package main).
+//
+// Flagged:
+//   - wall-clock reads (time.Now / Since / Until): virtual time is the
+//     only clock the simulation may observe;
+//   - package-level math/rand calls, which draw from the ambient
+//     global source; randomness must come from an explicitly seeded,
+//     injectable *rand.Rand (constructors rand.New / rand.NewSource
+//     are fine);
+//   - go statements, which escape the cooperative scheduler;
+//   - iteration over maps, whose order varies between runs. The
+//     key-collection idiom `for k := range m { ks = append(ks, k) }`
+//     followed by a sort is exempt.
+//
+// Legitimate exceptions (e.g. the simulator's own coroutine spawns)
+// carry a //skelvet:ignore directive with a justification.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc: "no wall-clock time, ambient rand, goroutines or map-order " +
+		"dependence in the deterministic core packages.",
+	Scope: []string{
+		"perfskel/internal/sim",
+		"perfskel/internal/mpi",
+		"perfskel/internal/cluster",
+		"perfskel/internal/trace",
+		"perfskel/internal/signature",
+		"perfskel/internal/skeleton",
+		"main", // generated skeleton sources and single-file programs
+	},
+	Run: runNondeterminism,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicitly seeded generators rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// wallClockFuncs are the time package functions that read the host
+// clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+func runNondeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(s.Pos(), "go statement escapes the cooperative scheduler; determinism depends on exactly one runnable goroutine")
+			case *ast.RangeStmt:
+				t := pass.Info.TypeOf(s.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap && !isKeyCollectLoop(s) {
+					pass.Reportf(s.Pos(), "map iteration order is nondeterministic; collect the keys, sort them, and iterate the slice")
+				}
+			case *ast.CallExpr:
+				pkgPath, fn, ok := pkgLevelCall(pass.Info, s)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkgPath == "time" && wallClockFuncs[fn]:
+					pass.Reportf(s.Pos(), "time.%s reads the wall clock; the simulation must observe virtual time only", fn)
+				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[fn]:
+					pass.Reportf(s.Pos(), "rand.%s draws from the ambient global source; use an explicitly seeded, injectable *rand.Rand", fn)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// pkgLevelCall resolves a call of the form pkg.Fn and returns the
+// package's import path and function name.
+func pkgLevelCall(info *types.Info, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pkgName, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name, true
+}
+
+// isKeyCollectLoop recognises the deterministic-iteration idiom: a map
+// range whose body is exactly one append of loop variables into a slice
+// (which the surrounding code then sorts).
+func isKeyCollectLoop(s *ast.RangeStmt) bool {
+	if len(s.Body.List) != 1 {
+		return false
+	}
+	assign, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	return ok && fn.Name == "append"
+}

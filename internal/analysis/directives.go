@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// ignoreMarker introduces a suppression directive:
+//
+//	//skelvet:ignore rule1[,rule2] justification text
+//
+// The directive suppresses matching diagnostics reported on its own
+// line or on the line directly below it (so it can trail the offending
+// statement or sit on its own line above it). The justification is
+// mandatory; a directive without one is reported as an error under the
+// rule id "directive", which is how the repo keeps a documented
+// exception list instead of blanket ignores.
+const ignoreMarker = "skelvet:ignore"
+
+type directiveKey struct {
+	file string
+	line int
+	rule string
+}
+
+// applyDirectives filters diags through the ignore directives found in
+// pkg's files and appends an error for every malformed directive.
+func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
+	allowed := map[directiveKey]bool{}
+	var kept []Diagnostic
+
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignoreMarker)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					kept = append(kept, Diagnostic{
+						Rule:     "directive",
+						Pos:      pos,
+						Severity: Error,
+						Message:  "skelvet:ignore needs a rule list and a justification: //skelvet:ignore <rule>[,<rule>] <reason>",
+					})
+					continue
+				}
+				for _, rule := range strings.Split(fields[0], ",") {
+					rule = strings.TrimSpace(rule)
+					if rule == "" {
+						continue
+					}
+					allowed[directiveKey{pos.Filename, pos.Line, rule}] = true
+					allowed[directiveKey{pos.Filename, pos.Line + 1, rule}] = true
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if allowed[directiveKey{d.Pos.Filename, d.Pos.Line, d.Rule}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The deadlock and tag-matching rules reason about SPMD programs in the
+// shape the skeleton generator emits (and handwritten rank programs
+// share): a switch on c.Rank() whose cases are the per-rank programs.
+// rankPrograms extracts, per such switch statement, the linear sequence
+// of communication operations each constant-rank case performs, with
+// arguments constant-folded through the type checker. Operations whose
+// arguments cannot be folded are kept with unknown fields so the rules
+// can stay conservative.
+
+// unknownArg marks a communication-op field that could not be
+// constant-folded. It is distinct from the runtime's AnySource/AnyTag
+// (-1) and None (-2) sentinels.
+const unknownArg int64 = -1 << 40
+
+// commOp is one communication call in a rank's program, in source
+// order.
+type commOp struct {
+	name  string // method name on Comm: "Send", "Recv", "Sendrecv", ...
+	pos   token.Pos
+	peer  int64 // destination / source / root; unknownArg if not constant
+	peer2 int64 // Sendrecv receive source
+	tag   int64
+	bytes int64 // unknownArg if not constant
+}
+
+// rankProg is one case clause's program.
+type rankProg struct {
+	rank int64
+	pos  token.Pos
+	ops  []commOp
+}
+
+// rankSwitch is one switch-on-Rank statement: a group of rank programs
+// analyzed together.
+type rankSwitch struct {
+	pos token.Pos
+	// complete is true when every case clause had only constant integer
+	// values and the switch has no default clause, i.e. the extracted
+	// programs are exactly the per-rank programs the switch dispatches.
+	complete bool
+	progs    []rankProg
+}
+
+// commOpNames is the Comm communication vocabulary the extractor
+// records (Compute and query methods are irrelevant here).
+var commOpNames = map[string]bool{
+	"Send": true, "Recv": true, "Isend": true, "Irecv": true,
+	"Sendrecv": true, "Wait": true, "Waitall": true,
+	"Barrier": true, "Bcast": true, "Reduce": true, "Allreduce": true,
+	"Alltoall": true, "Alltoallv": true, "Allgather": true,
+	"Gather": true, "Scatter": true,
+}
+
+// collectiveNames is the subset of commOpNames involving every rank.
+var collectiveNames = map[string]bool{
+	"Barrier": true, "Bcast": true, "Reduce": true, "Allreduce": true,
+	"Alltoall": true, "Alltoallv": true, "Allgather": true,
+	"Gather": true, "Scatter": true,
+}
+
+// isRankCall reports whether expr contains a call to Comm.Rank.
+func isRankCall(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := commMethod(info, call); ok && name == "Rank" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rankSwitches extracts every switch-on-Rank group in the package.
+func rankSwitches(pass *Pass) []rankSwitch {
+	var out []rankSwitch
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil || !isRankCall(pass.Info, sw.Tag) {
+				return true
+			}
+			rs := rankSwitch{pos: sw.Pos(), complete: true}
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil { // default clause: programs unknown
+					rs.complete = false
+					continue
+				}
+				ops := collectCommOps(pass.Info, cc.Body)
+				for _, v := range cc.List {
+					rank, ok := intConstArg(pass.Info, v)
+					if !ok {
+						rs.complete = false
+						continue
+					}
+					rs.progs = append(rs.progs, rankProg{rank: rank, pos: cc.Pos(), ops: ops})
+				}
+			}
+			out = append(out, rs)
+			return true
+		})
+	}
+	return out
+}
+
+// collectCommOps gathers every Comm communication call under stmts in
+// source order, constant-folding arguments. Loops are not expanded: for
+// first-blocking-op and presence reasoning, source order suffices.
+func collectCommOps(info *types.Info, stmts []ast.Stmt) []commOp {
+	var ops []commOp
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := commMethod(info, call)
+			if !ok || !commOpNames[name] {
+				return true
+			}
+			op := commOp{
+				name: name, pos: call.Pos(),
+				peer: unknownArg, peer2: unknownArg, tag: unknownArg, bytes: unknownArg,
+			}
+			arg := func(i int) (int64, bool) {
+				if i >= len(call.Args) {
+					return 0, false
+				}
+				return intConstArg(info, call.Args[i])
+			}
+			set := func(dst *int64, i int) {
+				if v, ok := arg(i); ok {
+					*dst = v
+				}
+			}
+			switch name {
+			case "Send", "Isend": // (dst, tag, bytes)
+				set(&op.peer, 0)
+				set(&op.tag, 1)
+				set(&op.bytes, 2)
+			case "Recv", "Irecv": // (src, tag)
+				set(&op.peer, 0)
+				set(&op.tag, 1)
+			case "Sendrecv": // (dst, sendBytes, src, tag)
+				set(&op.peer, 0)
+				set(&op.bytes, 1)
+				set(&op.peer2, 2)
+				set(&op.tag, 3)
+			case "Bcast", "Reduce", "Gather", "Scatter": // (root, bytes)
+				set(&op.peer, 0)
+				set(&op.bytes, 1)
+			case "Allreduce", "Alltoall", "Allgather": // (bytes)
+				set(&op.bytes, 0)
+			}
+			ops = append(ops, op)
+			return true
+		})
+	}
+	return ops
+}

@@ -1,0 +1,50 @@
+// Fixture for the rank-divergent-collective rule: collectives executed
+// by only some ranks. Equal-but-differently-shaped programs (loop
+// expansion, symmetric if/else) must stay clean.
+package main
+
+import "perfskel"
+
+func main() {
+	env := perfskel.NewTestbed(2, perfskel.Dedicated())
+	if _, err := env.Run(2, body); err != nil {
+		panic(err)
+	}
+}
+
+func body(c *perfskel.Comm) {
+	switch c.Rank() {
+	case 0:
+		c.Barrier()
+		c.Allreduce(8)
+	case 1: // want rank-divergent-collective
+		c.Barrier()
+	}
+}
+
+func phase(c *perfskel.Comm) {
+	if c.Rank() == 0 { // want rank-divergent-collective
+		c.Barrier()
+	}
+	if c.Rank() == 0 { // both sides broadcast: clean
+		c.Bcast(0, 64)
+	} else {
+		c.Bcast(0, 64)
+	}
+}
+
+// expanded performs the same collectives in different shapes; loop
+// expansion must prove the ranks equal.
+func expanded(c *perfskel.Comm) {
+	switch c.Rank() {
+	case 0:
+		for i := 0; i < 2; i++ {
+			c.Barrier()
+		}
+		c.Allreduce(8)
+	case 1:
+		c.Barrier()
+		c.Barrier()
+		c.Allreduce(8)
+	}
+}

@@ -1,0 +1,30 @@
+// Fixture for the nondeterminism rule: wall-clock reads, ambient rand,
+// goroutines and map-order dependence. The key-collection idiom and an
+// explicitly seeded generator must stay clean.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func main() {
+	go tick()                 // want nondeterminism
+	fmt.Println(time.Now())   // want nondeterminism
+	fmt.Println(rand.Intn(4)) // want nondeterminism
+	counts := map[string]int{"a": 1, "b": 2}
+	for k, v := range counts { // want nondeterminism
+		fmt.Println(k, v)
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts { // key-collection idiom: clean
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rng := rand.New(rand.NewSource(7)) // explicitly seeded: clean
+	fmt.Println(rng.Intn(4), keys)
+}
+
+func tick() {}

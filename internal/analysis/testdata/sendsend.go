@@ -1,0 +1,37 @@
+// Fixture for the sendsend-deadlock rule: two ranks whose first
+// blocking operation toward each other is a rendezvous-size Send. The
+// eager-size exchange in safeExchange must stay clean.
+package main
+
+import "perfskel"
+
+// big is well above the 64 KiB eager threshold, so both sends use the
+// rendezvous protocol and block until the peer posts a receive.
+const big = 1 << 20
+
+func main() {
+	env := perfskel.NewTestbed(2, perfskel.Dedicated())
+	if _, err := env.Run(2, func(c *perfskel.Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, big) // want sendsend-deadlock
+			c.Recv(1, 1)
+		case 1:
+			c.Send(0, 1, big)
+			c.Recv(0, 1)
+		}
+	}); err != nil {
+		panic(err)
+	}
+}
+
+func safeExchange(c *perfskel.Comm) {
+	switch c.Rank() {
+	case 0:
+		c.Send(1, 1, 1024) // eager: buffered, completes immediately
+		c.Recv(1, 1)
+	case 1:
+		c.Send(0, 1, 1024)
+		c.Recv(0, 1)
+	}
+}

@@ -1,0 +1,34 @@
+// Fixture for the tag-mismatch rule: constant (peer, tag) sends and
+// receives with no counterpart in the peer rank's program.
+package main
+
+import "perfskel"
+
+func main() {
+	env := perfskel.NewTestbed(2, perfskel.Dedicated())
+	if _, err := env.Run(2, func(c *perfskel.Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 7, 64) // want tag-mismatch
+			c.Recv(1, 5)
+		case 1:
+			c.Send(0, 5, 64)
+			c.Recv(0, 8) // want tag-mismatch
+		}
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// wildcards shows that AnyTag/AnySource receives match anything and are
+// never reported.
+func wildcards(c *perfskel.Comm) {
+	switch c.Rank() {
+	case 0:
+		c.Send(1, 42, 64)
+		c.Recv(perfskel.AnySource, perfskel.AnyTag)
+	case 1:
+		c.Recv(0, perfskel.AnyTag)
+		c.Send(0, 3, 64)
+	}
+}

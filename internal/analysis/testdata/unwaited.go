@@ -1,0 +1,34 @@
+// Fixture for the unwaited-request rule: non-blocking requests that
+// are discarded or parked in variables nothing ever waits on. The
+// tracked-slice idiom the skeleton generator emits must stay clean.
+package main
+
+import "perfskel"
+
+func main() {
+	env := perfskel.NewTestbed(2, perfskel.Dedicated())
+	if _, err := env.Run(2, body); err != nil {
+		panic(err)
+	}
+}
+
+func body(c *perfskel.Comm) {
+	switch c.Rank() {
+	case 0:
+		c.Isend(1, 1, 1024) // want unwaited-request
+		r := c.Irecv(1, 2)  // want unwaited-request
+		_ = r
+		ok := c.Isend(1, 3, 64)
+		c.Wait(ok)
+		var reqs []*perfskel.Request
+		reqs = append(reqs, c.Isend(1, 4, 256))
+		c.Waitall(reqs...)
+		c.Recv(1, 2)
+	case 1:
+		c.Recv(0, 1)
+		c.Send(0, 2, 512)
+		c.Recv(0, 3)
+		c.Recv(0, 4)
+		c.Send(0, 2, 8)
+	}
+}

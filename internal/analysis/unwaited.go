@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UnwaitedRequest flags Isend/Irecv results that can never reach a
+// Wait/Waitall call: a discarded request leaks, and the matching rank
+// blocks forever in the rendezvous protocol waiting for a completion
+// that never happens.
+//
+// The rule is flow-insensitive but tracks value flow through the
+// package: a request bound to a variable (directly, or via append to a
+// request slice, including struct fields) is considered waited if any
+// variable transitively assigned from it appears as an argument to a
+// Wait or Waitall call anywhere in the package. This accepts the
+// generator's idiom — append to an outstanding slice drained by helper
+// functions — while still catching requests that are dropped on the
+// floor or parked in a variable nothing ever waits on.
+var UnwaitedRequest = &Analyzer{
+	Name: "unwaited-request",
+	Doc: "Isend/Irecv results must be passed (directly or via a tracked " +
+		"slice) to Wait/WaitAll; an unwaited request desynchronises or " +
+		"deadlocks the peer rank.",
+	Run: runUnwaited,
+}
+
+// assignEdge records "obj is assigned from rhs" for taint propagation.
+type assignEdge struct {
+	obj types.Object
+	rhs ast.Expr
+}
+
+func runUnwaited(pass *Pass) {
+	edges, waitArgs := collectFlows(pass)
+
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			name, ok := commMethod(pass.Info, call)
+			if !ok || (name != "Isend" && name != "Irecv") {
+				return
+			}
+			seeds, verdict := bindRequest(pass.Info, stack)
+			switch verdict {
+			case reqWaited:
+				return
+			case reqDiscarded:
+				pass.Reportf(call.Pos(), "result of %s is discarded; the request is never waited on", name)
+				return
+			}
+			if !flowsToWait(pass.Info, seeds, edges, waitArgs) {
+				pass.Reportf(call.Pos(), "result of %s never reaches Wait/Waitall on any path", name)
+			}
+		})
+	}
+}
+
+type reqVerdict int
+
+const (
+	reqBound reqVerdict = iota // request stored in seeds; needs flow check
+	reqWaited
+	reqDiscarded
+)
+
+// bindRequest walks outward from a request-producing call (the top of
+// stack) and classifies where its value goes.
+func bindRequest(info *types.Info, stack []ast.Node) (map[types.Object]bool, reqVerdict) {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch a := stack[i].(type) {
+		case *ast.CallExpr:
+			if name, ok := calleeName(a); ok {
+				if name == "Wait" || name == "Waitall" {
+					return nil, reqWaited
+				}
+				if name == "append" {
+					continue // flows into the append target's assignment
+				}
+			}
+			// Passed to some other function: assume that callee takes
+			// responsibility (conservative, avoids false positives).
+			return nil, reqWaited
+		case *ast.AssignStmt:
+			seeds := map[types.Object]bool{}
+			for _, lhs := range a.Lhs {
+				if obj := lhsObject(info, lhs); obj != nil {
+					seeds[obj] = true
+				}
+			}
+			if len(seeds) == 0 {
+				return nil, reqDiscarded // assigned only to blanks
+			}
+			return seeds, reqBound
+		case *ast.ValueSpec:
+			seeds := map[types.Object]bool{}
+			for _, name := range a.Names {
+				if name.Name != "_" {
+					if obj := info.Defs[name]; obj != nil {
+						seeds[obj] = true
+					}
+				}
+			}
+			if len(seeds) == 0 {
+				return nil, reqDiscarded
+			}
+			return seeds, reqBound
+		case *ast.ReturnStmt:
+			return nil, reqWaited // escapes to the caller
+		case *ast.ExprStmt:
+			return nil, reqDiscarded
+		case *ast.KeyValueExpr, *ast.CompositeLit, *ast.IndexExpr, *ast.ParenExpr:
+			continue
+		case ast.Stmt:
+			// Any other statement context (if, for, range, go, defer...)
+			// does not bind the value anywhere trackable.
+			_ = a
+			return nil, reqDiscarded
+		}
+	}
+	return nil, reqDiscarded
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name, true
+	case *ast.SelectorExpr:
+		return fn.Sel.Name, true
+	}
+	return "", false
+}
+
+// lhsObject resolves an assignment target to the variable (or struct
+// field) object it stores into.
+func lhsObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return nil
+		}
+		if obj := info.Defs[e]; obj != nil {
+			return obj
+		}
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return lhsObject(info, e.X)
+	case *ast.ParenExpr:
+		return lhsObject(info, e.X)
+	case *ast.StarExpr:
+		return lhsObject(info, e.X)
+	}
+	return nil
+}
+
+// collectFlows gathers, package-wide, every assignment edge and every
+// argument expression of a Wait/Waitall call.
+func collectFlows(pass *Pass) ([]assignEdge, []ast.Expr) {
+	var edges []assignEdge
+	var waitArgs []ast.Expr
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for i := range s.Lhs {
+						if obj := lhsObject(pass.Info, s.Lhs[i]); obj != nil {
+							edges = append(edges, assignEdge{obj, s.Rhs[i]})
+						}
+					}
+				} else {
+					for _, lhs := range s.Lhs {
+						obj := lhsObject(pass.Info, lhs)
+						if obj == nil {
+							continue
+						}
+						for _, rhs := range s.Rhs {
+							edges = append(edges, assignEdge{obj, rhs})
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					obj := pass.Info.Defs[name]
+					if obj == nil || name.Name == "_" {
+						continue
+					}
+					if len(s.Values) == len(s.Names) {
+						edges = append(edges, assignEdge{obj, s.Values[i]})
+					} else {
+						for _, rhs := range s.Values {
+							edges = append(edges, assignEdge{obj, rhs})
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				for _, lhs := range []ast.Expr{s.Key, s.Value} {
+					if lhs == nil {
+						continue
+					}
+					if obj := lhsObject(pass.Info, lhs); obj != nil {
+						edges = append(edges, assignEdge{obj, s.X})
+					}
+				}
+			case *ast.CallExpr:
+				if name, ok := calleeName(s); ok && (name == "Wait" || name == "Waitall") {
+					waitArgs = append(waitArgs, s.Args...)
+				}
+			}
+			return true
+		})
+	}
+	return edges, waitArgs
+}
+
+// flowsToWait propagates taint from seeds over the assignment edges to
+// a fixpoint and reports whether any Wait/Waitall argument mentions a
+// tainted object.
+func flowsToWait(info *types.Info, seeds map[types.Object]bool, edges []assignEdge, waitArgs []ast.Expr) bool {
+	tainted := map[types.Object]bool{}
+	for o := range seeds {
+		tainted[o] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if !tainted[e.obj] && mentionsAny(info, e.rhs, tainted) {
+				tainted[e.obj] = true
+				changed = true
+			}
+		}
+	}
+	for _, arg := range waitArgs {
+		if mentionsAny(info, arg, tainted) {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsAny reports whether expr references any object in set.
+func mentionsAny(info *types.Info, expr ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj != nil && set[obj] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

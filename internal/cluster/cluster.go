@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"perfskel/internal/sim"
 )
@@ -157,7 +158,16 @@ func Build(topo Topology, sc Scenario) *Cluster {
 		c.up = append(c.up, eng.NewResource(fmt.Sprintf("up%d", i), bw))
 		c.down = append(c.down, eng.NewResource(fmt.Sprintf("down%d", i), bw))
 	}
-	for node, count := range sc.LoadProcs {
+	// Spawn load daemons in node order: proc ids are assigned in spawn
+	// order and same-time scheduling is id-ordered, so iterating the map
+	// directly would let map order leak into the simulation.
+	loadNodes := make([]int, 0, len(sc.LoadProcs))
+	for node := range sc.LoadProcs {
+		loadNodes = append(loadNodes, node)
+	}
+	sort.Ints(loadNodes)
+	for _, node := range loadNodes {
+		count := sc.LoadProcs[node]
 		if node >= len(topo.Nodes) {
 			panic(fmt.Sprintf("cluster: load procs on node %d of %d-node cluster", node, len(topo.Nodes)))
 		}
@@ -171,7 +181,10 @@ func Build(topo Topology, sc Scenario) *Cluster {
 		}
 	}
 	if t := sc.Traffic; t != nil && len(topo.Nodes) >= 2 {
-		rng := rand.New(rand.NewSource(t.Seed))
+		rng := t.Rand
+		if rng == nil {
+			rng = rand.New(rand.NewSource(t.Seed))
+		}
 		n := len(topo.Nodes)
 		eng.Spawn("crosstraffic", true, func(p *sim.Proc) {
 			for {
@@ -249,6 +262,12 @@ type CrossTraffic struct {
 	MeanGap   float64 // mean gap between flows, seconds
 	MeanBytes float64 // mean flow size, bytes
 	Seed      int64
+	// Rand, when non-nil, supplies the generator for gap, size and node
+	// draws instead of one freshly seeded from Seed. Injecting the
+	// generator lets callers share one stream across scenarios or
+	// substitute a recorded sequence; it must be used by nothing else
+	// while the simulation runs.
+	Rand *rand.Rand `json:"-"`
 }
 
 // WithCrossTraffic returns a copy of sc with background traffic added.

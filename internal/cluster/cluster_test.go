@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"perfskel/internal/sim"
@@ -159,6 +160,36 @@ func TestCrossTrafficDeterministic(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("cross-traffic runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestCrossTrafficInjectedRand(t *testing.T) {
+	// An injected generator takes precedence over Seed and reproduces the
+	// same simulation as a generator constructed from that seed, so
+	// callers can share or pre-advance a rand.Rand across scenarios.
+	run := func(ct CrossTraffic) float64 {
+		c := Build(Testbed(3), WithCrossTraffic(Dedicated(), ct))
+		var end float64
+		c.Engine.Spawn("app", false, func(p *sim.Proc) {
+			for i := 0; i < 20; i++ {
+				done := c.Engine.NewEvent()
+				c.Engine.StartFlow(c.Path(1, 2), 5e5, done.Fire)
+				p.WaitEvent(done, "transfer")
+			}
+			end = p.Now()
+		})
+		if err := c.Engine.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	seeded := run(CrossTraffic{MeanGap: 0.01, MeanBytes: 2e5, Seed: 42})
+	injected := run(CrossTraffic{
+		MeanGap: 0.01, MeanBytes: 2e5, Seed: 999, // Seed must be ignored
+		Rand: rand.New(rand.NewSource(42)),
+	})
+	if seeded != injected {
+		t.Errorf("injected rand run %v differs from seeded run %v", injected, seeded)
 	}
 }
 

@@ -17,6 +17,13 @@ import (
 	"perfskel/internal/sim"
 )
 
+// DefaultEagerThreshold is the default largest message size sent
+// eagerly; larger messages use the rendezvous protocol (see
+// Config.EagerThreshold). Exported so tooling — in particular the
+// skelvet sendsend-deadlock rule — can reason about which sends
+// synchronise.
+const DefaultEagerThreshold = 64 * 1024
+
 // Config tunes the runtime's cost model. The zero value selects defaults
 // matching an MPICH-on-Gigabit-era installation.
 type Config struct {
@@ -41,7 +48,7 @@ type Config struct {
 // explicitly disables that cost (tests use this for exact timing).
 func (c Config) withDefaults() Config {
 	if c.EagerThreshold == 0 {
-		c.EagerThreshold = 64 * 1024
+		c.EagerThreshold = DefaultEagerThreshold
 	}
 	if c.CallOverhead == 0 {
 		c.CallOverhead = 2e-6

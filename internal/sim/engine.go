@@ -108,6 +108,7 @@ func (e *Engine) Spawn(name string, daemon bool, body func(p *Proc)) *Proc {
 		e.alive++
 	}
 	e.wg.Add(1)
+	//skelvet:ignore nondeterminism proc goroutines are the coroutine substrate: handoff via unbuffered yield/resume channels keeps exactly one runnable at a time
 	go func() {
 		defer e.wg.Done()
 		<-p.resume

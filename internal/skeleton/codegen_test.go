@@ -5,8 +5,36 @@ import (
 	"strings"
 	"testing"
 
+	"perfskel/internal/analysis"
 	"perfskel/internal/mpi"
 )
+
+// gateLoader is shared across the codegen gate tests: building a loader
+// typechecks the module and the stdlib from source once, which is the
+// expensive part.
+var gateLoader *analysis.Loader
+
+// gateGoSource is the codegen quality gate: generated Go source must
+// parse, typecheck against the real perfskel API, and come back clean
+// from every skelvet rule. Returning text that merely "looks like Go"
+// is not enough to close the loop from trace to replayable program.
+func gateGoSource(t *testing.T, name, src string) {
+	t.Helper()
+	if gateLoader == nil {
+		l, err := analysis.NewLoader(".")
+		if err != nil {
+			t.Fatalf("analysis loader: %v", err)
+		}
+		gateLoader = l
+	}
+	pkg, err := gateLoader.LoadSource(name+".go", src)
+	if err != nil {
+		t.Fatalf("%s: generated source does not typecheck: %v", name, err)
+	}
+	for _, d := range analysis.Check(pkg, analysis.All()) {
+		t.Errorf("%s: skelvet finding in generated source: %s", name, d)
+	}
+}
 
 func codegenProgram(t *testing.T) *Program {
 	t.Helper()
@@ -137,20 +165,32 @@ func allOpsSeq(rank int) []Node {
 	}
 }
 
-func TestGeneratedSourcesHaveNoFormattingErrors(t *testing.T) {
-	// A stray verb mismatch would leave "%!" markers in the output.
+func TestGeneratedSourcesTypecheckAndPassSkelvet(t *testing.T) {
+	// A stray verb mismatch would leave "%!" markers in the output; the
+	// Go source additionally has to typecheck against the perfskel API
+	// and survive the full static-analysis rule set.
 	sig := traceAndSign(t, 2, 5, iterApp)
 	for _, k := range []int{1, 7, 500} {
 		p, err := Build(sig, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for name, src := range map[string]string{"C": CSource(p), "Go": GoSource(p)} {
+		gosrc := GoSource(p)
+		for name, src := range map[string]string{"C": CSource(p), "Go": gosrc} {
 			if strings.Contains(src, "%!") {
 				t.Errorf("K=%d %s source contains formatting errors", k, name)
 			}
 		}
+		gateGoSource(t, fmt.Sprintf("iter_k%d", k), gosrc)
 	}
+}
+
+func TestAllOpsGoSourcePassesSkelvet(t *testing.T) {
+	// The handcrafted program exercises every op kind, including the
+	// nonblocking send/recv plus wait/waitall pairs the unwaited-request
+	// rule tracks through the generated helper functions.
+	p := &Program{NRanks: 2, K: 1, PerRank: [][]Node{allOpsSeq(0), allOpsSeq(1)}}
+	gateGoSource(t, "allops", GoSource(p))
 }
 
 func TestCodegenOfRescaledProgram(t *testing.T) {
@@ -183,4 +223,5 @@ func TestCodegenOfRescaledProgram(t *testing.T) {
 			t.Errorf("missing rank %d function", r)
 		}
 	}
+	gateGoSource(t, "rescaled8", GoSource(p8))
 }

@@ -2,6 +2,7 @@ package skeleton
 
 import (
 	"fmt"
+	"sort"
 
 	"perfskel/internal/mpi"
 	"perfskel/internal/signature"
@@ -89,14 +90,35 @@ func (p *Program) Consistent() error {
 	if wildcards {
 		return nil
 	}
-	for k, n := range sends {
-		if recvs[k] != n {
-			return fmt.Errorf("skeleton: %d sends %d->%d tag %d but %d receives", n, k.src, k.dst, k.tag, recvs[k])
-		}
+	// Check mismatches in sorted key order so the reported error is the
+	// same on every run (map iteration order would pick an arbitrary
+	// one).
+	keys := make([]p2pKey, 0, len(sends)+len(recvs))
+	for k := range sends {
+		keys = append(keys, k)
 	}
-	for k, n := range recvs {
-		if sends[k] != n {
-			return fmt.Errorf("skeleton: %d receives %d->%d tag %d but %d sends", n, k.src, k.dst, k.tag, sends[k])
+	for k := range recvs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.tag < b.tag
+	})
+	for i, k := range keys {
+		if i > 0 && k == keys[i-1] {
+			continue
+		}
+		if ns, nr := sends[k], recvs[k]; ns != nr {
+			if ns > 0 {
+				return fmt.Errorf("skeleton: %d sends %d->%d tag %d but %d receives", ns, k.src, k.dst, k.tag, nr)
+			}
+			return fmt.Errorf("skeleton: %d receives %d->%d tag %d but %d sends", nr, k.src, k.dst, k.tag, ns)
 		}
 	}
 	return nil

@@ -93,7 +93,12 @@ func (t *Trace) Summary() string {
 	for op, n := range s.OpCounts {
 		rows = append(rows, row{op: op, count: n, time: s.OpTime[op]})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].time > rows[j].time })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].time != rows[j].time {
+			return rows[i].time > rows[j].time
+		}
+		return rows[i].op < rows[j].op // deterministic order for ties
+	})
 	total := float64(t.NRanks) * t.AppTime
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d ranks, %.6f s parallel time, %d events\n", t.NRanks, t.AppTime, t.Len())

@@ -1,0 +1,29 @@
+#!/bin/sh
+# check.sh - the repo's full verification gate: build, formatting,
+# go vet, skelvet static analysis, and the race-enabled test suite.
+# Run from anywhere inside the repository.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> skelvet ./..."
+go run ./cmd/skelvet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"
