@@ -21,6 +21,7 @@ import (
 	"perfskel/internal/mpi"
 	"perfskel/internal/signature"
 	"perfskel/internal/skeleton"
+	"perfskel/internal/telemetry"
 	"perfskel/internal/trace"
 )
 
@@ -319,6 +320,42 @@ func BenchmarkExtensionProcScaling(b *testing.B) {
 	}
 	printOnce("ext-proc", t.String())
 }
+
+// --- telemetry overhead benchmarks ---
+
+// benchCG runs CG class A on 4 dedicated ranks, instrumented when col is
+// non-nil. The pair BenchmarkTelemetryOff/On measures the probe layer's
+// overhead on a fixed workload; the nil-sink path is the one every
+// uninstrumented run pays, so Off must stay within noise of the seed.
+func benchCG(b *testing.B, instrument bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		app, err := perfskel.NASApp("CG", perfskel.ClassA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sink telemetry.Sink
+		cfg := mpi.Config{}
+		if instrument {
+			col := telemetry.NewCollector()
+			sink = col
+			cfg.Probe = col
+		}
+		cl := cluster.BuildProbed(cluster.Testbed(4), cluster.Dedicated(), sink)
+		if _, err := mpi.Run(cl, 4, cfg, nil, app); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryOff measures the dedicated CG workload with a nil
+// sink: every probe emission site is behind a nil check, so this is the
+// zero-instrumentation baseline.
+func BenchmarkTelemetryOff(b *testing.B) { benchCG(b, false) }
+
+// BenchmarkTelemetryOn measures the same workload with a full collector
+// attached (metrics, spans, utilisation series).
+func BenchmarkTelemetryOn(b *testing.B) { benchCG(b, true) }
 
 // BenchmarkNASClassBSuite measures running the whole class B suite
 // dedicated — the simulator's end-to-end throughput on real workloads.

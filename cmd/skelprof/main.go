@@ -1,0 +1,146 @@
+// Command skelprof runs the paper's full prediction procedure for one
+// benchmark and one scenario, with telemetry on, and reports where the
+// prediction error comes from: it traces the application on the
+// dedicated testbed, constructs the performance skeleton, measures the
+// scaling ratio, then executes both application and skeleton under the
+// target scenario and aligns their phase profiles. The report attributes
+// the divergence to compute, communication and blocking per phase
+// region — the diagnostic view behind the paper's accuracy tables.
+//
+// Usage:
+//
+//	skelprof -bench CG -class B -ranks 4 -scenario combined
+//	skelprof -bench MG -class A -ranks 8 -scenario net-one-link -k 16 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/nas"
+	"perfskel/internal/predict"
+	"perfskel/internal/skeleton"
+	"perfskel/internal/telemetry"
+	"perfskel/internal/trace"
+)
+
+// report is the machine-readable form of one skelprof run.
+type report struct {
+	Bench         string                `json:"bench"`
+	Class         string                `json:"class"`
+	Ranks         int                   `json:"ranks"`
+	K             int                   `json:"k"`
+	Scenario      string                `json:"scenario"`
+	AppDedicated  float64               `json:"app_dedicated_s"`
+	SkelDedicated float64               `json:"skel_dedicated_s"`
+	Diff          *telemetry.DiffReport `json:"diff"`
+	App           *telemetry.Profile    `json:"app_profile"`
+	Skel          *telemetry.Profile    `json:"skel_profile"`
+}
+
+func main() {
+	bench := flag.String("bench", "CG", "benchmark to profile")
+	class := flag.String("class", "B", "problem class")
+	ranks := flag.Int("ranks", 4, "number of ranks / nodes")
+	scen := flag.String("scenario", "combined",
+		"target scenario the prediction is evaluated under")
+	k := flag.Int("k", 8, "skeleton scaling factor K")
+	buckets := flag.Int("buckets", 0, "phase regions in the diff (0 = auto)")
+	jsonOut := flag.Bool("json", false, "print the full report as JSON")
+	traceApp := flag.String("trace-app", "", "write the application run's Perfetto trace")
+	traceSkel := flag.String("trace-skel", "", "write the skeleton run's Perfetto trace")
+	flag.Parse()
+
+	app, err := nas.App(*bench, nas.Class(*class))
+	if err != nil {
+		fail(err)
+	}
+	n := *ranks
+	sc, err := cluster.ByName(*scen, n)
+	if err != nil {
+		fail(err)
+	}
+
+	// Step 1: trace the application on the dedicated testbed and build
+	// the skeleton from the trace.
+	rec := trace.NewRecorder(n)
+	appDed, err := mpi.Run(cluster.Build(cluster.Testbed(n), cluster.Dedicated()), n, mpi.Config{}, rec, app)
+	if err != nil {
+		fail(err)
+	}
+	prog, _, err := skeleton.BuildFromTrace(rec.Finish(appDed), *k, skeleton.Options{})
+	if err != nil {
+		fail(err)
+	}
+
+	// Step 2: measure the scaling ratio on the dedicated testbed.
+	skelDed, err := skeleton.Run(prog, cluster.Build(cluster.Testbed(n), cluster.Dedicated()), mpi.Config{}, nil)
+	if err != nil {
+		fail(err)
+	}
+	ratio := predict.Ratio(appDed, skelDed)
+
+	// Step 3: run application and skeleton under the target scenario,
+	// each instrumented with a fresh collector.
+	appCol := telemetry.NewCollector()
+	_, err = mpi.Run(cluster.BuildProbed(cluster.Testbed(n), sc, appCol), n, mpi.Config{Probe: appCol}, nil, app)
+	if err != nil {
+		fail(err)
+	}
+	skelCol := telemetry.NewCollector()
+	_, err = skeleton.Run(prog, cluster.BuildProbed(cluster.Testbed(n), sc, skelCol), mpi.Config{Probe: skelCol}, nil)
+	if err != nil {
+		fail(err)
+	}
+	writeTrace(*traceApp, appCol)
+	writeTrace(*traceSkel, skelCol)
+
+	// Step 4: align the phase profiles and attribute the error.
+	appProf, skelProf := appCol.Profile(), skelCol.Profile()
+	diff := telemetry.Diff(appProf, skelProf, ratio, *buckets)
+
+	if *jsonOut {
+		r := report{
+			Bench: *bench, Class: *class, Ranks: n, K: prog.K, Scenario: sc.Name,
+			AppDedicated: appDed, SkelDedicated: skelDed,
+			Diff: diff, App: appProf, Skel: skelProf,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Printf("%s class %s on %d ranks, skeleton K=%d, scenario %s\n",
+		*bench, *class, n, prog.K, sc.Name)
+	fmt.Printf("dedicated: application %.4f s, skeleton %.4f s\n\n", appDed, skelDed)
+	fmt.Print(diff.Render())
+}
+
+// writeTrace dumps a collector's Perfetto trace to path, when set.
+func writeTrace(path string, col *telemetry.Collector) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := col.WritePerfetto(f); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "skelprof:", err)
+	os.Exit(1)
+}

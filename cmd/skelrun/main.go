@@ -8,9 +8,17 @@
 //
 //	skelrun -skel cg.skel.json -scenario combined
 //	skelrun -bench CG -class B -scenario net-one-link -ranks 4
+//	skelrun -bench CG -class B -ranks 4 -trace cg.json -metrics
+//	skelrun -bench CG -class B -ranks 4 -json
+//
+// With -trace, -metrics, -timeline or -json the run is instrumented: a
+// telemetry collector observes the simulator and the MPI runtime, and
+// the requested views are emitted after the run. Without any of them the
+// probe stays nil and the run pays no instrumentation cost.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +27,21 @@ import (
 	"perfskel/internal/mpi"
 	"perfskel/internal/nas"
 	"perfskel/internal/skeleton"
+	"perfskel/internal/telemetry"
 )
+
+// result is the machine-readable form of one run, printed by -json.
+type result struct {
+	Mode      string              `json:"mode"` // "skeleton" or "benchmark"
+	Bench     string              `json:"bench,omitempty"`
+	Class     string              `json:"class,omitempty"`
+	Skeleton  string              `json:"skeleton,omitempty"`
+	K         int                 `json:"k,omitempty"`
+	Scenario  string              `json:"scenario"`
+	Ranks     int                 `json:"ranks"`
+	Duration  float64             `json:"duration_s"`
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
 
 func main() {
 	skelPath := flag.String("skel", "", "skeleton program to run (from skelgen)")
@@ -28,6 +50,10 @@ func main() {
 	scen := flag.String("scenario", "dedicated",
 		"scenario: dedicated, cpu-one-node, cpu-all-nodes, net-one-link, net-all-links, combined")
 	ranks := flag.Int("ranks", 4, "number of ranks / nodes (ignored for -skel)")
+	jsonOut := flag.Bool("json", false, "print the result as JSON (with a telemetry summary)")
+	metrics := flag.Bool("metrics", false, "print the telemetry metrics registry after the run")
+	timeline := flag.Bool("timeline", false, "print a per-rank activity timeline after the run")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event (Perfetto) JSON file")
 	flag.Parse()
 
 	if (*skelPath == "") == (*bench == "") {
@@ -48,26 +74,79 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	cl := cluster.Build(cluster.Testbed(n), sc)
 
+	var col *telemetry.Collector
+	var sink telemetry.Sink
+	cfg := mpi.Config{}
+	if *jsonOut || *metrics || *timeline || *tracePath != "" {
+		col = telemetry.NewCollector()
+		sink = col
+		cfg.Probe = col
+	}
+	cl := cluster.BuildProbed(cluster.Testbed(n), sc, sink)
+
+	res := result{Scenario: sc.Name, Ranks: n}
 	var dur float64
 	if prog != nil {
-		dur, err = skeleton.Run(prog, cl, mpi.Config{}, nil)
+		dur, err = skeleton.Run(prog, cl, cfg, nil)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("skeleton (K=%d) under %s: %.4f s\n", prog.K, sc.Name, dur)
-		fmt.Printf("predicted application time = %.4f s x measured scaling ratio\n", dur)
+		res.Mode = "skeleton"
+		res.Skeleton = *skelPath
+		res.K = prog.K
+		if !*jsonOut {
+			fmt.Printf("skeleton (K=%d) under %s: %.4f s\n", prog.K, sc.Name, dur)
+			fmt.Printf("predicted application time = %.4f s x measured scaling ratio\n", dur)
+		}
 	} else {
 		app, err := nas.App(*bench, nas.Class(*class))
 		if err != nil {
 			fail(err)
 		}
-		dur, err = mpi.Run(cl, n, mpi.Config{}, nil, app)
+		dur, err = mpi.Run(cl, n, cfg, nil, app)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("%s class %s on %d ranks under %s: %.4f s\n", *bench, *class, n, sc.Name, dur)
+		res.Mode = "benchmark"
+		res.Bench = *bench
+		res.Class = *class
+		if !*jsonOut {
+			fmt.Printf("%s class %s on %d ranks under %s: %.4f s\n", *bench, *class, n, sc.Name, dur)
+		}
+	}
+	res.Duration = dur
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := col.WritePerfetto(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		if !*jsonOut {
+			fmt.Printf("trace written to %s\n", *tracePath)
+		}
+	}
+	if *metrics {
+		fmt.Print(col.Metrics.Render())
+	}
+	if *timeline {
+		fmt.Print(col.RankTimeline(100))
+	}
+	if *jsonOut {
+		snap := col.Metrics.Snapshot()
+		res.Telemetry = &snap
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fail(err)
+		}
 	}
 }
 

@@ -19,10 +19,12 @@
 //
 //	-rules r1,r2   run only the listed rules (default: all)
 //	-list          print the available rules and exit
+//	-json          print findings as a JSON array instead of text
 //	-v             also print per-target progress
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,9 +34,20 @@ import (
 	"perfskel/internal/analysis"
 )
 
+// finding is one diagnostic in -json output.
+type finding struct {
+	Rule     string `json:"rule"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	rules := flag.String("rules", "", "comma-separated rule ids to run (default: all)")
 	list := flag.Bool("list", false, "list available rules and exit")
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array")
 	verbose := flag.Bool("v", false, "print per-target progress")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: skelvet [flags] [package-dir | file.go | ./...] ...\n")
@@ -77,7 +90,7 @@ func main() {
 		args = []string{"./..."}
 	}
 
-	findings := 0
+	findings := []finding{}
 	for _, arg := range args {
 		var pkgs []*analysis.Package
 		switch {
@@ -116,16 +129,41 @@ func main() {
 				fmt.Fprintf(os.Stderr, "skelvet: checking %s\n", pkg.Path)
 			}
 			for _, d := range analysis.Check(pkg, analyzers) {
-				findings++
-				fmt.Println(shortenPos(d, loader.ModuleRoot()))
+				findings = append(findings, finding{
+					Rule:     d.Rule,
+					File:     relPos(d, loader.ModuleRoot()),
+					Line:     d.Pos.Line,
+					Column:   d.Pos.Column,
+					Severity: d.Severity.String(),
+					Message:  d.Message,
+				})
+				if !*jsonOut {
+					fmt.Println(shortenPos(d, loader.ModuleRoot()))
+				}
 			}
 		}
 	}
 
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "skelvet: %d finding(s)\n", findings)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "skelvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// relPos returns the diagnostic's filename relative to the module root
+// when it lies inside it.
+func relPos(d analysis.Diagnostic, root string) string {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return d.Pos.Filename
 }
 
 // shortenPos rewrites absolute file positions relative to the module

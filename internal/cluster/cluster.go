@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"perfskel/internal/sim"
+	"perfskel/internal/telemetry"
 )
 
 // NodeSpec describes one compute node.
@@ -138,6 +139,16 @@ type Cluster struct {
 	cpus     []*sim.CPU
 	up       []*sim.Resource // node -> switch
 	down     []*sim.Resource // switch -> node
+	worlds   int             // worlds launched, for deterministic world naming
+}
+
+// NextWorldID numbers the worlds co-scheduled on this cluster, starting
+// at 1. Per-cluster (not global) numbering keeps process names — and
+// everything derived from them, such as telemetry exports — identical
+// across repeated runs in one process.
+func (c *Cluster) NextWorldID() int {
+	c.worlds++
+	return c.worlds
 }
 
 // loadChunk is the compute granularity of competing load processes. Its
@@ -145,9 +156,20 @@ type Cluster struct {
 // bounds the event rate the daemons generate.
 const loadChunk = 5.0
 
-// Build instantiates topo under scenario on a fresh engine.
-func Build(topo Topology, sc Scenario) *Cluster {
+// Build instantiates topo under scenario on a fresh engine, without
+// instrumentation.
+func Build(topo Topology, sc Scenario) *Cluster { return BuildProbed(topo, sc, nil) }
+
+// BuildProbed instantiates topo under scenario on a fresh engine with a
+// telemetry sink attached: the sink becomes the engine's probe and
+// additionally observes the scenario and contender lifecycle. A nil
+// sink is identical to Build.
+func BuildProbed(topo Topology, sc Scenario, sink telemetry.Sink) *Cluster {
 	eng := sim.New()
+	if sink != nil {
+		eng.SetProbe(sink)
+		sink.ScenarioStart(sc.Name, len(topo.Nodes))
+	}
 	c := &Cluster{Topo: topo, Scenario: sc, Engine: eng}
 	for i, n := range topo.Nodes {
 		bw := topo.Bandwidth
@@ -173,7 +195,11 @@ func Build(topo Topology, sc Scenario) *Cluster {
 		}
 		cpu := c.cpus[node]
 		for k := 0; k < count; k++ {
-			eng.Spawn(fmt.Sprintf("load%d.%d", node, k), true, func(p *sim.Proc) {
+			name := fmt.Sprintf("load%d.%d", node, k)
+			if sink != nil {
+				sink.ContenderStart(telemetry.ContenderLoad, node, name)
+			}
+			eng.Spawn(name, true, func(p *sim.Proc) {
 				for {
 					p.Compute(cpu, loadChunk)
 				}
@@ -186,6 +212,9 @@ func Build(topo Topology, sc Scenario) *Cluster {
 			rng = rand.New(rand.NewSource(t.Seed))
 		}
 		n := len(topo.Nodes)
+		if sink != nil {
+			sink.ContenderStart(telemetry.ContenderTraffic, -1, "crosstraffic")
+		}
 		eng.Spawn("crosstraffic", true, func(p *sim.Proc) {
 			for {
 				p.Sleep(expDraw(rng, t.MeanGap))

@@ -21,7 +21,7 @@ const token = 4
 // Barrier blocks until every rank has entered it (dissemination
 // algorithm: ceil(log2 n) rounds of pairwise token exchange).
 func (c *Comm) Barrier() {
-	start := c.Now()
+	start := c.beginOp()
 	tag := c.collTag()
 	size := c.Size()
 	for k := 1; k < size; k <<= 1 {
@@ -34,7 +34,7 @@ func (c *Comm) Barrier() {
 
 // Bcast broadcasts bytes from root to every rank (binomial tree).
 func (c *Comm) Bcast(root int, bytes int64) {
-	start := c.Now()
+	start := c.beginOp()
 	tag := c.collTag()
 	c.bcastRaw(root, tag, bytes)
 	c.record(OpRecord{Op: OpBcast, Peer: root, Peer2: None, Bytes: bytes, Start: start, End: c.Now()})
@@ -70,7 +70,7 @@ func (c *Comm) bcastRaw(root, tag int, bytes int64) {
 // Reduce combines bytes from every rank at root (binomial tree; the
 // combine step costs CPU per Config.ReduceCostPerByte).
 func (c *Comm) Reduce(root int, bytes int64) {
-	start := c.Now()
+	start := c.beginOp()
 	tag := c.collTag()
 	c.reduceRaw(root, tag, bytes)
 	c.record(OpRecord{Op: OpReduce, Peer: root, Peer2: None, Bytes: bytes, Start: start, End: c.Now()})
@@ -105,7 +105,7 @@ func (c *Comm) reduceRaw(root, tag int, bytes int64) {
 // everywhere. Power-of-two worlds use recursive doubling; otherwise a
 // reduce-to-zero plus broadcast, as classic MPICH does.
 func (c *Comm) Allreduce(bytes int64) {
-	start := c.Now()
+	start := c.beginOp()
 	tag := c.collTag()
 	size := c.Size()
 	if size&(size-1) == 0 {
@@ -125,7 +125,7 @@ func (c *Comm) Allreduce(bytes int64) {
 // exchange: n-1 sendrecv steps). The recorded Bytes field holds the
 // per-pair count, matching the MPI sendcount convention.
 func (c *Comm) Alltoall(bytesPerPair int64) {
-	start := c.Now()
+	start := c.beginOp()
 	tag := c.collTag()
 	size := c.Size()
 	for i := 1; i < size; i++ {
@@ -145,7 +145,7 @@ func (c *Comm) Alltoallv(sizes []int64) {
 	if len(sizes) != c.Size() {
 		panic(fmt.Sprintf("mpi: Alltoallv with %d sizes for %d ranks", len(sizes), c.Size()))
 	}
-	start := c.Now()
+	start := c.beginOp()
 	tag := c.collTag()
 	size := c.Size()
 	var total int64
@@ -165,7 +165,7 @@ func (c *Comm) Alltoallv(sizes []int64) {
 // Allgather collects bytesPerRank from every rank at every rank (ring
 // algorithm: n-1 forwarding steps).
 func (c *Comm) Allgather(bytesPerRank int64) {
-	start := c.Now()
+	start := c.beginOp()
 	tag := c.collTag()
 	size := c.Size()
 	right := (c.rank + 1) % size
@@ -178,7 +178,7 @@ func (c *Comm) Allgather(bytesPerRank int64) {
 
 // Gather collects bytesPerRank from every rank at root (linear algorithm).
 func (c *Comm) Gather(root int, bytesPerRank int64) {
-	start := c.Now()
+	start := c.beginOp()
 	tag := c.collTag()
 	if c.rank == root {
 		reqs := make([]*Request, 0, c.Size()-1)
@@ -201,7 +201,7 @@ func (c *Comm) Gather(root int, bytesPerRank int64) {
 // Scatter distributes bytesPerRank from root to every rank (linear
 // algorithm).
 func (c *Comm) Scatter(root int, bytesPerRank int64) {
-	start := c.Now()
+	start := c.beginOp()
 	tag := c.collTag()
 	if c.rank == root {
 		reqs := make([]*Request, 0, c.Size()-1)

@@ -2,14 +2,10 @@ package mpi
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"perfskel/internal/cluster"
 	"perfskel/internal/sim"
 )
-
-// worldSeq numbers worlds for process naming in diagnostics.
-var worldSeq atomic.Int64
 
 // Launch registers app's ranks on the cluster without driving the engine,
 // so several applications can be co-scheduled on the same simulated
@@ -31,7 +27,7 @@ func Launch(cl *cluster.Cluster, nranks int, cfg Config, mon Monitor, app App) (
 		return nil, fmt.Errorf("mpi: placement has %d entries for %d ranks", len(cfg.Placement), nranks)
 	}
 	w := &World{cl: cl, cfg: cfg, mon: mon}
-	wid := worldSeq.Add(1)
+	wid := cl.NextWorldID()
 	for r := 0; r < nranks; r++ {
 		node := r % cl.Nodes()
 		if cfg.Placement != nil {
@@ -43,6 +39,9 @@ func Launch(cl *cluster.Cluster, nranks int, cfg Config, mon Monitor, app App) (
 		st := &rankState{node: node}
 		st.comm = &Comm{w: w, rank: r}
 		w.ranks = append(w.ranks, st)
+		if cfg.Probe != nil {
+			cfg.Probe.RankStart(r, node)
+		}
 	}
 	for r := 0; r < nranks; r++ {
 		st := w.ranks[r]
@@ -50,6 +49,9 @@ func Launch(cl *cluster.Cluster, nranks int, cfg Config, mon Monitor, app App) (
 		st.proc = cl.Engine.Spawn(fmt.Sprintf("w%d.rank%d", wid, rr), false, func(p *sim.Proc) {
 			app(w.ranks[rr].comm)
 			w.finish = p.Now()
+			if cfg.Probe != nil {
+				cfg.Probe.RankFinish(rr, p.Now())
+			}
 			if rf, ok := mon.(RankFinisher); ok && mon != nil {
 				rf.RankDone(rr, p.Now())
 			}

@@ -15,6 +15,7 @@ package mpi
 import (
 	"perfskel/internal/cluster"
 	"perfskel/internal/sim"
+	"perfskel/internal/telemetry"
 )
 
 // DefaultEagerThreshold is the default largest message size sent
@@ -42,6 +43,12 @@ type Config struct {
 	SelfLatency float64
 	// Placement maps rank to node. Default: rank i on node i mod nodes.
 	Placement []int
+	// Probe, when non-nil, observes rank lifecycle and every completed
+	// MPI call as a span with its compute/blocked/transfer time split
+	// (telemetry instrumentation). Nil disables the instrumentation at
+	// zero cost; unlike Monitor, a Probe sees collective-internal wait
+	// decomposition, not just call boundaries.
+	Probe telemetry.MPIProbe `json:"-"`
 }
 
 // withDefaults fills zero fields with defaults. A negative cost field
@@ -85,6 +92,11 @@ type rankState struct {
 	pending []*message // arrived-or-announced but unmatched messages, arrival order
 	posted  []*Request // posted but unmatched receives, post order
 	collSeq int        // per-rank collective sequence for tag isolation
+
+	// split accumulates the current public operation's time
+	// decomposition; beginOp resets it, record reads it. Only
+	// maintained while the world has a probe.
+	split telemetry.Split
 }
 
 // Comm is a rank's handle to the world: the public MPI-like API. All
@@ -138,13 +150,21 @@ func (c *Comm) Compute(work float64) {
 	st.proc.Compute(c.w.cl.CPU(st.node), work)
 }
 
-// overhead charges one MPI call's CPU cost.
+// overhead charges one MPI call's CPU cost. Under a probe, the elapsed
+// virtual time (which exceeds the charged work under CPU contention) is
+// attributed to the current operation's compute share.
 func (c *Comm) overhead() {
 	if c.w.cfg.CallOverhead <= 0 {
 		return
 	}
 	st := c.state()
+	if c.w.cfg.Probe == nil {
+		st.proc.Compute(c.w.cl.CPU(st.node), c.w.cfg.CallOverhead)
+		return
+	}
+	t0 := c.Now()
 	st.proc.Compute(c.w.cl.CPU(st.node), c.w.cfg.CallOverhead)
+	st.split.Compute += c.Now() - t0
 }
 
 // reduceCost charges the CPU cost of combining bytes in a reduction.
@@ -153,11 +173,51 @@ func (c *Comm) reduceCost(bytes int64) {
 		return
 	}
 	st := c.state()
-	st.proc.Compute(c.w.cl.CPU(st.node), float64(bytes)*c.w.cfg.ReduceCostPerByte)
+	work := float64(bytes) * c.w.cfg.ReduceCostPerByte
+	if c.w.cfg.Probe == nil {
+		st.proc.Compute(c.w.cl.CPU(st.node), work)
+		return
+	}
+	t0 := c.Now()
+	st.proc.Compute(c.w.cl.CPU(st.node), work)
+	st.split.Compute += c.Now() - t0
+}
+
+// beginOp marks the start of a public MPI call: it resets the rank's
+// split accumulator (when probed) and returns the start time.
+func (c *Comm) beginOp() float64 {
+	if c.w.cfg.Probe != nil {
+		c.state().split = telemetry.Split{}
+	}
+	return c.Now()
 }
 
 func (c *Comm) record(rec OpRecord) {
+	if p := c.w.cfg.Probe; p != nil {
+		st := c.state()
+		p.OpSpan(c.rank, rec.Op.String(), rec.Op.IsCollective(), rec.Peer, rec.Bytes, rec.Tag,
+			c.w.pathClass(rec), rec.Start, rec.End, st.split)
+	}
 	if c.w.mon != nil {
 		c.w.mon.Record(c.rank, rec)
 	}
+}
+
+// pathClass labels a point-to-point record's protocol path for the
+// probe: eager or rendezvous by the configured threshold. Collectives,
+// receive posts (size unknown) and waitalls get no label.
+func (w *World) pathClass(rec OpRecord) string {
+	switch rec.Op {
+	case OpSend, OpRecv, OpIsend, OpSendrecv:
+	case OpWait:
+		if rec.Sub == OpIrecv && rec.Bytes == 0 {
+			return ""
+		}
+	default:
+		return ""
+	}
+	if rec.Bytes <= w.cfg.EagerThreshold {
+		return telemetry.PathEager
+	}
+	return telemetry.PathRendezvous
 }

@@ -27,6 +27,7 @@ type Request struct {
 	bytes int64
 	done  *sim.Event
 	st    Status
+	m     *message // matched message, for transfer-window attribution
 }
 
 // Op returns the kind of the request (OpIsend or OpIrecv).
@@ -45,6 +46,11 @@ type message struct {
 	arrived       bool     // payload fully delivered
 	sreq          *Request // sender's request
 	rreq          *Request // matched receive, nil until matched
+
+	// Transfer window for telemetry: the virtual interval the payload
+	// was in motion (latency plus flow). xferEnd stays zero until
+	// delivery.
+	xferStart, xferEnd float64
 }
 
 func match(req *Request, m *message) bool {
@@ -62,6 +68,7 @@ func (w *World) startTransfer(m *message) {
 		lat = w.cfg.SelfLatency
 	}
 	eng := w.cl.Engine
+	m.xferStart = eng.Now()
 	eng.After(lat, func() {
 		if len(path) == 0 {
 			w.delivered(m)
@@ -74,6 +81,7 @@ func (w *World) startTransfer(m *message) {
 // delivered runs when the last payload byte reaches the destination.
 func (w *World) delivered(m *message) {
 	m.arrived = true
+	m.xferEnd = w.cl.Engine.Now()
 	if !m.eager {
 		// Rendezvous send completes only when the payload is delivered.
 		m.sreq.done.Fire()
@@ -86,6 +94,7 @@ func (w *World) delivered(m *message) {
 // bind matches message m to receive request rreq.
 func (w *World) bind(m *message, rreq *Request) {
 	m.rreq = rreq
+	rreq.m = m
 	if !m.eager && !m.arrived {
 		// Rendezvous: the transfer starts once the receive is posted.
 		w.startTransfer(m)
@@ -117,6 +126,7 @@ func (c *Comm) isendRaw(dst, tag int, bytes int64) *Request {
 		eager: bytes <= w.cfg.EagerThreshold,
 		sreq:  req,
 	}
+	req.m = m
 	if m.eager {
 		// Eager: payload leaves immediately, the send buffer is considered
 		// consumed, and the sender proceeds.
@@ -155,15 +165,50 @@ func (c *Comm) irecvRaw(src, tag int) *Request {
 	return req
 }
 
-// waitRaw blocks until req completes, without recording.
+// waitRaw blocks until req completes, without recording. Under a probe,
+// the wait is decomposed: the part overlapping the matched message's
+// transfer window counts as transfer (the payload was on the wire), the
+// rest as blocked (pure synchronisation — the peer had not arrived).
 func (c *Comm) waitRaw(req *Request) Status {
 	st := c.state()
+	probed := c.w.cfg.Probe != nil
+	t0 := 0.0
+	if probed {
+		t0 = c.Now()
+	}
 	st.proc.WaitEvent(req.done, fmt.Sprintf("rank%d wait %v peer=%d tag=%d bytes=%d",
 		c.rank, req.op, req.peer, req.tag, req.bytes))
+	if probed {
+		t1 := c.Now()
+		if waited := t1 - t0; waited > 0 {
+			xfer := 0.0
+			if m := req.m; m != nil && m.xferEnd > m.xferStart {
+				if o := min64(t1, m.xferEnd) - max64(t0, m.xferStart); o > 0 {
+					xfer = o
+				}
+			}
+			st.split.Transfer += xfer
+			st.split.Blocked += waited - xfer
+		}
+	}
 	if req.op == OpIrecv {
 		req.bytes = req.st.Bytes
 	}
 	return req.st
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // sendrecvRaw exchanges messages with possibly different peers, as
@@ -178,7 +223,7 @@ func (c *Comm) sendrecvRaw(dst, src, tag int, sendBytes int64) Status {
 
 // Isend starts a non-blocking send of bytes to dst with the given tag.
 func (c *Comm) Isend(dst, tag int, bytes int64) *Request {
-	start := c.Now()
+	start := c.beginOp()
 	req := c.isendRaw(dst, tag, bytes)
 	c.record(OpRecord{Op: OpIsend, Peer: dst, Peer2: None, Bytes: bytes, Tag: tag, Start: start, End: c.Now()})
 	return req
@@ -187,7 +232,7 @@ func (c *Comm) Isend(dst, tag int, bytes int64) *Request {
 // Irecv starts a non-blocking receive from src (or AnySource) with the
 // given tag (or AnyTag).
 func (c *Comm) Irecv(src, tag int) *Request {
-	start := c.Now()
+	start := c.beginOp()
 	req := c.irecvRaw(src, tag)
 	c.record(OpRecord{Op: OpIrecv, Peer: src, Peer2: None, Tag: tag, Start: start, End: c.Now()})
 	return req
@@ -195,7 +240,7 @@ func (c *Comm) Irecv(src, tag int) *Request {
 
 // Wait blocks until req completes and returns its status.
 func (c *Comm) Wait(req *Request) Status {
-	start := c.Now()
+	start := c.beginOp()
 	stat := c.waitRaw(req)
 	peer := req.peer
 	if req.op == OpIrecv && stat.Source >= 0 {
@@ -207,7 +252,7 @@ func (c *Comm) Wait(req *Request) Status {
 
 // Waitall blocks until every request completes.
 func (c *Comm) Waitall(reqs ...*Request) {
-	start := c.Now()
+	start := c.beginOp()
 	var total int64
 	for _, r := range reqs {
 		c.waitRaw(r)
@@ -219,7 +264,7 @@ func (c *Comm) Waitall(reqs ...*Request) {
 // Send sends bytes to dst and blocks until the send buffer may be reused:
 // immediately for eager messages, on delivery for rendezvous ones.
 func (c *Comm) Send(dst, tag int, bytes int64) {
-	start := c.Now()
+	start := c.beginOp()
 	req := c.isendRaw(dst, tag, bytes)
 	c.waitRaw(req)
 	c.record(OpRecord{Op: OpSend, Peer: dst, Peer2: None, Bytes: bytes, Tag: tag, Start: start, End: c.Now()})
@@ -227,7 +272,7 @@ func (c *Comm) Send(dst, tag int, bytes int64) {
 
 // Recv blocks until a matching message is received.
 func (c *Comm) Recv(src, tag int) Status {
-	start := c.Now()
+	start := c.beginOp()
 	req := c.irecvRaw(src, tag)
 	stat := c.waitRaw(req)
 	peer := src
@@ -241,7 +286,7 @@ func (c *Comm) Recv(src, tag int) Status {
 // Sendrecv sends sendBytes to dst while receiving from src, both with the
 // given tag, and returns the receive status.
 func (c *Comm) Sendrecv(dst int, sendBytes int64, src, tag int) Status {
-	start := c.Now()
+	start := c.beginOp()
 	stat := c.sendrecvRaw(dst, src, tag, sendBytes)
 	c.record(OpRecord{
 		Op: OpSendrecv, Peer: dst, Peer2: src,

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"perfskel/internal/telemetry"
 )
 
 // Engine is a discrete-event simulation engine. Create one with New, add
@@ -48,6 +50,8 @@ type Engine struct {
 	cpus  []*CPU
 	links []*Resource
 
+	probe telemetry.SimProbe
+
 	// MaxVirtualTime aborts Run with an error if the virtual clock passes
 	// it. Zero means no limit. It is a safety net against runaway
 	// workloads, not a normal termination mechanism.
@@ -61,6 +65,13 @@ func New() *Engine {
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
+
+// SetProbe attaches a telemetry probe observing proc state transitions,
+// task lifecycle and resource utilisation changes. Call it before Spawn
+// so proc registrations are seen. A nil probe (the default) disables
+// instrumentation entirely: every emission site is guarded by a nil
+// check, so the disabled path costs no allocations.
+func (e *Engine) SetProbe(p telemetry.SimProbe) { e.probe = p }
 
 // Proc is a virtual process: a goroutine whose passage of virtual time is
 // entirely explicit through Compute, Sleep and WaitEvent calls. User code
@@ -107,6 +118,9 @@ func (e *Engine) Spawn(name string, daemon bool, body func(p *Proc)) *Proc {
 	if !daemon {
 		e.alive++
 	}
+	if e.probe != nil {
+		e.probe.ProcSpawn(p.id, name, daemon)
+	}
 	e.wg.Add(1)
 	//skelvet:ignore nondeterminism proc goroutines are the coroutine substrate: handoff via unbuffered yield/resume channels keeps exactly one runnable at a time
 	go func() {
@@ -132,6 +146,9 @@ func (e *Engine) Spawn(name string, daemon bool, body func(p *Proc)) *Proc {
 		if !p.daemon {
 			e.alive--
 		}
+		if e.probe != nil {
+			e.probe.ProcDone(e.now, p.id)
+		}
 		e.yield <- struct{}{}
 	}()
 	return p
@@ -147,6 +164,9 @@ var errStopped = fmt.Errorf("sim: engine stopped")
 func (p *Proc) block(reason string) {
 	p.reason = reason
 	p.parked = true
+	if p.eng.probe != nil {
+		p.eng.probe.ProcBlock(p.eng.now, p.id, reason)
+	}
 	p.eng.yield <- struct{}{}
 	<-p.resume
 	if p.eng.stopped {
@@ -162,6 +182,9 @@ func (e *Engine) wake(p *Proc) {
 		panic("sim: wake of non-parked proc " + p.name)
 	}
 	p.parked = false
+	if e.probe != nil {
+		e.probe.ProcWake(e.now, p.id)
+	}
 	i := sort.Search(len(e.ready), func(i int) bool { return e.ready[i].id >= p.id })
 	e.ready = append(e.ready, nil)
 	copy(e.ready[i+1:], e.ready[i:])
@@ -244,15 +267,39 @@ func (e *Engine) shutdown() {
 	e.wg.Wait()
 }
 
+// CPUStat reports one CPU group's accumulated activity.
+type CPUStat struct {
+	Name string
+	Busy float64 // virtual seconds with at least one runnable compute task
+}
+
+// LinkStat reports one network resource's accumulated activity.
+type LinkStat struct {
+	Name  string
+	Bytes float64 // payload bytes carried across the resource
+}
+
 // Stats reports engine activity counters, for observability and
-// benchmarking.
+// benchmarking. CPUBusy and LinkBytes list every CPU group and network
+// resource in creation order, so the report is deterministic.
 type Stats struct {
-	Events int     // task completions processed
-	Procs  int     // virtual processes spawned
-	Now    float64 // final virtual time
+	Events    int     // task completions processed
+	Procs     int     // virtual processes spawned
+	Now       float64 // final virtual time
+	CPUBusy   []CPUStat
+	LinkBytes []LinkStat
 }
 
 // Stats returns the engine's activity counters.
 func (e *Engine) Stats() Stats {
-	return Stats{Events: e.completions, Procs: len(e.procs), Now: e.now}
+	s := Stats{Events: e.completions, Procs: len(e.procs), Now: e.now}
+	s.CPUBusy = make([]CPUStat, len(e.cpus))
+	for i, c := range e.cpus {
+		s.CPUBusy[i] = CPUStat{Name: c.name, Busy: c.busy}
+	}
+	s.LinkBytes = make([]LinkStat, len(e.links))
+	for i, r := range e.links {
+		s.LinkBytes[i] = LinkStat{Name: r.name, Bytes: r.bytes}
+	}
+	return s
 }

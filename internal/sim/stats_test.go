@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"perfskel/internal/telemetry"
+)
+
+func TestStatsPerCPUBusyTime(t *testing.T) {
+	// Two CPU groups: cpu0 computes 2s on one proc, cpu1 computes 3s
+	// split over two procs that never oversubscribe its two processors.
+	e := New()
+	cpu0 := e.NewCPU("cpu0", 2, 1.0)
+	cpu1 := e.NewCPU("cpu1", 2, 1.0)
+	e.Spawn("a", false, func(p *Proc) { p.Compute(cpu0, 2.0) })
+	e.Spawn("b", false, func(p *Proc) { p.Compute(cpu1, 1.0) })
+	e.Spawn("c", false, func(p *Proc) { p.Compute(cpu1, 2.0) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if len(s.CPUBusy) != 2 {
+		t.Fatalf("CPUBusy has %d entries, want 2", len(s.CPUBusy))
+	}
+	if s.CPUBusy[0].Name != "cpu0" || s.CPUBusy[1].Name != "cpu1" {
+		t.Fatalf("CPUBusy order = %q, %q; want creation order cpu0, cpu1", s.CPUBusy[0].Name, s.CPUBusy[1].Name)
+	}
+	// Busy time counts wall intervals with at least one active task.
+	approx(t, s.CPUBusy[0].Busy, 2.0, tol, "cpu0 busy")
+	approx(t, s.CPUBusy[1].Busy, 2.0, tol, "cpu1 busy")
+}
+
+func TestStatsPerLinkBytes(t *testing.T) {
+	// One flow of 1000 bytes over up0+down1, and 500 bytes over up0 only:
+	// up0 carries both, down1 only the first.
+	e := New()
+	up0 := e.NewResource("up0", 100.0)
+	down1 := e.NewResource("down1", 100.0)
+	e.Spawn("driver", false, func(p *Proc) {
+		done := e.NewEvent()
+		e.StartFlow([]*Resource{up0, down1}, 1000, func() {})
+		e.StartFlow([]*Resource{up0}, 500, func() { done.Fire() })
+		p.WaitEvent(done, "flow")
+		p.Sleep(20) // let the larger flow drain too
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if len(s.LinkBytes) != 2 {
+		t.Fatalf("LinkBytes has %d entries, want 2", len(s.LinkBytes))
+	}
+	if s.LinkBytes[0].Name != "up0" || s.LinkBytes[1].Name != "down1" {
+		t.Fatalf("LinkBytes order = %q, %q; want creation order up0, down1", s.LinkBytes[0].Name, s.LinkBytes[1].Name)
+	}
+	approx(t, s.LinkBytes[0].Bytes, 1500, 1e-6, "up0 bytes carried")
+	approx(t, s.LinkBytes[1].Bytes, 1000, 1e-6, "down1 bytes carried")
+}
+
+func TestDeadlockBlockedListDeterministicOrder(t *testing.T) {
+	// Regression: DeadlockError.Blocked must list blocked procs in
+	// process-id order with their block reasons, independent of wake-up
+	// history. Spawn several procs that block in scrambled time order.
+	e := New()
+	for i := 0; i < 5; i++ {
+		i := i
+		ev := e.NewEvent()
+		e.Spawn(fmt.Sprintf("p%d", i), false, func(p *Proc) {
+			// Stagger so later-id procs block earlier in virtual time.
+			p.Sleep(float64(5-i) * 0.1)
+			p.WaitEvent(ev, fmt.Sprintf("reason%d", i))
+		})
+	}
+	err := e.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run returned %v, want *DeadlockError", err)
+	}
+	if len(dl.Blocked) != 5 {
+		t.Fatalf("Blocked has %d entries, want 5", len(dl.Blocked))
+	}
+	for i, b := range dl.Blocked {
+		want := fmt.Sprintf("p%d: reason%d", i, i)
+		if b != want {
+			t.Errorf("Blocked[%d] = %q, want %q", i, b, want)
+		}
+	}
+}
+
+func TestEngineProbeSeesLifecycle(t *testing.T) {
+	// The collector observes spawn, block/wake, task lifecycle and
+	// utilisation changes via the probe.
+	col := telemetry.NewCollector()
+	e := New()
+	e.SetProbe(col)
+	cpu := e.NewCPU("cpu0", 1, 1.0)
+	link := e.NewResource("up0", 100.0)
+	e.Spawn("worker", false, func(p *Proc) {
+		p.Compute(cpu, 1.0)
+		done := e.NewEvent()
+		e.StartFlow([]*Resource{link}, 200, func() { done.Fire() })
+		p.WaitEvent(done, "flow wait")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := col.Metrics
+	if got := m.Counter("sim.procs").Value; got != 1 {
+		t.Errorf("sim.procs = %v, want 1", got)
+	}
+	if got := m.Counter("sim.tasks." + telemetry.TaskCompute).Value; got != 1 {
+		t.Errorf("compute tasks = %v, want 1", got)
+	}
+	if got := m.Counter("sim.tasks." + telemetry.TaskFlow).Value; got != 1 {
+		t.Errorf("flow tasks = %v, want 1", got)
+	}
+	if got := m.Histogram("sim.block_time").Count; got == 0 {
+		t.Error("no block intervals observed")
+	}
+	if got := m.Gauge("sim.link_rate.up0").Updated; got <= 0 {
+		t.Error("link rate gauge never updated")
+	}
+	approx(t, col.Duration(), e.Now(), tol, "collector last time")
+}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
+
+	"perfskel/internal/telemetry"
 )
 
 // CPU models the processors of one node under processor-sharing: with n
@@ -15,6 +18,8 @@ type CPU struct {
 	ncpu   int
 	speed  float64 // work units per second per processor
 	active int     // running compute tasks (maintained during advance)
+	busy   float64 // virtual seconds with at least one runnable task
+	probed int     // last runnable count reported to the probe
 }
 
 // NewCPU adds a node CPU group with ncpu processors of the given speed (in
@@ -36,10 +41,16 @@ func (c *CPU) Name() string { return c.name }
 type Resource struct {
 	name     string
 	capacity float64 // bytes per second
+	bytes    float64 // payload bytes carried, accumulated during advance
 
 	// scratch fields used by the max-min computation
 	remCap  float64
 	unfixed int
+	nflows  int // flows crossing the resource this round
+
+	// last utilisation reported to the probe
+	probedRate  float64
+	probedFlows int
 }
 
 // NewResource adds a network resource with the given capacity in bytes/s.
@@ -103,7 +114,11 @@ func (e *Engine) StartCompute(cpu *CPU, work float64, onDone func()) {
 		e.After(0, onDone)
 		return
 	}
-	e.addTask(&task{kind: taskCompute, cpu: cpu, remaining: work, onDone: onDone})
+	t := &task{kind: taskCompute, cpu: cpu, remaining: work, onDone: onDone}
+	e.addTask(t)
+	if e.probe != nil {
+		e.probe.TaskStart(e.now, t.id, telemetry.TaskCompute, cpu.name, work)
+	}
 }
 
 // StartFlow begins a network transfer of bytes across the resources in
@@ -118,7 +133,23 @@ func (e *Engine) StartFlow(path []*Resource, bytes float64, onDone func()) {
 		e.After(0, onDone)
 		return
 	}
-	e.addTask(&task{kind: taskFlow, path: path, remaining: bytes, onDone: onDone})
+	t := &task{kind: taskFlow, path: path, remaining: bytes, onDone: onDone}
+	e.addTask(t)
+	if e.probe != nil {
+		e.probe.TaskStart(e.now, t.id, telemetry.TaskFlow, pathName(path), bytes)
+	}
+}
+
+// pathName joins a flow path's resource names for probe reports.
+func pathName(path []*Resource) string {
+	if len(path) == 1 {
+		return path[0].name
+	}
+	names := make([]string, len(path))
+	for i, r := range path {
+		names[i] = r.name
+	}
+	return strings.Join(names, "+")
 }
 
 // After schedules onDone to run in scheduler context after delay seconds of
@@ -127,7 +158,11 @@ func (e *Engine) After(delay float64, onDone func()) {
 	if delay < 0 {
 		panic("sim: negative delay")
 	}
-	e.addTask(&task{kind: taskTimer, deadline: e.now + delay, onDone: onDone})
+	t := &task{kind: taskTimer, deadline: e.now + delay, onDone: onDone}
+	e.addTask(t)
+	if e.probe != nil {
+		e.probe.TaskStart(e.now, t.id, telemetry.TaskTimer, "", delay)
+	}
 }
 
 // Compute blocks the calling process for the given amount of work (in
@@ -182,8 +217,10 @@ func (e *Engine) computeRates() {
 					resList = append(resList, r)
 					r.remCap = r.capacity
 					r.unfixed = 0
+					r.nflows = 0
 				}
 				r.unfixed++
+				r.nflows++
 			}
 		}
 	}
@@ -232,6 +269,31 @@ func (e *Engine) computeRates() {
 			}
 		}
 	}
+	if e.probe != nil {
+		e.emitUtilisation(resSet)
+	}
+}
+
+// emitUtilisation reports per-CPU runnable counts and per-link flow
+// rates to the probe, emitting only values that changed since the last
+// report so idle resources cost nothing.
+func (e *Engine) emitUtilisation(carrying map[*Resource]bool) {
+	for _, c := range e.cpus {
+		if c.active != c.probed {
+			c.probed = c.active
+			e.probe.CPULoad(e.now, c.name, c.active)
+		}
+	}
+	for _, r := range e.links {
+		rate, flows := 0.0, 0
+		if carrying[r] {
+			rate, flows = r.capacity-r.remCap, r.nflows
+		}
+		if rate != r.probedRate || flows != r.probedFlows {
+			r.probedRate, r.probedFlows = rate, flows
+			e.probe.LinkRate(e.now, r.name, flows, rate)
+		}
+	}
 }
 
 // advance moves virtual time forward to the next task completion and runs
@@ -258,8 +320,17 @@ func (e *Engine) advance() {
 	if math.IsInf(dt, 1) {
 		panic("sim: advance with no finishing task")
 	}
+	// Accumulate per-CPU busy time over the interval: a group is busy
+	// while at least one compute task is runnable on it.
+	for _, c := range e.cpus {
+		if c.active > 0 {
+			c.busy += dt
+		}
+	}
 	// Identify completions before applying progress, using a small relative
-	// slack so float drift cannot strand a near-zero remainder.
+	// slack so float drift cannot strand a near-zero remainder. Flow
+	// progress over the interval is charged to every resource on the
+	// flow's path as bytes carried.
 	const slack = 1e-12
 	var completed []*task
 	var remaining []*task
@@ -272,10 +343,20 @@ func (e *Engine) advance() {
 			d = t.remaining / t.rate
 		}
 		if d <= dt*(1+slack)+1e-15 {
+			if t.kind == taskFlow {
+				for _, r := range t.path {
+					r.bytes += t.remaining
+				}
+			}
 			completed = append(completed, t)
 		} else {
 			if t.kind != taskTimer {
 				t.remaining -= t.rate * dt
+				if t.kind == taskFlow {
+					for _, r := range t.path {
+						r.bytes += t.rate * dt
+					}
+				}
 			}
 			remaining = append(remaining, t)
 		}
@@ -286,8 +367,23 @@ func (e *Engine) advance() {
 	e.completions += len(completed)
 	for _, t := range completed {
 		t.remaining = 0
+		if e.probe != nil {
+			e.emitTaskFinish(t)
+		}
 		if t.onDone != nil {
 			t.onDone()
 		}
+	}
+}
+
+// emitTaskFinish reports a task completion to the probe.
+func (e *Engine) emitTaskFinish(t *task) {
+	switch t.kind {
+	case taskCompute:
+		e.probe.TaskFinish(e.now, t.id, telemetry.TaskCompute, t.cpu.name)
+	case taskFlow:
+		e.probe.TaskFinish(e.now, t.id, telemetry.TaskFlow, pathName(t.path))
+	default:
+		e.probe.TaskFinish(e.now, t.id, telemetry.TaskTimer, "")
 	}
 }

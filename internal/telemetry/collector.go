@@ -1,0 +1,237 @@
+package telemetry
+
+// OpSpanRec is one recorded MPI operation span.
+type OpSpanRec struct {
+	Rank       int
+	Op         string
+	Collective bool
+	Peer       int
+	Bytes      int64
+	Tag        int
+	Path       string
+	Start, End float64
+	Split      Split
+}
+
+// Duration returns the span's elapsed virtual time.
+func (s OpSpanRec) Duration() float64 { return s.End - s.Start }
+
+// BlockSpan is one interval a virtual process spent parked.
+type BlockSpan struct {
+	Proc       int
+	Reason     string
+	Start, End float64
+}
+
+// CounterSample is one point of a utilisation time series (CPU runnable
+// count or link rate).
+type CounterSample struct {
+	T     float64
+	Value float64
+	Aux   float64 // links: flow count
+}
+
+// ProcInfo describes one spawned virtual process.
+type ProcInfo struct {
+	ID     int
+	Name   string
+	Daemon bool
+	Done   float64 // body return time; negative while running
+}
+
+// Collector implements Sink, accumulating probe events into a metrics
+// registry plus the span and time-series records the Perfetto exporter,
+// the timeline renderer and the profile builder consume. One Collector
+// observes one simulated run; use a fresh one per run.
+type Collector struct {
+	// Metrics is the virtual-clock registry fed by the probes; callers
+	// may register their own metrics in it too.
+	Metrics *Registry
+
+	// Scenario and Nodes are set by ScenarioStart.
+	Scenario string
+	Nodes    int
+
+	procs      []ProcInfo
+	openBlock  map[int]int // proc id -> index into blocks of the open span
+	blocks     []BlockSpan
+	spans      []OpSpanRec
+	rankNode   map[int]int
+	rankFinish map[int]float64
+	cpuSeries  map[string][]CounterSample
+	linkSeries map[string][]CounterSample
+	contenders int
+	last       float64 // latest virtual time observed
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		Metrics:    NewRegistry(),
+		openBlock:  make(map[int]int),
+		rankNode:   make(map[int]int),
+		rankFinish: make(map[int]float64),
+		cpuSeries:  make(map[string][]CounterSample),
+		linkSeries: make(map[string][]CounterSample),
+	}
+}
+
+func (c *Collector) see(t float64) {
+	if t > c.last {
+		c.last = t
+	}
+}
+
+// Duration returns the latest virtual time any probe reported.
+func (c *Collector) Duration() float64 { return c.last }
+
+// Spans returns the recorded MPI operation spans in completion order.
+func (c *Collector) Spans() []OpSpanRec { return c.spans }
+
+// ScenarioStart implements ClusterProbe.
+func (c *Collector) ScenarioStart(name string, nodes int) {
+	c.Scenario = name
+	c.Nodes = nodes
+}
+
+// ContenderStart implements ClusterProbe.
+func (c *Collector) ContenderStart(kind string, node int, name string) {
+	c.contenders++
+	c.Metrics.Counter("cluster.contenders."+kind).Add(0, 1)
+}
+
+// Contenders returns the number of competing workloads the scenario
+// spawned.
+func (c *Collector) Contenders() int { return c.contenders }
+
+// ProcSpawn implements SimProbe.
+func (c *Collector) ProcSpawn(id int, name string, daemon bool) {
+	for len(c.procs) <= id {
+		c.procs = append(c.procs, ProcInfo{ID: len(c.procs), Done: -1})
+	}
+	c.procs[id] = ProcInfo{ID: id, Name: name, Daemon: daemon, Done: -1}
+	c.Metrics.Counter("sim.procs").Add(0, 1)
+}
+
+// ProcBlock implements SimProbe.
+func (c *Collector) ProcBlock(t float64, id int, reason string) {
+	c.see(t)
+	c.openBlock[id] = len(c.blocks)
+	c.blocks = append(c.blocks, BlockSpan{Proc: id, Reason: reason, Start: t, End: -1})
+}
+
+// ProcWake implements SimProbe. A wake with no open block (the initial
+// release at time zero) is ignored.
+func (c *Collector) ProcWake(t float64, id int) {
+	c.see(t)
+	if i, ok := c.openBlock[id]; ok {
+		c.blocks[i].End = t
+		c.Metrics.Histogram("sim.block_time").Observe(t - c.blocks[i].Start)
+		delete(c.openBlock, id)
+	}
+}
+
+// ProcDone implements SimProbe.
+func (c *Collector) ProcDone(t float64, id int) {
+	c.see(t)
+	if id < len(c.procs) {
+		c.procs[id].Done = t
+	}
+}
+
+// TaskStart implements SimProbe.
+func (c *Collector) TaskStart(t float64, id int64, kind, where string, amount float64) {
+	c.see(t)
+	c.Metrics.Counter("sim.tasks."+kind).Add(t, 1)
+	if kind == TaskFlow {
+		c.Metrics.Counter("sim.flow_bytes").Add(t, amount)
+	}
+}
+
+// TaskFinish implements SimProbe.
+func (c *Collector) TaskFinish(t float64, id int64, kind, where string) {
+	c.see(t)
+	c.Metrics.Counter("sim.completions").Add(t, 1)
+}
+
+// CPULoad implements SimProbe.
+func (c *Collector) CPULoad(t float64, cpu string, runnable int) {
+	c.see(t)
+	c.cpuSeries[cpu] = append(c.cpuSeries[cpu], CounterSample{T: t, Value: float64(runnable)})
+	c.Metrics.Gauge("sim.cpu_runnable."+cpu).Set(t, float64(runnable))
+}
+
+// LinkRate implements SimProbe.
+func (c *Collector) LinkRate(t float64, link string, flows int, rate float64) {
+	c.see(t)
+	c.linkSeries[link] = append(c.linkSeries[link], CounterSample{T: t, Value: rate, Aux: float64(flows)})
+	c.Metrics.Gauge("sim.link_rate."+link).Set(t, rate)
+}
+
+// RankStart implements MPIProbe.
+func (c *Collector) RankStart(rank, node int) {
+	c.rankNode[rank] = node
+	c.Metrics.Counter("mpi.ranks").Add(0, 1)
+}
+
+// OpSpan implements MPIProbe.
+func (c *Collector) OpSpan(rank int, op string, collective bool, peer int, bytes int64, tag int, path string, start, end float64, split Split) {
+	c.see(end)
+	c.spans = append(c.spans, OpSpanRec{
+		Rank: rank, Op: op, Collective: collective,
+		Peer: peer, Bytes: bytes, Tag: tag, Path: path,
+		Start: start, End: end, Split: split,
+	})
+	m := c.Metrics
+	m.Counter("mpi.ops."+op).Add(end, 1)
+	m.Histogram("mpi.op_time." + op).Observe(end - start)
+	if bytes > 0 && !collective {
+		m.Counter("mpi.p2p_bytes").Add(end, float64(bytes))
+	}
+	m.Counter("mpi.time.compute").Add(end, split.Compute)
+	m.Counter("mpi.time.blocked").Add(end, split.Blocked)
+	m.Counter("mpi.time.transfer").Add(end, split.Transfer)
+	if path == PathRendezvous {
+		m.Counter("mpi.rendezvous_msgs").Add(end, 1)
+	} else if path == PathEager {
+		m.Counter("mpi.eager_msgs").Add(end, 1)
+	}
+}
+
+// RankFinish implements MPIProbe.
+func (c *Collector) RankFinish(rank int, t float64) {
+	c.see(t)
+	c.rankFinish[rank] = t
+	c.Metrics.Gauge("mpi.rank_finish").Set(t, t)
+}
+
+// NRanks returns the number of ranks observed.
+func (c *Collector) NRanks() int { return len(c.rankNode) }
+
+// rankSpans groups the op spans per rank, preserving time order within
+// each rank (spans arrive globally time-ordered, so per-rank order is
+// preserved by a stable partition).
+func (c *Collector) rankSpans() [][]OpSpanRec {
+	n := c.NRanks()
+	for _, s := range c.spans {
+		if s.Rank >= n {
+			n = s.Rank + 1
+		}
+	}
+	per := make([][]OpSpanRec, n)
+	for _, s := range c.spans {
+		per[s.Rank] = append(per[s.Rank], s)
+	}
+	return per
+}
+
+// rankEnd returns rank's finish time, falling back to its last span end.
+func (c *Collector) rankEnd(rank int, spans []OpSpanRec) float64 {
+	if t, ok := c.rankFinish[rank]; ok {
+		return t
+	}
+	if len(spans) > 0 {
+		return spans[len(spans)-1].End
+	}
+	return 0
+}

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// feedSyntheticRun drives a collector with a hand-built two-rank run:
+// each rank computes, exchanges a message, then joins a collective.
+func feedSyntheticRun(c *Collector) {
+	c.ScenarioStart("synthetic", 2)
+	c.ContenderStart(ContenderLoad, 0, "load0.0")
+	c.RankStart(0, 0)
+	c.RankStart(1, 1)
+	c.ProcSpawn(0, "w1.rank0", false)
+	c.ProcSpawn(1, "w1.rank1", false)
+	// Rank 0: compute [0,1], send [1,1.2] all transfer, collective [1.2,2].
+	c.OpSpan(0, "MPI_Send", false, 1, 1024, 7, PathEager, 1.0, 1.2, Split{Transfer: 0.2})
+	c.OpSpan(0, "MPI_Allreduce", true, -1, 8, 0, "", 1.2, 2.0, Split{Blocked: 0.6, Compute: 0.1})
+	// Rank 1: compute [0,0.5], recv [0.5,1.2] part blocked, collective.
+	c.OpSpan(1, "MPI_Recv", false, 0, 1024, 7, PathEager, 0.5, 1.2, Split{Blocked: 0.5, Transfer: 0.2})
+	c.OpSpan(1, "MPI_Allreduce", true, -1, 8, 0, "", 1.2, 2.0, Split{Blocked: 0.2, Compute: 0.1})
+	c.ProcBlock(0.5, 1, "recv wait")
+	c.ProcWake(1.2, 1)
+	c.CPULoad(0.0, "cpu0", 1)
+	c.CPULoad(1.0, "cpu0", 2)
+	c.LinkRate(1.0, "up0", 1, 125e6)
+	c.LinkRate(1.2, "up0", 0, 0)
+	c.RankFinish(0, 2.0)
+	c.RankFinish(1, 2.0)
+	c.ProcDone(2.0, 0)
+	c.ProcDone(2.0, 1)
+}
+
+func TestCollectorAccumulates(t *testing.T) {
+	c := NewCollector()
+	feedSyntheticRun(c)
+	if c.Scenario != "synthetic" || c.Nodes != 2 {
+		t.Errorf("scenario = %q/%d", c.Scenario, c.Nodes)
+	}
+	if c.NRanks() != 2 || c.Contenders() != 1 {
+		t.Errorf("ranks = %d contenders = %d", c.NRanks(), c.Contenders())
+	}
+	if c.Duration() != 2.0 {
+		t.Errorf("duration = %v, want 2.0", c.Duration())
+	}
+	m := c.Metrics
+	if got := m.Counter("mpi.ops.MPI_Allreduce").Value; got != 2 {
+		t.Errorf("allreduce count = %v, want 2", got)
+	}
+	if got := m.Counter("mpi.p2p_bytes").Value; got != 2048 {
+		t.Errorf("p2p bytes = %v, want 2048", got)
+	}
+	if got := m.Counter("mpi.eager_msgs").Value; got != 2 {
+		t.Errorf("eager msgs = %v, want 2", got)
+	}
+	if got := m.Counter("mpi.time.blocked").Value; got != 1.3 {
+		t.Errorf("blocked time = %v, want 1.3", got)
+	}
+	per := c.rankSpans()
+	if len(per) != 2 || len(per[0]) != 2 || len(per[1]) != 2 {
+		t.Fatalf("rankSpans shape wrong: %d ranks", len(per))
+	}
+}
+
+func TestProfilePhasesAndBreakdown(t *testing.T) {
+	c := NewCollector()
+	feedSyntheticRun(c)
+	p := c.Profile()
+	if p.NRanks != 2 {
+		t.Fatalf("nranks = %d", p.NRanks)
+	}
+	// One collective per rank: a single phase covering everything.
+	if len(p.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(p.Phases))
+	}
+	ph := p.Phases[0]
+	if ph.Collective != "MPI_Allreduce" {
+		t.Errorf("closing collective = %q", ph.Collective)
+	}
+	// Total rank-seconds must equal 2 ranks x 2 s.
+	if got := ph.Total(); got < 4.0-1e-9 || got > 4.0+1e-9 {
+		t.Errorf("phase total = %v, want 4.0", got)
+	}
+	// Compute: rank0 gap 1.0 + 0.1 in-call, rank1 gap 0.5 + 0.1.
+	if got := ph.Compute; got < 1.7-1e-9 || got > 1.7+1e-9 {
+		t.Errorf("phase compute = %v, want 1.7", got)
+	}
+	tot := p.Totals()
+	if tot != ph.Breakdown {
+		t.Errorf("Totals %+v != single phase %+v", tot, ph.Breakdown)
+	}
+}
+
+func TestDiffZeroErrorWhenIdentical(t *testing.T) {
+	a := NewCollector()
+	feedSyntheticRun(a)
+	b := NewCollector()
+	feedSyntheticRun(b)
+	r := Diff(a.Profile(), b.Profile(), 1.0, 0)
+	if r.ErrorPct != 0 {
+		t.Errorf("identical profiles give error %v%%", r.ErrorPct)
+	}
+	d := r.Total.Delta()
+	if d.Compute != 0 || d.Comm != 0 || d.Blocked != 0 {
+		t.Errorf("identical profiles give delta %+v", d)
+	}
+	out := r.Render()
+	for _, want := range []string{"error attribution", "compute", "comm", "blocked", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffEmptyProfiles(t *testing.T) {
+	// Degenerate inputs must not panic or divide by zero.
+	r := Diff(&Profile{}, &Profile{}, 1.0, 0)
+	if r.ErrorPct != 0 || r.Predicted != 0 {
+		t.Errorf("empty diff = %+v", r)
+	}
+	if len(r.Buckets) != 1 {
+		t.Errorf("bucket count = %d, want clamp to 1", len(r.Buckets))
+	}
+	_ = r.Render()
+}
+
+func TestDiffBucketsClampedToPhaseCount(t *testing.T) {
+	app := &Profile{NRanks: 1, Duration: 3, Phases: []Phase{
+		{Breakdown: Breakdown{Compute: 1}}, {Breakdown: Breakdown{Compute: 1}}, {Breakdown: Breakdown{Compute: 1}},
+	}}
+	skel := &Profile{NRanks: 1, Duration: 1, Phases: []Phase{{Breakdown: Breakdown{Compute: 1}}}}
+	r := Diff(app, skel, 3.0, 10)
+	if len(r.Buckets) != 1 {
+		t.Fatalf("buckets = %d, want clamped to min(phases) = 1", len(r.Buckets))
+	}
+	// Ratio-scaled skeleton mass must land fully in the bucket.
+	if got := r.Total.Pred.Compute; got < 3-1e-9 || got > 3+1e-9 {
+		t.Errorf("pred compute = %v, want 3", got)
+	}
+	if got := r.Total.App.Compute; got < 3-1e-9 || got > 3+1e-9 {
+		t.Errorf("app compute = %v, want 3", got)
+	}
+}
+
+func TestPerfettoOutputValidAndOrdered(t *testing.T) {
+	c := NewCollector()
+	feedSyntheticRun(c)
+	var buf bytes.Buffer
+	if err := c.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Pid  int             `json:"pid"`
+			Ts   float64         `json:"ts"`
+			Dur  *float64        `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	sawMeta, sawSpan, sawCounter := false, false, false
+	lastTs, metaDone := -1.0, false
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if metaDone {
+				t.Fatal("metadata event after non-metadata event")
+			}
+			sawMeta = true
+		case "X":
+			metaDone = true
+			if e.Dur == nil {
+				t.Errorf("complete event %q missing dur", e.Name)
+			}
+			sawSpan = true
+		case "C":
+			metaDone = true
+			sawCounter = true
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+		if e.Ph != "M" {
+			if e.Ts < lastTs {
+				t.Fatalf("events not time-ordered: %v after %v", e.Ts, lastTs)
+			}
+			lastTs = e.Ts
+		}
+	}
+	if !sawMeta || !sawSpan || !sawCounter {
+		t.Errorf("missing event kinds: meta=%v span=%v counter=%v", sawMeta, sawSpan, sawCounter)
+	}
+}
+
+func TestRankTimelineGlyphs(t *testing.T) {
+	c := NewCollector()
+	feedSyntheticRun(c)
+	out := c.RankTimeline(20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 ranks
+		t.Fatalf("timeline has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("rank 0 shows no compute:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "b") {
+		t.Errorf("rank 1 shows no blocking:\n%s", out)
+	}
+	if got := (&Collector{}).RankTimeline(10); !strings.Contains(got, "no rank activity") {
+		t.Errorf("empty collector timeline = %q", got)
+	}
+}

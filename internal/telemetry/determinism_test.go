@@ -1,0 +1,161 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/nas"
+	"perfskel/internal/telemetry"
+)
+
+// runCG executes one instrumented CG run and returns the collector and
+// the Perfetto export.
+func runCG(t *testing.T, class nas.Class, scenario string) (*telemetry.Collector, []byte) {
+	t.Helper()
+	app, err := nas.App("CG", class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	sc, err := cluster.ByName(scenario, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.NewCollector()
+	cl := cluster.BuildProbed(cluster.Testbed(n), sc, col)
+	if _, err := mpi.Run(cl, n, mpi.Config{Probe: col}, nil, app); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := col.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return col, buf.Bytes()
+}
+
+// The class B runs are the expensive part (especially under -race), and
+// two tests need them; run the pair once per process.
+var (
+	cgBOnce          sync.Once
+	cgBCol           *telemetry.Collector
+	cgBRawA, cgBRawB []byte
+)
+
+func classBRuns(t *testing.T) (*telemetry.Collector, []byte, []byte) {
+	cgBOnce.Do(func() {
+		cgBCol, cgBRawA = runCG(t, nas.ClassB, "combined")
+		_, cgBRawB = runCG(t, nas.ClassB, "combined")
+	})
+	if cgBCol == nil {
+		t.Fatal("class B runs failed in an earlier test")
+	}
+	return cgBCol, cgBRawA, cgBRawB
+}
+
+func TestCGPerfettoByteIdenticalAcrossRuns(t *testing.T) {
+	// The acceptance bar of the telemetry layer: two identical CG class B
+	// 4-rank runs under contention must export byte-identical traces.
+	_, a, b := classBRuns(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("Perfetto exports differ across identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+func TestCGPerfettoIsValidTraceEventJSON(t *testing.T) {
+	col, raw, _ := classBRuns(t)
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("export is not valid trace-event JSON: %v", err)
+	}
+	spans, counters := 0, 0
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+		case "X":
+			spans++
+		case "C":
+			counters++
+		default:
+			t.Fatalf("unexpected event phase %q", e.Ph)
+		}
+		if e.Ts < 0 {
+			t.Fatalf("negative timestamp %v", e.Ts)
+		}
+	}
+	if spans == 0 || counters == 0 {
+		t.Fatalf("trace missing spans (%d) or counters (%d)", spans, counters)
+	}
+	// Every recorded MPI op span appears in the export.
+	if spans < len(col.Spans()) {
+		t.Errorf("%d X events for %d op spans", spans, len(col.Spans()))
+	}
+}
+
+func TestCGSplitsBoundedBySpanDurations(t *testing.T) {
+	col, _ := runCG(t, nas.ClassA, "combined")
+	for _, s := range col.Spans() {
+		d := s.Duration()
+		if tot := s.Split.Total(); tot > d+1e-9 {
+			t.Fatalf("rank %d %s: split total %.9f exceeds span duration %.9f", s.Rank, s.Op, tot, d)
+		}
+		if s.Split.Compute < 0 || s.Split.Blocked < 0 || s.Split.Transfer < 0 {
+			t.Fatalf("rank %d %s: negative split component %+v", s.Rank, s.Op, s.Split)
+		}
+	}
+}
+
+func TestCGProfileCoversRankTime(t *testing.T) {
+	// The phase profile's total rank-seconds must equal ranks x duration:
+	// every instant of every rank is attributed to exactly one category.
+	col, _ := runCG(t, nas.ClassA, "combined")
+	p := col.Profile()
+	if p.NRanks != 4 {
+		t.Fatalf("profile ranks = %d", p.NRanks)
+	}
+	tot := p.Totals().Total()
+	// Ranks finish at slightly different times; the bound is the sum of
+	// per-rank finish times, itself at most ranks x duration.
+	upper := float64(p.NRanks) * p.Duration
+	if tot <= 0 || tot > upper+1e-6 {
+		t.Fatalf("profile rank-seconds %.6f outside (0, %.6f]", tot, upper)
+	}
+	if got := tot / upper; got < 0.99 {
+		t.Errorf("profile covers only %.1f%% of rank-time", 100*got)
+	}
+}
+
+func TestTelemetryAgreesWithUninstrumentedRun(t *testing.T) {
+	// Attaching the collector must not change virtual timing: the
+	// instrumented duration equals the bare run's exactly.
+	app, err := nas.App("CG", nas.ClassA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	sc, _ := cluster.ByName("combined", n)
+	bare, err := mpi.Run(cluster.Build(cluster.Testbed(n), sc), n, mpi.Config{}, nil, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.NewCollector()
+	app2, _ := nas.App("CG", nas.ClassA)
+	probed, err := mpi.Run(cluster.BuildProbed(cluster.Testbed(n), sc, col), n, mpi.Config{Probe: col}, nil, app2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare != probed {
+		t.Fatalf("instrumentation changed virtual time: %.9f vs %.9f", bare, probed)
+	}
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(1.0, 2)
+	r.Counter("c").Add(0.5, 3) // older stamp must not regress Updated
+	if c := r.Counter("c"); c.Value != 5 || c.Updated != 1.0 {
+		t.Errorf("counter = %+v, want value 5 updated 1.0", c)
+	}
+	r.Gauge("g").Set(2.0, 7)
+	r.Gauge("g").Set(3.0, 4)
+	if g := r.Gauge("g"); g.Value != 4 || g.Updated != 3.0 {
+		t.Errorf("gauge = %+v, want last-write 4 at 3.0", g)
+	}
+	h := r.Histogram("h")
+	for _, v := range []float64{1e-6, 2e-6, 0.5} {
+		h.Observe(v)
+	}
+	if h.Count != 3 || h.Min != 1e-6 || h.Max != 0.5 {
+		t.Errorf("histogram = %+v", h)
+	}
+	if got, want := h.Mean(), (1e-6+2e-6+0.5)/3; got != want {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},     // below 1 ns clamps to first bucket
+		{1e-10, 0}, // sub-ns tail
+		{1e-9, 0},  // exactly 1 ns
+		{5e-7, 2},  // [1e-7, 1e-6)
+		{1, 9},     // [1, 10)
+		{1e6, 11},  // far tail clamps to last bucket
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if got := bucketLabel(histBuckets - 1); got != "+inf" {
+		t.Errorf("last bucket label = %q, want +inf", got)
+	}
+}
+
+func TestEmptyHistogramSnapshotHasZeroMinMax(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty")
+	s := r.Snapshot()
+	st := s.Histograms["empty"]
+	if st.Count != 0 || st.Min != 0 || st.Max != 0 || st.Mean != 0 {
+		t.Errorf("empty histogram stat = %+v, want all zero", st)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	mk := func() []byte {
+		r := NewRegistry()
+		// Insert in different orders across instances; map iteration
+		// order must not leak into the JSON.
+		for _, n := range []string{"z", "a", "m"} {
+			r.Counter(n).Add(1, 1)
+			r.Gauge("g."+n).Set(1, 2)
+			r.Histogram("h." + n).Observe(0.1)
+		}
+		b, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := mk(), mk()
+	if string(a) != string(b) {
+		t.Errorf("snapshot JSON differs across identical registries:\n%s\n%s", a, b)
+	}
+}
+
+func TestRenderSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(1, 1)
+	r.Counter("a.count").Add(1, 1)
+	r.Gauge("unset.gauge") // never Set: must not render
+	r.Histogram("lat").Observe(3e-4)
+	out := r.Render()
+	if i, j := strings.Index(out, "a.count"), strings.Index(out, "b.count"); i < 0 || j < 0 || i > j {
+		t.Errorf("counters not sorted in render:\n%s", out)
+	}
+	if strings.Contains(out, "unset.gauge") {
+		t.Errorf("unset gauge rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "le 1e-3") {
+		t.Errorf("histogram bucket line missing:\n%s", out)
+	}
+}
+
+func TestSplitAddTotal(t *testing.T) {
+	s := Split{Compute: 1, Blocked: 2, Transfer: 3}
+	s.Add(Split{Compute: 0.5, Blocked: 0.5, Transfer: 0.5})
+	if s.Total() != 7.5 {
+		t.Errorf("total = %v, want 7.5", s.Total())
+	}
+}

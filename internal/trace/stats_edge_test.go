@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"testing"
+
+	"perfskel/internal/mpi"
+)
+
+func TestStatsEmptyTrace(t *testing.T) {
+	// A trace with ranks but no events: all totals and fractions zero,
+	// maps allocated and empty.
+	tr := &Trace{NRanks: 4, AppTime: 0, Events: make([][]Event, 4)}
+	s := tr.Stats()
+	if s.Events != 0 || s.ComputeTime != 0 || s.MPITime != 0 {
+		t.Errorf("empty trace stats = %+v", s)
+	}
+	if s.ComputeFrac != 0 || s.MPIFrac != 0 {
+		t.Errorf("empty trace fractions = %v / %v, want 0 / 0", s.ComputeFrac, s.MPIFrac)
+	}
+	if s.OpCounts == nil || s.OpTime == nil {
+		t.Error("op maps not allocated")
+	}
+	if len(s.OpCounts) != 0 || len(s.OpTime) != 0 {
+		t.Errorf("op maps not empty: %v %v", s.OpCounts, s.OpTime)
+	}
+}
+
+func TestStatsZeroAppTimeWithEvents(t *testing.T) {
+	// Zero-duration events at time zero with AppTime 0: times accumulate,
+	// fractions must not divide by zero.
+	tr := &Trace{
+		NRanks:  1,
+		AppTime: 0,
+		Events: [][]Event{{
+			{Op: mpi.OpCompute, Peer: mpi.None, Peer2: mpi.None, Start: 0, End: 0},
+			{Op: mpi.OpBarrier, Peer: mpi.None, Peer2: mpi.None, Start: 0, End: 0},
+		}},
+	}
+	s := tr.Stats()
+	if s.Events != 2 {
+		t.Errorf("events = %d, want 2", s.Events)
+	}
+	if s.ComputeFrac != 0 || s.MPIFrac != 0 {
+		t.Errorf("zero AppTime fractions = %v / %v, want 0 / 0", s.ComputeFrac, s.MPIFrac)
+	}
+	if s.OpCounts[mpi.OpBarrier] != 1 || s.OpCounts[mpi.OpCompute] != 1 {
+		t.Errorf("op counts = %v", s.OpCounts)
+	}
+}
+
+func TestStatsFractionsPartitionRankTime(t *testing.T) {
+	// Events exactly tiling [0, AppTime] on every rank: fractions sum
+	// to one and split per category.
+	tr := &Trace{
+		NRanks:  2,
+		AppTime: 4,
+		Events: [][]Event{
+			{
+				{Op: mpi.OpCompute, Peer: mpi.None, Peer2: mpi.None, Start: 0, End: 3},
+				{Op: mpi.OpSend, Peer: 1, Peer2: mpi.None, Bytes: 8, Start: 3, End: 4},
+			},
+			{
+				{Op: mpi.OpCompute, Peer: mpi.None, Peer2: mpi.None, Start: 0, End: 1},
+				{Op: mpi.OpRecv, Peer: 0, Peer2: mpi.None, Bytes: 8, Start: 1, End: 4},
+			},
+		},
+	}
+	s := tr.Stats()
+	if got := s.ComputeFrac + s.MPIFrac; got < 1-1e-12 || got > 1+1e-12 {
+		t.Errorf("fractions sum to %v, want 1", got)
+	}
+	if s.ComputeFrac != 0.5 || s.MPIFrac != 0.5 {
+		t.Errorf("fractions = %v / %v, want 0.5 / 0.5", s.ComputeFrac, s.MPIFrac)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"perfskel/internal/predict"
 	"perfskel/internal/signature"
 	"perfskel/internal/skeleton"
+	"perfskel/internal/telemetry"
 	"perfskel/internal/trace"
 )
 
@@ -119,6 +120,47 @@ type Env struct {
 	Sc   Scenario
 	// MPI tunes the runtime cost model; the zero value uses defaults.
 	MPI MPIConfig
+	// Observe, when non-nil, collects telemetry from every subsequent
+	// run in this environment: simulator probes, per-rank MPI operation
+	// spans with their compute/blocked/transfer split, and scenario
+	// lifecycle. Use a fresh collector per run (NewTelemetry).
+	Observe *Telemetry
+}
+
+// Telemetry collects a run's probe events: a virtual-clock metrics
+// registry plus the records behind the Perfetto export, the rank
+// timeline and the phase profile (see internal/telemetry).
+type Telemetry = telemetry.Collector
+
+// NewTelemetry returns an empty telemetry collector to assign to
+// Env.Observe.
+func NewTelemetry() *Telemetry { return telemetry.NewCollector() }
+
+// ProfileDiff aligns an application run's phase profile against a
+// skeleton run's and attributes the prediction error to compute,
+// communication and blocking per phase region. ratio is the measured
+// scaling ratio; buckets 0 picks a default granularity.
+func ProfileDiff(app, skel *telemetry.Profile, ratio float64, buckets int) *telemetry.DiffReport {
+	return telemetry.Diff(app, skel, ratio, buckets)
+}
+
+// build instantiates the environment's cluster, attaching the observer
+// when present.
+func (e *Env) build() *cluster.Cluster {
+	var sink telemetry.Sink
+	if e.Observe != nil {
+		sink = e.Observe
+	}
+	return cluster.BuildProbed(e.Topo, e.Sc, sink)
+}
+
+// mpiConfig returns the runtime config with the observer wired in.
+func (e *Env) mpiConfig() MPIConfig {
+	cfg := e.MPI
+	if e.Observe != nil {
+		cfg.Probe = e.Observe
+	}
+	return cfg
 }
 
 // NewTestbed returns the paper's testbed — n dual-CPU nodes on Gigabit
@@ -133,16 +175,14 @@ func NewEnv(topo Topology, sc Scenario) *Env { return &Env{Topo: topo, Sc: sc} }
 // Run executes app as nranks ranks and returns the parallel execution
 // time in virtual seconds.
 func (e *Env) Run(nranks int, app App) (float64, error) {
-	cl := cluster.Build(e.Topo, e.Sc)
-	return mpi.Run(cl, nranks, e.MPI, nil, app)
+	return mpi.Run(e.build(), nranks, e.mpiConfig(), nil, app)
 }
 
 // Trace executes app and records its execution trace (the paper's
 // profiling-library step). Returns the trace and the execution time.
 func (e *Env) Trace(nranks int, app App) (*Trace, float64, error) {
-	cl := cluster.Build(e.Topo, e.Sc)
 	rec := trace.NewRecorder(nranks)
-	dur, err := mpi.Run(cl, nranks, e.MPI, rec, app)
+	dur, err := mpi.Run(e.build(), nranks, e.mpiConfig(), rec, app)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -152,8 +192,7 @@ func (e *Env) Trace(nranks int, app App) (*Trace, float64, error) {
 // RunSkeleton executes a performance skeleton and returns its execution
 // time.
 func (e *Env) RunSkeleton(p *Skeleton) (float64, error) {
-	cl := cluster.Build(e.Topo, e.Sc)
-	return skeleton.Run(p, cl, e.MPI, nil)
+	return skeleton.Run(p, e.build(), e.mpiConfig(), nil)
 }
 
 // BuildSignature compresses a trace into an execution signature with the

@@ -1,0 +1,34 @@
+#!/bin/sh
+# bench.sh - measure the telemetry layer's overhead: run the dedicated
+# CG workload with the probe layer off (nil sink) and on (full
+# collector), then write the comparison to BENCH_telemetry.json at the
+# repository root. Extra arguments are passed to `go test` (e.g.
+# -benchtime 20x for tighter numbers).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+count="${BENCH_COUNT:-5}"
+out=BENCH_telemetry.json
+
+echo "==> go test -bench TelemetryOff/On (count=$count)"
+go test -run xxx -bench 'BenchmarkTelemetry(Off|On)$' -benchmem -count "$count" "$@" . | tee /tmp/bench_telemetry.txt
+
+# Reduce the runs to mean ns/op per benchmark and the relative overhead.
+awk '
+/^BenchmarkTelemetryOff/ { off += $3; noff++ }
+/^BenchmarkTelemetryOn/  { on  += $3; non++  }
+END {
+    if (noff == 0 || non == 0) { print "no benchmark output" > "/dev/stderr"; exit 1 }
+    moff = off / noff; mon = on / non
+    printf "{\n"
+    printf "  \"benchmark\": \"CG class A, 4 ranks, dedicated\",\n"
+    printf "  \"runs\": %d,\n", noff
+    printf "  \"telemetry_off_ns_op\": %.0f,\n", moff
+    printf "  \"telemetry_on_ns_op\": %.0f,\n", mon
+    printf "  \"overhead_pct\": %.2f\n", 100 * (mon - moff) / moff
+    printf "}\n"
+}' /tmp/bench_telemetry.txt > "$out"
+
+echo "==> wrote $out"
+cat "$out"
