@@ -28,6 +28,7 @@ func main() {
 	out := flag.String("o", "skeleton.json", "output skeleton program")
 	cOut := flag.String("c", "", "also emit C/MPI source to this file")
 	goOut := flag.String("gosrc", "", "also emit Go source to this file")
+	sigOut := flag.String("sig", "", "also write the execution signature to this file (for skelvet -verify-signature)")
 	flag.Parse()
 
 	if *tracePath == "" {
@@ -73,6 +74,12 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("Go source written to %s\n", *goOut)
+	}
+	if *sigOut != "" {
+		if err := sig.Save(*sigOut); err != nil {
+			fail(err)
+		}
+		fmt.Printf("signature written to %s\n", *sigOut)
 	}
 }
 

@@ -17,37 +17,40 @@
 //
 // Flags:
 //
-//	-rules r1,r2   run only the listed rules (default: all)
-//	-list          print the available rules and exit
-//	-json          print findings as a JSON array instead of text
-//	-v             also print per-target progress
+//	-rules r1,r2          run only the listed rules (default: all)
+//	-list                 print the available rules and exit
+//	-json                 print findings as a JSON array instead of text
+//	-sarif                print findings as a SARIF 2.1.0 log instead of text
+//	-commgraph            dump the extracted communication machines and exit
+//	-verify-signature f   verify each .go target against the execution
+//	                      signature stored in f (JSON, signature.Save)
+//	-K n                  scaling factor for -verify-signature (default:
+//	                      parsed from the target's generated header)
+//	-v                    also print per-target progress
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"perfskel/internal/analysis"
+	"perfskel/internal/analysis/commgraph"
+	"perfskel/internal/signature"
+	"perfskel/internal/skeleton"
 )
-
-// finding is one diagnostic in -json output.
-type finding struct {
-	Rule     string `json:"rule"`
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Column   int    `json:"column"`
-	Severity string `json:"severity"`
-	Message  string `json:"message"`
-}
 
 func main() {
 	rules := flag.String("rules", "", "comma-separated rule ids to run (default: all)")
 	list := flag.Bool("list", false, "list available rules and exit")
 	jsonOut := flag.Bool("json", false, "print findings as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "print findings as a SARIF 2.1.0 log")
+	graphOut := flag.Bool("commgraph", false, "dump extracted communication machines and exit")
+	verifySig := flag.String("verify-signature", "", "verify .go targets against the signature JSON file")
+	kFlag := flag.Int("K", 0, "scaling factor for -verify-signature (default: parse the generated header)")
 	verbose := flag.Bool("v", false, "print per-target progress")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: skelvet [flags] [package-dir | file.go | ./...] ...\n")
@@ -60,6 +63,10 @@ func main() {
 			fmt.Printf("%-26s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "skelvet: -json and -sarif are mutually exclusive")
+		os.Exit(2)
 	}
 
 	analyzers := analysis.All()
@@ -84,15 +91,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	root := loader.ModuleRoot()
 
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
 
-	findings := []finding{}
+	var pkgs []*analysis.Package
 	for _, arg := range args {
-		var pkgs []*analysis.Package
 		switch {
 		case arg == "./..." || arg == "...":
 			paths, err := loader.ModulePackages()
@@ -123,32 +130,56 @@ func main() {
 			}
 			pkgs = append(pkgs, pkg)
 		}
-
-		for _, pkg := range pkgs {
-			if *verbose {
-				fmt.Fprintf(os.Stderr, "skelvet: checking %s\n", pkg.Path)
-			}
-			for _, d := range analysis.Check(pkg, analyzers) {
-				findings = append(findings, finding{
-					Rule:     d.Rule,
-					File:     relPos(d, loader.ModuleRoot()),
-					Line:     d.Pos.Line,
-					Column:   d.Pos.Column,
-					Severity: d.Severity.String(),
-					Message:  d.Message,
-				})
-				if !*jsonOut {
-					fmt.Println(shortenPos(d, loader.ModuleRoot()))
-				}
-			}
-		}
 	}
 
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+	if *graphOut {
+		dumpMachines(pkgs)
+		return
+	}
+
+	var diags []analysis.Diagnostic
+	var notes []string
+	for _, pkg := range pkgs {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "skelvet: checking %s\n", pkg.Path)
+		}
+		if *verifySig != "" {
+			ds, ns, err := verifySignature(pkg, *verifySig, *kFlag)
+			if err != nil {
+				fatal(err)
+			}
+			diags = append(diags, ds...)
+			notes = append(notes, ns...)
+			continue
+		}
+		diags = append(diags, analysis.Check(pkg, analyzers)...)
+		notes = append(notes, pkg.Notes()...)
+	}
+
+	findings := analysis.MakeFindings(diags, root)
+	switch {
+	case *jsonOut:
+		out, err := analysis.JSONReport(findings)
+		if err != nil {
 			fatal(err)
+		}
+		os.Stdout.Write(out)
+	case *sarifOut:
+		out, err := analysis.SARIFReport(findings, notes)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(out)
+	default:
+		for _, d := range diags {
+			fmt.Println(shortenPos(d, root))
+		}
+	}
+	if !*sarifOut {
+		// Bounded analysis must never be silent: surface extraction and
+		// exploration notes (SARIF carries them as notifications instead).
+		for _, n := range notes {
+			fmt.Fprintf(os.Stderr, "skelvet: note: %s\n", n)
 		}
 	}
 	if len(findings) > 0 {
@@ -157,13 +188,99 @@ func main() {
 	}
 }
 
-// relPos returns the diagnostic's filename relative to the module root
-// when it lies inside it.
-func relPos(d analysis.Diagnostic, root string) string {
-	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-		return rel
+// dumpMachines prints each package's extracted communication machines
+// and their model-checking summary.
+func dumpMachines(pkgs []*analysis.Package) {
+	for _, pkg := range pkgs {
+		for _, mr := range pkg.Machines() {
+			fmt.Print(mr.Machine.Dump(pkg.Fset))
+			fmt.Printf("  matched: explored %d state(s), %d finding(s)\n",
+				mr.Result.Explored, len(mr.Result.Findings))
+			for _, f := range mr.Result.Findings {
+				fmt.Printf("  finding: %s: %s\n", pkg.Fset.Position(f.Pos), f.Message)
+			}
+		}
+		for _, n := range pkg.Notes() {
+			fmt.Printf("  note: %s\n", n)
+		}
 	}
-	return d.Pos.Filename
+}
+
+// verifySignature checks that pkg — a generated skeleton source — still
+// performs exactly the program skeleton construction derives from the
+// signature in sigPath at scaling factor k (0: parse the source
+// header). Mismatches are reported under the "signature-mismatch" rule.
+func verifySignature(pkg *analysis.Package, sigPath string, k int) ([]analysis.Diagnostic, []string, error) {
+	sig, err := signature.Load(sigPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if k == 0 {
+		k = headerK(pkg)
+		if k == 0 {
+			return nil, nil, fmt.Errorf("no \"Scaling factor K =\" header in %s; pass -K", pkg.Path)
+		}
+	}
+	p, err := skeleton.Build(sig, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	want := skeleton.Canon(p)
+
+	mismatch := func(msg string) []analysis.Diagnostic {
+		pos := pkg.Fset.Position(pkg.Files[0].Pos())
+		return []analysis.Diagnostic{{
+			Rule: "signature-mismatch", Pos: pos, Severity: analysis.Error, Message: msg,
+		}}
+	}
+	machines := commgraph.Extract(commgraph.Source{Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info})
+	if len(machines) != 1 {
+		return mismatch(fmt.Sprintf("expected one communication machine in the skeleton source, extracted %d", len(machines))), nil, nil
+	}
+	static := machines[0].StaticSignature()
+	if static == nil {
+		return mismatch(fmt.Sprintf("extraction was approximate, no static signature recovered: %s",
+			strings.Join(machines[0].Approx, "; "))), nil, nil
+	}
+	if d := want.Diff(static); d != "" {
+		return mismatch(fmt.Sprintf("source does not match the signature at K=%d: %s", k, d)), nil, nil
+	}
+	// The scaled-shape check guards against a Diff blind spot, but when K
+	// does not divide the signature's loop counts evenly, construction
+	// itself produces a ragged tail (remainder iterations with ops whose
+	// scaled count rounds to zero). The source already matched that exact
+	// program, so the deviation is a property of K, not source drift.
+	if d := signature.ScaledDiff(signature.Canon(sig), static); d != "" {
+		if signature.ScaledDiff(signature.Canon(sig), want) != "" {
+			return nil, []string{fmt.Sprintf(
+				"%s: K=%d does not divide the signature's loop structure evenly; "+
+					"scaled-shape check reduced to exact program equality", pkg.Path, k)}, nil
+		}
+		return mismatch(fmt.Sprintf("source is not a scaled-down version of the signature: %s", d)), nil, nil
+	}
+	return nil, nil, nil
+}
+
+// headerK parses the generated-source header comment
+// "Scaling factor K = <n>".
+func headerK(pkg *analysis.Package) int {
+	const marker = "Scaling factor K = "
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if i := strings.Index(c.Text, marker); i >= 0 {
+					rest := c.Text[i+len(marker):]
+					if j := strings.IndexByte(rest, ';'); j >= 0 {
+						rest = rest[:j]
+					}
+					if k, err := strconv.Atoi(strings.TrimSpace(rest)); err == nil {
+						return k
+					}
+				}
+			}
+		}
+	}
+	return 0
 }
 
 // shortenPos rewrites absolute file positions relative to the module

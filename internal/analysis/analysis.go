@@ -98,6 +98,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	pkg   *Package
 	diags *[]Diagnostic
 }
 
@@ -148,6 +149,7 @@ func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			pkg:      pkg,
 			diags:    &diags,
 		}
 		a.Run(pass)

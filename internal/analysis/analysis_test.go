@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -64,6 +65,9 @@ func TestFixturesFireExpectedRules(t *testing.T) {
 		{"tagmismatch.go", "tag-mismatch"},
 		{"collective.go", "rank-divergent-collective"},
 		{"determinism.go", "nondeterminism"},
+		{"ring.go", "sendsend-deadlock"},
+		{"neighbor.go", "tag-mismatch"},
+		{"butterfly.go", "rank-divergent-collective"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.file, func(t *testing.T) {
@@ -152,6 +156,58 @@ func main() {
 	want := []string{"nondeterminism@11", "directive@11"}
 	if strings.Join(rules, " ") != strings.Join(want, " ") {
 		t.Errorf("got diagnostics %v, want %v", rules, want)
+	}
+}
+
+// TestIgnoreDoesNotCrossRules: suppression is keyed by (line, rule), so
+// a line carrying findings from two rules — here a rendezvous ring
+// deadlock from the path-sensitive matcher and an ambient-rand
+// nondeterminism hit — keeps the finding the directive does not name.
+func TestIgnoreDoesNotCrossRules(t *testing.T) {
+	const tmpl = `package main
+
+import (
+	"math/rand"
+
+	"perfskel"
+)
+
+func main() {
+	env := perfskel.NewTestbed(4, perfskel.Dedicated())
+	if _, err := env.Run(4, func(c *perfskel.Comm) {
+		r, n := c.Rank(), c.Size()
+		c.Send((r+1)%%n, 1, 1<<20); _ = rand.Int() %s
+		c.Recv((r+n-1)%%n, 1)
+	}); err != nil {
+		panic(err)
+	}
+}
+`
+	cases := []struct {
+		directive string
+		want      []string
+	}{
+		{"", []string{"nondeterminism", "sendsend-deadlock"}},
+		{"//skelvet:ignore nondeterminism seeding is irrelevant in this fixture",
+			[]string{"sendsend-deadlock"}},
+		{"//skelvet:ignore sendsend-deadlock the ring deadlock is the point of this fixture",
+			[]string{"nondeterminism"}},
+		{"//skelvet:ignore nondeterminism,sendsend-deadlock both are deliberate here",
+			nil},
+	}
+	for i, tc := range cases {
+		pkg, err := loader(t).LoadSource(fmt.Sprintf("cross%d.go", i), fmt.Sprintf(tmpl, tc.directive))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rules []string
+		for _, d := range Check(pkg, All()) {
+			rules = append(rules, d.Rule)
+		}
+		sort.Strings(rules)
+		if strings.Join(rules, " ") != strings.Join(tc.want, " ") {
+			t.Errorf("directive %q: got rules %v, want %v", tc.directive, rules, tc.want)
+		}
 	}
 }
 

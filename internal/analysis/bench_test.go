@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"perfskel/internal/analysis/commgraph"
+)
+
+// The two benchmarks compare the extraction pipeline's straight-line
+// path against the symbolic-execution path: the same communication
+// pattern written as unrolled statements versus as counted loops the
+// extractor must prove environment-invariant and fold. scripts/bench.sh
+// reduces the pair to BENCH_analysis.json.
+
+// benchRing emits a shifted-ring exchange body, either unrolled n times
+// (loop-free: no invariance proof needed) or as a single counted loop
+// (symexec: the extractor runs two iterations symbolically and folds).
+func benchRing(n int, loop bool) string {
+	var b strings.Builder
+	b.WriteString(`package main
+
+import "perfskel"
+
+func main() {
+	env := perfskel.NewTestbed(4, perfskel.Dedicated())
+	if _, err := env.Run(4, func(c *perfskel.Comm) {
+		r, n := c.Rank(), c.Size()
+`)
+	body := "\t\tc.Sendrecv((r+1)%n, 4096, (r+n-1)%n, 1)\n\t\tc.Allreduce(8)\n"
+	if loop {
+		fmt.Fprintf(&b, "\t\tfor i := 0; i < %d; i++ {\n", n)
+		b.WriteString(strings.ReplaceAll(body, "\t\t", "\t\t\t"))
+		b.WriteString("\t\t\t_ = i\n\t\t}\n")
+	} else {
+		for i := 0; i < n; i++ {
+			b.WriteString(body)
+		}
+	}
+	b.WriteString(`	}); err != nil {
+		panic(err)
+	}
+}
+`)
+	return b.String()
+}
+
+func benchMachines(b *testing.B, src string) {
+	b.Helper()
+	l := sharedBenchLoader(b)
+	pkg, err := l.LoadSource("bench.go", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		machines := commgraph.Extract(commgraph.Source{Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info})
+		if len(machines) != 1 {
+			b.Fatalf("extracted %d machines, want 1", len(machines))
+		}
+		res := commgraph.Match(&machines[0], commgraph.Options{})
+		if len(res.Findings) != 0 {
+			b.Fatalf("unexpected findings: %v", res.Findings)
+		}
+	}
+}
+
+func sharedBenchLoader(b *testing.B) *Loader {
+	b.Helper()
+	if sharedLoader == nil {
+		l, err := NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sharedLoader = l
+	}
+	return sharedLoader
+}
+
+func BenchmarkAnalysisLoopFree(b *testing.B) {
+	benchMachines(b, benchRing(200, false))
+}
+
+func BenchmarkAnalysisSymexec(b *testing.B) {
+	benchMachines(b, benchRing(200, true))
+}

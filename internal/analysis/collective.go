@@ -2,8 +2,12 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
+	"go/types"
 	"strconv"
 	"strings"
+
+	"perfskel/internal/analysis/commgraph"
 )
 
 // RankDivergentCollective flags collective calls that only some ranks
@@ -21,6 +25,15 @@ import (
 //
 // Per-rank programs that perform identical collectives — the shape the
 // skeleton generator emits for consistent skeletons — pass untouched.
+//
+// The syntactic comparison is complemented by a path-sensitive pass:
+// the communication automata extracted by symbolic execution
+// (internal/analysis/commgraph) are model-checked, which catches
+// divergence hidden behind computed rank predicates (`half := 0; if
+// r < n/2 { half = 1 }`) that no branch-shape comparison can see.
+// Matcher findings inside a statement the syntactic pass already
+// reported are suppressed, so each divergence is reported once, at the
+// most readable position.
 var RankDivergentCollective = &Analyzer{
 	Name: "rank-divergent-collective",
 	Doc: "collectives inside rank-conditioned branches must be performed " +
@@ -33,6 +46,10 @@ var RankDivergentCollective = &Analyzer{
 const maxCollSeqLen = 1 << 16
 
 func runRankDivergentCollective(pass *Pass) {
+	// spans collects the source ranges of statements the syntactic pass
+	// reported, so the matcher pass below does not report the same
+	// divergence a second time at a less readable position.
+	var spans [][2]token.Pos
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch s := n.(type) {
@@ -51,6 +68,7 @@ func runRankDivergentCollective(pass *Pass) {
 					}
 				}
 				if !equalSeq(thenSeq, elseSeq) {
+					spans = append(spans, [2]token.Pos{s.Pos(), s.End()})
 					pass.Reportf(s.Pos(),
 						"collective calls diverge across ranks: the branch taken when the Rank() condition holds performs [%s], other ranks perform [%s]",
 						strings.Join(thenSeq, " "), strings.Join(elseSeq, " "))
@@ -71,6 +89,7 @@ func runRankDivergentCollective(pass *Pass) {
 				}
 				for i := 1; i < len(cases); i++ {
 					if !equalSeq(cases[i].seq, cases[0].seq) {
+						spans = append(spans, [2]token.Pos{s.Pos(), s.End()})
 						pass.Reportf(cases[i].cc.Pos(),
 							"collective calls diverge across ranks: this case performs [%s], the case at %s performs [%s]",
 							strings.Join(cases[i].seq, " "),
@@ -83,6 +102,47 @@ func runRankDivergentCollective(pass *Pass) {
 			return true
 		})
 	}
+
+	inSpan := func(p token.Pos) bool {
+		for _, s := range spans {
+			if p >= s[0] && p < s[1] {
+				return true
+			}
+		}
+		return false
+	}
+	seen := map[token.Pos]bool{}
+	for _, mr := range pass.pkg.Machines() {
+		for _, f := range mr.Result.Findings {
+			if f.Kind != commgraph.CollectiveDivergence || seen[f.Pos] || inSpan(f.Pos) {
+				continue
+			}
+			seen[f.Pos] = true
+			pass.Reportf(f.Pos, "%s", f.Message)
+		}
+	}
+}
+
+// isRankCall reports whether expr contains a call to Comm.Rank.
+func isRankCall(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := commMethod(info, call); ok && name == "Rank" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// collectiveNames is the subset of the Comm vocabulary involving every
+// rank.
+var collectiveNames = map[string]bool{
+	"Barrier": true, "Bcast": true, "Reduce": true, "Allreduce": true,
+	"Alltoall": true, "Alltoallv": true, "Allgather": true,
+	"Gather": true, "Scatter": true,
 }
 
 func equalSeq(a, b []string) bool {

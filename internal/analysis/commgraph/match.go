@@ -1,0 +1,853 @@
+package commgraph
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+
+	"perfskel/internal/mpi"
+)
+
+// FindingKind classifies one matcher finding.
+type FindingKind int
+
+const (
+	// DeadlockSendSend: every stuck rank is blocked in a rendezvous
+	// Send — the classic head-to-head send cycle.
+	DeadlockSendSend FindingKind = iota
+	// DeadlockRecv: a receive or wait blocks forever; no matching
+	// message can still arrive.
+	DeadlockRecv
+	// OrphanSend: a message is sent (or a send blocks) that no rank
+	// ever receives.
+	OrphanSend
+	// UnmatchedRecv: a posted receive request never matches a message.
+	UnmatchedRecv
+	// CollectiveDivergence: some ranks enter a collective the others
+	// never join (or join with a different kind/root).
+	CollectiveDivergence
+	// InvalidRank: a point-to-point op targets a rank outside [0, P).
+	InvalidRank
+)
+
+// Finding is one matcher result, positioned at the offending op.
+type Finding struct {
+	Kind    FindingKind
+	Pos     token.Pos
+	Rank    int
+	Message string
+}
+
+// Result is the outcome of model-checking one machine.
+type Result struct {
+	Skipped  bool // machine was approximate or over budget; nothing proved
+	Explored int  // states explored (after deterministic closure)
+	CapHit   bool // MaxStates reached; findings may be incomplete
+	Findings []Finding
+	Notes    []string // diagnostics that are not findings (caps, skips)
+}
+
+// Options bound the exploration.
+type Options struct {
+	// MaxStates caps the number of distinct states explored after
+	// deterministic closure. 0 means DefaultMaxStates.
+	MaxStates int
+	// MaxOpsPerRank caps the flattened per-rank op count. 0 means
+	// DefaultMaxOps.
+	MaxOpsPerRank int
+	// Eager is the eager-protocol threshold. 0 means
+	// mpi.DefaultEagerThreshold.
+	Eager int64
+}
+
+// Exploration defaults, documented in DESIGN.md. They are deliberately
+// generous for skeleton-sized programs and deliberately finite.
+const (
+	DefaultMaxStates = 4096
+	DefaultMaxOps    = 4096
+)
+
+func (o Options) withDefaults() Options {
+	if o.MaxStates == 0 {
+		o.MaxStates = DefaultMaxStates
+	}
+	if o.MaxOpsPerRank == 0 {
+		o.MaxOpsPerRank = DefaultMaxOps
+	}
+	if o.Eager == 0 {
+		o.Eager = mpi.DefaultEagerThreshold
+	}
+	return o
+}
+
+// srWaitSub marks the wait leg of a decomposed Sendrecv: it targets the
+// specific isend the decomposition introduced rather than a kind FIFO.
+const srWaitSub = mpi.Op(255)
+
+// mop is one flattened matcher op.
+type mop struct {
+	kind  mpi.Op
+	sub   mpi.Op
+	peer  int
+	peer2 int
+	tag   int
+	bytes int64
+	sym   string
+	pos   token.Pos
+}
+
+// Match composes the machine's rank automata and explores the joint
+// matching state space. Exploration is deterministic: identical
+// machines yield identical results, including message strings.
+func Match(m *Machine, opts Options) *Result {
+	opts = opts.withDefaults()
+	res := &Result{}
+	if len(m.Approx) > 0 {
+		res.Skipped = true
+		for _, a := range m.Approx {
+			res.Notes = append(res.Notes, fmt.Sprintf("machine %s not matched (approximate extraction): %s", m.Name, a))
+		}
+		return res
+	}
+	if m.NRanks < 1 || m.NRanks > maxRanks {
+		res.Skipped = true
+		res.Notes = append(res.Notes, fmt.Sprintf("machine %s not matched: %d ranks outside [1, %d]", m.Name, m.NRanks, maxRanks))
+		return res
+	}
+
+	ma := &matcher{m: m, opts: opts, seen: make(map[string]bool), found: make(map[string]Finding)}
+	ok := ma.flatten(res)
+	if !ok {
+		res.Skipped = true
+		return res
+	}
+	if len(res.Findings) > 0 {
+		// Invalid-rank ops make the program meaningless to execute.
+		res.Skipped = true
+		res.Notes = append(res.Notes, fmt.Sprintf("machine %s not matched: point-to-point ops target ranks outside [0, %d)", m.Name, m.NRanks))
+		return res
+	}
+
+	start := ma.newState()
+	ma.explore(start, nil)
+	res.Explored = ma.explored
+	res.CapHit = ma.capHit
+	if ma.capHit {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"machine %s: exploration capped at %d states; findings may be incomplete (raise Options.MaxStates to verify exhaustively)",
+			m.Name, opts.MaxStates))
+	}
+	for _, f := range ma.found {
+		res.Findings = append(res.Findings, f)
+	}
+	sortFindings(res.Findings)
+	return res
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Pos != fs[j].Pos {
+			return fs[i].Pos < fs[j].Pos
+		}
+		if fs[i].Kind != fs[j].Kind {
+			return fs[i].Kind < fs[j].Kind
+		}
+		return fs[i].Rank < fs[j].Rank
+	})
+}
+
+type matcher struct {
+	m        *Machine
+	opts     Options
+	progs    [][]mop
+	seen     map[string]bool
+	explored int
+	capHit   bool
+	found    map[string]Finding
+}
+
+// flatten expands loops, decomposes Sendrecv into isend+recv+wait, and
+// drops compute ops. It reports invalid-rank ops directly into res and
+// returns false when a rank blows the op budget.
+func (ma *matcher) flatten(res *Result) bool {
+	P := ma.m.NRanks
+	ma.progs = make([][]mop, P)
+	for r := 0; r < P; r++ {
+		var out []mop
+		if !flattenSeq(ma.m.Ranks[r], &out, ma.opts.MaxOpsPerRank) {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"machine %s rank %d exceeds %d flattened ops; matching skipped", ma.m.Name, r, ma.opts.MaxOpsPerRank))
+			return false
+		}
+		for _, op := range out {
+			switch op.kind {
+			case mpi.OpSend, mpi.OpIsend:
+				if op.peer < 0 || op.peer >= P {
+					ma.record(Finding{Kind: InvalidRank, Pos: op.pos, Rank: r,
+						Message: fmt.Sprintf("rank %d: %s targets rank %d, outside this %d-rank program", r, opName(op), op.peer, P)})
+				}
+			case mpi.OpRecv, mpi.OpIrecv:
+				if op.peer != mpi.AnySource && (op.peer < 0 || op.peer >= P) {
+					ma.record(Finding{Kind: InvalidRank, Pos: op.pos, Rank: r,
+						Message: fmt.Sprintf("rank %d: %s receives from rank %d, outside this %d-rank program", r, opName(op), op.peer, P)})
+				}
+			case mpi.OpBcast, mpi.OpReduce, mpi.OpGather, mpi.OpScatter:
+				if op.peer < 0 || op.peer >= P {
+					ma.record(Finding{Kind: InvalidRank, Pos: op.pos, Rank: r,
+						Message: fmt.Sprintf("rank %d: %s uses root %d, outside this %d-rank program", r, opName(op), op.peer, P)})
+				}
+			}
+		}
+		ma.progs[r] = out
+	}
+	for _, f := range ma.found {
+		res.Findings = append(res.Findings, f)
+	}
+	sortFindings(res.Findings)
+	return true
+}
+
+func flattenSeq(seq []Node, out *[]mop, budget int) bool {
+	for _, nd := range seq {
+		if len(*out) > budget {
+			return false
+		}
+		if nd.Op == nil {
+			for i := int64(0); i < nd.Count; i++ {
+				if !flattenSeq(nd.Body, out, budget) {
+					return false
+				}
+			}
+			continue
+		}
+		op := nd.Op
+		switch op.Kind {
+		case mpi.OpCompute:
+			// Compute never blocks; irrelevant to matching.
+		case mpi.OpSendrecv:
+			*out = append(*out,
+				mop{kind: mpi.OpIsend, sub: srWaitSub, peer: op.Peer, tag: op.Tag, bytes: op.Bytes, sym: op.Sym, pos: op.Pos},
+				mop{kind: mpi.OpRecv, peer: op.Peer2, tag: op.Tag, sym: op.Sym, pos: op.Pos},
+				mop{kind: mpi.OpWait, sub: srWaitSub, sym: op.Sym, pos: op.Pos})
+		default:
+			k := op.Kind
+			if k == mpi.OpAlltoallv {
+				k = mpi.OpAlltoall
+			}
+			*out = append(*out, mop{kind: k, sub: op.Sub, peer: op.Peer, peer2: op.Peer2, tag: op.Tag, bytes: op.Bytes, sym: op.Sym, pos: op.Pos})
+		}
+	}
+	return len(*out) <= budget
+}
+
+func opName(op mop) string {
+	if op.sym != "" {
+		return fmt.Sprintf("%s(%s)", op.kind, op.sym)
+	}
+	return op.kind.String()
+}
+
+// ---- state ----
+
+type req struct {
+	kind     mpi.Op // OpIsend or OpIrecv
+	peer     int
+	tag      int
+	bytes    int64
+	seq      int
+	complete bool
+	sr       bool
+	pos      token.Pos
+	sym      string
+}
+
+type bmsg struct {
+	src   int
+	tag   int
+	bytes int64
+	seq   int
+	pos   token.Pos
+	sym   string
+}
+
+type rstate struct {
+	pc   int
+	reqs []req
+	buf  []bmsg
+}
+
+type mstate struct {
+	rs    []rstate
+	nsent []int // flattened P×P send counters
+}
+
+func (ma *matcher) newState() *mstate {
+	P := ma.m.NRanks
+	return &mstate{rs: make([]rstate, P), nsent: make([]int, P*P)}
+}
+
+func (s *mstate) clone() *mstate {
+	c := &mstate{rs: make([]rstate, len(s.rs)), nsent: append([]int(nil), s.nsent...)}
+	for i, r := range s.rs {
+		c.rs[i] = rstate{pc: r.pc, reqs: append([]req(nil), r.reqs...), buf: append([]bmsg(nil), r.buf...)}
+	}
+	return c
+}
+
+func (s *mstate) key() string {
+	var b strings.Builder
+	for i := range s.rs {
+		r := &s.rs[i]
+		b.WriteString(strconv.Itoa(r.pc))
+		b.WriteByte('[')
+		for _, q := range r.reqs {
+			fmt.Fprintf(&b, "%d.%d.%d.%d.%v;", q.kind, q.peer, q.tag, q.seq, q.complete)
+		}
+		b.WriteByte('|')
+		for _, m := range r.buf {
+			fmt.Fprintf(&b, "%d.%d.%d;", m.src, m.tag, m.seq)
+		}
+		b.WriteByte(']')
+	}
+	for _, n := range s.nsent {
+		b.WriteString(strconv.Itoa(n))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func (ma *matcher) head(s *mstate, r int) *mop {
+	if s.rs[r].pc >= len(ma.progs[r]) {
+		return nil
+	}
+	return &ma.progs[r][s.rs[r].pc]
+}
+
+// ---- exploration ----
+
+func (ma *matcher) explore(s *mstate, path []string) {
+	if ma.explored >= ma.opts.MaxStates {
+		ma.capHit = true
+		return
+	}
+	ma.runDeterministic(s)
+	k := s.key()
+	if ma.seen[k] {
+		return
+	}
+	ma.seen[k] = true
+	ma.explored++
+	choices := ma.choices(s)
+	if len(choices) == 0 {
+		ma.classifyTerminal(s, path)
+		return
+	}
+	for _, ch := range choices {
+		s2 := s.clone()
+		ma.applyChoice(s2, ch)
+		ma.explore(s2, append(path, ch.describe(ma)))
+	}
+}
+
+// runDeterministic advances every rank through every step whose outcome
+// is independent of scheduling, until quiescence.
+func (ma *matcher) runDeterministic(s *mstate) {
+	for progress := true; progress; {
+		progress = false
+		if ma.tryCollective(s) {
+			progress = true
+			continue
+		}
+		for r := range s.rs {
+			if ma.stepRank(s, r) {
+				progress = true
+			}
+		}
+	}
+}
+
+func tagOK(filter, tag int) bool { return filter == mpi.AnyTag || filter == tag }
+
+func srcOK(filter, src int) bool { return filter == mpi.AnySource || filter == src }
+
+// deliver executes the send side of op from rank `from` with sequence
+// number seq: it matches the destination's posted receives in post
+// order, else (eagerly) buffers. It reports whether the message was
+// consumed by a posted receive.
+func (ma *matcher) deliver(s *mstate, from int, op *mop, seq int, eager bool) bool {
+	d := &s.rs[op.peer]
+	for i := range d.reqs {
+		q := &d.reqs[i]
+		if q.kind == mpi.OpIrecv && !q.complete && srcOK(q.peer, from) && tagOK(q.tag, op.tag) {
+			q.complete = true
+			return true
+		}
+	}
+	if eager {
+		d.buf = append(d.buf, bmsg{src: from, tag: op.tag, bytes: op.bytes, seq: seq, pos: op.pos, sym: op.sym})
+	}
+	return false
+}
+
+// candidate is one message a receive-like op could match: a buffered
+// eager message, a pending rendezvous isend, or a blocked rendezvous
+// Send head.
+type candidate struct {
+	src  int
+	form int // 0 buffered, 1 pending isend, 2 blocked Send head
+	idx  int // buf index (form 0) or req index (form 1)
+	seq  int
+	pos  token.Pos
+	sym  string
+}
+
+// srcCandidate returns the earliest message from src that a receive at
+// rank d with tag filter ftag could match, honouring per-(src,dst)
+// non-overtaking order.
+func (ma *matcher) srcCandidate(s *mstate, d, src, ftag int) (candidate, bool) {
+	best := candidate{seq: 1 << 30}
+	ok := false
+	for i, m := range s.rs[d].buf {
+		if m.src == src && tagOK(ftag, m.tag) && m.seq < best.seq {
+			best = candidate{src: src, form: 0, idx: i, seq: m.seq, pos: m.pos, sym: m.sym}
+			ok = true
+		}
+	}
+	for i, q := range s.rs[src].reqs {
+		if q.kind == mpi.OpIsend && !q.complete && q.peer == d && tagOK(ftag, q.tag) && q.seq < best.seq {
+			best = candidate{src: src, form: 1, idx: i, seq: q.seq, pos: q.pos, sym: q.sym}
+			ok = true
+		}
+	}
+	if h := ma.head(s, src); h != nil && h.kind == mpi.OpSend && h.bytes > ma.opts.Eager && h.peer == d && tagOK(ftag, h.tag) {
+		seq := s.nsent[src*ma.m.NRanks+d]
+		if seq < best.seq {
+			best = candidate{src: src, form: 2, seq: seq, pos: h.pos, sym: h.sym}
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// consume takes the candidate's message out of the state: removing the
+// buffered message, completing the pending isend, or executing the
+// blocked Send head.
+func (ma *matcher) consume(s *mstate, d int, c candidate) {
+	switch c.form {
+	case 0:
+		s.rs[d].buf = append(s.rs[d].buf[:c.idx], s.rs[d].buf[c.idx+1:]...)
+	case 1:
+		s.rs[c.src].reqs[c.idx].complete = true
+	case 2:
+		s.nsent[c.src*ma.m.NRanks+d]++
+		s.rs[c.src].pc++
+	}
+}
+
+// stepRank performs one deterministic step for rank r if one is
+// enabled.
+func (ma *matcher) stepRank(s *mstate, r int) bool {
+	op := ma.head(s, r)
+	if op == nil {
+		return false
+	}
+	P := ma.m.NRanks
+	rs := &s.rs[r]
+	switch op.kind {
+	case mpi.OpIsend:
+		eager := op.bytes <= ma.opts.Eager
+		seq := s.nsent[r*P+op.peer]
+		s.nsent[r*P+op.peer]++
+		consumed := ma.deliver(s, r, op, seq, eager)
+		rs.reqs = append(rs.reqs, req{
+			kind: mpi.OpIsend, peer: op.peer, tag: op.tag, bytes: op.bytes, seq: seq,
+			complete: eager || consumed, sr: op.sub == srWaitSub, pos: op.pos, sym: op.sym,
+		})
+		rs.pc++
+		return true
+	case mpi.OpSend:
+		if op.bytes <= ma.opts.Eager {
+			seq := s.nsent[r*P+op.peer]
+			s.nsent[r*P+op.peer]++
+			ma.deliver(s, r, op, seq, true)
+			rs.pc++
+			return true
+		}
+		// Rendezvous: enabled only when the destination has a matching
+		// posted receive; otherwise the receiver side consumes us.
+		if ma.deliver(s, r, op, s.nsent[r*P+op.peer], false) {
+			s.nsent[r*P+op.peer]++
+			rs.pc++
+			return true
+		}
+		return false
+	case mpi.OpIrecv:
+		q := req{kind: mpi.OpIrecv, peer: op.peer, tag: op.tag, pos: op.pos, sym: op.sym}
+		if op.peer != mpi.AnySource {
+			if c, ok := ma.srcCandidate(s, r, op.peer, op.tag); ok {
+				ma.consume(s, r, c)
+				q.complete = true
+			}
+		} else {
+			// Wildcard posting matches in arrival order: buffered
+			// messages first, then in-flight rendezvous by source.
+			if c, ok := ma.arrivalCandidate(s, r, op.tag); ok {
+				ma.consume(s, r, c)
+				q.complete = true
+			}
+		}
+		rs.reqs = append(rs.reqs, q)
+		rs.pc++
+		return true
+	case mpi.OpRecv:
+		if op.peer == mpi.AnySource {
+			return false // choice point
+		}
+		if c, ok := ma.srcCandidate(s, r, op.peer, op.tag); ok {
+			ma.consume(s, r, c)
+			rs.pc++
+			return true
+		}
+		return false
+	case mpi.OpWait:
+		i, ok := ma.waitTarget(rs, op)
+		if !ok {
+			rs.pc++ // empty FIFO: the helper is a no-op
+			return true
+		}
+		q := &rs.reqs[i]
+		if q.complete {
+			rs.reqs = append(rs.reqs[:i], rs.reqs[i+1:]...)
+			rs.pc++
+			return true
+		}
+		if q.kind == mpi.OpIrecv && q.peer != mpi.AnySource {
+			if c, ok := ma.srcCandidate(s, r, q.peer, q.tag); ok {
+				ma.consume(s, r, c)
+				q.complete = true
+				return true
+			}
+		}
+		return false
+	case mpi.OpWaitall:
+		all := true
+		for i := range rs.reqs {
+			q := &rs.reqs[i]
+			if q.complete {
+				continue
+			}
+			if q.kind == mpi.OpIrecv && q.peer != mpi.AnySource {
+				if c, ok := ma.srcCandidate(s, r, q.peer, q.tag); ok {
+					ma.consume(s, r, c)
+					q.complete = true
+					continue
+				}
+			}
+			all = false
+		}
+		if all {
+			rs.reqs = rs.reqs[:0]
+			rs.pc++
+			return true
+		}
+		return false
+	default:
+		return false // collectives advance globally
+	}
+}
+
+// arrivalCandidate picks the message a wildcard receive posting would
+// match under the model's canonical arrival order.
+func (ma *matcher) arrivalCandidate(s *mstate, d, ftag int) (candidate, bool) {
+	for i, m := range s.rs[d].buf {
+		if tagOK(ftag, m.tag) {
+			return candidate{src: m.src, form: 0, idx: i, seq: m.seq, pos: m.pos, sym: m.sym}, true
+		}
+	}
+	for src := 0; src < ma.m.NRanks; src++ {
+		if c, ok := ma.srcCandidate(s, d, src, ftag); ok {
+			return c, true
+		}
+	}
+	return candidate{}, false
+}
+
+// waitTarget resolves which outstanding request a Wait op drains,
+// mirroring the generated FIFO helper: oldest of the requested kind,
+// else oldest of any kind, else nothing.
+func (ma *matcher) waitTarget(rs *rstate, op *mop) (int, bool) {
+	if op.sub == srWaitSub {
+		for i := range rs.reqs {
+			if rs.reqs[i].sr {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	if op.sub != 0 {
+		for i := range rs.reqs {
+			if rs.reqs[i].kind == op.sub {
+				return i, true
+			}
+		}
+	}
+	if len(rs.reqs) > 0 {
+		return 0, true
+	}
+	return 0, false
+}
+
+// tryCollective advances all ranks through a collective when every
+// rank's head is the same collective with a matching root.
+func (ma *matcher) tryCollective(s *mstate) bool {
+	var kind mpi.Op
+	root := -1
+	for r := range s.rs {
+		op := ma.head(s, r)
+		if op == nil || !op.kind.IsCollective() {
+			return false
+		}
+		if r == 0 {
+			kind = op.kind
+			root = op.peer
+		} else if op.kind != kind {
+			return false
+		} else if rooted(kind) && op.peer != root {
+			return false
+		}
+	}
+	for r := range s.rs {
+		s.rs[r].pc++
+	}
+	return true
+}
+
+func rooted(k mpi.Op) bool {
+	switch k {
+	case mpi.OpBcast, mpi.OpReduce, mpi.OpGather, mpi.OpScatter:
+		return true
+	}
+	return false
+}
+
+// ---- choices ----
+
+type choice struct {
+	rank int // the receiving rank
+	kind int // 0 blocking recv, 1 wait-on-irecv, 2 waitall-irecv
+	ridx int // req index for kinds 1 and 2
+	c    candidate
+}
+
+func (ch choice) describe(ma *matcher) string {
+	return fmt.Sprintf("rank %d's wildcard receive matched the message from rank %d", ch.rank, ch.c.src)
+}
+
+// choices enumerates wildcard-receive branch points once no
+// deterministic step remains.
+func (ma *matcher) choices(s *mstate) []choice {
+	var out []choice
+	for r := range s.rs {
+		op := ma.head(s, r)
+		if op == nil {
+			continue
+		}
+		switch op.kind {
+		case mpi.OpRecv:
+			if op.peer != mpi.AnySource {
+				continue
+			}
+			for src := 0; src < ma.m.NRanks; src++ {
+				if c, ok := ma.srcCandidate(s, r, src, op.tag); ok {
+					out = append(out, choice{rank: r, kind: 0, c: c})
+				}
+			}
+		case mpi.OpWait:
+			i, ok := ma.waitTarget(&s.rs[r], op)
+			if !ok {
+				continue
+			}
+			q := s.rs[r].reqs[i]
+			if q.complete || q.kind != mpi.OpIrecv || q.peer != mpi.AnySource {
+				continue
+			}
+			for src := 0; src < ma.m.NRanks; src++ {
+				if c, ok := ma.srcCandidate(s, r, src, q.tag); ok {
+					out = append(out, choice{rank: r, kind: 1, ridx: i, c: c})
+				}
+			}
+		case mpi.OpWaitall:
+			for i, q := range s.rs[r].reqs {
+				if q.complete || q.kind != mpi.OpIrecv || q.peer != mpi.AnySource {
+					continue
+				}
+				for src := 0; src < ma.m.NRanks; src++ {
+					if c, ok := ma.srcCandidate(s, r, src, q.tag); ok {
+						out = append(out, choice{rank: r, kind: 2, ridx: i, c: c})
+					}
+				}
+				break // branch on the first incomplete wildcard only
+			}
+		}
+	}
+	return out
+}
+
+func (ma *matcher) applyChoice(s *mstate, ch choice) {
+	ma.consume(s, ch.rank, ch.c)
+	switch ch.kind {
+	case 0:
+		s.rs[ch.rank].pc++
+	case 1, 2:
+		s.rs[ch.rank].reqs[ch.ridx].complete = true
+	}
+}
+
+// ---- terminal classification ----
+
+func (ma *matcher) record(f Finding) {
+	key := fmt.Sprintf("%d/%d/%d", f.Kind, f.Pos, f.Rank)
+	if _, dup := ma.found[key]; !dup {
+		ma.found[key] = f
+	}
+}
+
+func (ma *matcher) classifyTerminal(s *mstate, path []string) {
+	name := ma.m.Name
+	suffix := ""
+	if len(path) > 0 {
+		if len(path) > 3 {
+			path = path[len(path)-3:]
+		}
+		suffix = "; interleaving: " + strings.Join(path, ", then ")
+	}
+
+	var stuck []int
+	for r := range s.rs {
+		if s.rs[r].pc < len(ma.progs[r]) {
+			stuck = append(stuck, r)
+		}
+	}
+
+	// Undeliverable leftovers exist in every terminal state, stuck or
+	// not: buffered eager messages nobody receives, pending sends, and
+	// posted receives that never match.
+	for d := range s.rs {
+		for _, m := range s.rs[d].buf {
+			ma.record(Finding{Kind: OrphanSend, Pos: m.pos, Rank: m.src, Message: fmt.Sprintf(
+				"%s: rank %d's message (tag %d, %d B) to rank %d is never received%s", name, m.src, m.tag, m.bytes, d, suffix)})
+		}
+		for _, q := range s.rs[d].reqs {
+			if q.complete {
+				continue // completed-but-unwaited is the unwaited-request rule's business
+			}
+			if q.kind == mpi.OpIsend {
+				ma.record(Finding{Kind: OrphanSend, Pos: q.pos, Rank: d, Message: fmt.Sprintf(
+					"%s: rank %d's Isend (tag %d, %d B) to rank %d is never received%s", name, d, q.tag, q.bytes, q.peer, suffix)})
+			} else {
+				ma.record(Finding{Kind: UnmatchedRecv, Pos: q.pos, Rank: d, Message: fmt.Sprintf(
+					"%s: rank %d's Irecv (src %s, tag %s) never matches a message%s", name, d, srcStr(q.peer), tagStr(q.tag), suffix)})
+			}
+		}
+	}
+
+	if len(stuck) == 0 {
+		return
+	}
+
+	collective := false
+	allSend := true
+	for _, r := range stuck {
+		op := ma.head(s, r)
+		if op.kind.IsCollective() {
+			collective = true
+		}
+		if op.kind != mpi.OpSend {
+			allSend = false
+		}
+	}
+
+	if collective {
+		var parts []string
+		for _, r := range stuck {
+			parts = append(parts, fmt.Sprintf("rank %d at %s", r, opName(*ma.head(s, r))))
+		}
+		var pos token.Pos
+		var rank int
+		for _, r := range stuck {
+			if ma.head(s, r).kind.IsCollective() {
+				pos = ma.head(s, r).pos
+				rank = r
+				break
+			}
+		}
+		done := doneRanks(ma, s, stuck)
+		msg := fmt.Sprintf("%s: collective divergence: %s", name, strings.Join(parts, ", "))
+		if done != "" {
+			msg += "; rank(s) " + done + " have finished"
+		}
+		ma.record(Finding{Kind: CollectiveDivergence, Pos: pos, Rank: rank, Message: msg + suffix})
+		return
+	}
+
+	if allSend {
+		var parts []string
+		for _, r := range stuck {
+			op := ma.head(s, r)
+			parts = append(parts, fmt.Sprintf("rank %d at %s waiting on rank %d", r, opName(*op), op.peer))
+		}
+		first := ma.head(s, stuck[0])
+		ma.record(Finding{Kind: DeadlockSendSend, Pos: first.pos, Rank: stuck[0], Message: fmt.Sprintf(
+			"%s: send-send deadlock: %s; every message exceeds the eager threshold (%d B), so no send can complete%s",
+			name, strings.Join(parts, "; "), ma.opts.Eager, suffix)})
+		return
+	}
+
+	for _, r := range stuck {
+		op := ma.head(s, r)
+		switch op.kind {
+		case mpi.OpSend:
+			ma.record(Finding{Kind: OrphanSend, Pos: op.pos, Rank: r, Message: fmt.Sprintf(
+				"%s: rank %d blocks forever in %s: rank %d never posts a matching receive%s", name, r, opName(*op), op.peer, suffix)})
+		case mpi.OpRecv:
+			ma.record(Finding{Kind: DeadlockRecv, Pos: op.pos, Rank: r, Message: fmt.Sprintf(
+				"%s: rank %d blocks forever in %s: no matching message can still arrive%s", name, r, opName(*op), suffix)})
+		case mpi.OpWait, mpi.OpWaitall:
+			ma.record(Finding{Kind: DeadlockRecv, Pos: op.pos, Rank: r, Message: fmt.Sprintf(
+				"%s: rank %d blocks forever in %s: its outstanding request(s) can never complete%s", name, r, op.kind, suffix)})
+		default:
+			ma.record(Finding{Kind: DeadlockRecv, Pos: op.pos, Rank: r, Message: fmt.Sprintf(
+				"%s: rank %d blocks forever at %s%s", name, r, opName(*op), suffix)})
+		}
+	}
+}
+
+func doneRanks(ma *matcher, s *mstate, stuck []int) string {
+	inStuck := make(map[int]bool, len(stuck))
+	for _, r := range stuck {
+		inStuck[r] = true
+	}
+	var parts []string
+	for r := range s.rs {
+		if !inStuck[r] && s.rs[r].pc >= len(ma.progs[r]) {
+			parts = append(parts, strconv.Itoa(r))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func srcStr(src int) string {
+	if src == mpi.AnySource {
+		return "ANY"
+	}
+	return strconv.Itoa(src)
+}
+
+func tagStr(tag int) string {
+	if tag == mpi.AnyTag {
+		return "ANY"
+	}
+	return strconv.Itoa(tag)
+}

@@ -19,6 +19,9 @@ import (
 //     global source; randomness must come from an explicitly seeded,
 //     injectable *rand.Rand (constructors rand.New / rand.NewSource
 //     are fine);
+//   - environment reads (os.Getenv / LookupEnv / Environ): the
+//     environment differs between hosts and runs, so configuration
+//     must arrive through explicit parameters;
 //   - go statements, which escape the cooperative scheduler;
 //   - iteration over maps, whose order varies between runs. The
 //     key-collection idiom `for k := range m { ks = append(ks, k) }`
@@ -55,6 +58,12 @@ var wallClockFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true,
 }
 
+// envFuncs are the os package functions that read the process
+// environment.
+var envFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
 func runNondeterminism(pass *Pass) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -77,6 +86,8 @@ func runNondeterminism(pass *Pass) {
 				switch {
 				case pkgPath == "time" && wallClockFuncs[fn]:
 					pass.Reportf(s.Pos(), "time.%s reads the wall clock; the simulation must observe virtual time only", fn)
+				case pkgPath == "os" && envFuncs[fn]:
+					pass.Reportf(s.Pos(), "os.%s reads the process environment, which varies between hosts and runs; pass configuration explicitly", fn)
 				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[fn]:
 					pass.Reportf(s.Pos(), "rand.%s draws from the ambient global source; use an explicitly seeded, injectable *rand.Rand", fn)
 				}

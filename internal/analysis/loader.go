@@ -23,6 +23,12 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// Communication-machine cache filled lazily by Machines(): the
+	// path-sensitive rules all share one extraction + exploration.
+	mach     []MachineResult
+	machDone bool
+	notes    []string
 }
 
 // Loader parses and type-checks packages of one module plus their

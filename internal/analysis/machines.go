@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/token"
+
+	"perfskel/internal/analysis/commgraph"
+)
+
+// MachineResult pairs one extracted communication machine with its
+// model-checking result.
+type MachineResult struct {
+	Machine *commgraph.Machine
+	Result  *commgraph.Result
+}
+
+// Machines extracts the package's communication machines and
+// model-checks each one, caching the (deterministic) result on the
+// package so the path-sensitive rules share one exploration.
+func (p *Package) Machines() []MachineResult {
+	if p.machDone {
+		return p.mach
+	}
+	p.machDone = true
+	ms := commgraph.Extract(commgraph.Source{Fset: p.Fset, Files: p.Files, Info: p.Info})
+	for i := range ms {
+		res := commgraph.Match(&ms[i], commgraph.Options{})
+		p.mach = append(p.mach, MachineResult{Machine: &ms[i], Result: res})
+		p.notes = append(p.notes, res.Notes...)
+	}
+	return p.mach
+}
+
+// Notes returns the log-style diagnostics accumulated while extracting
+// and matching (state-cap hits, approximate machines that were skipped).
+// They are deliberately not Diagnostics: an exploration bound is not a
+// finding, but it must never be silent either — callers print them.
+func (p *Package) Notes() []string {
+	return append([]string(nil), p.notes...)
+}
+
+// reportMachineFindings reports the matcher findings selected by keep,
+// deduplicated by position across machines (a helper extracted both
+// standalone and inlined into a launch site would otherwise report
+// twice).
+func reportMachineFindings(pass *Pass, keep func(commgraph.FindingKind) bool) {
+	seen := map[token.Pos]bool{}
+	for _, mr := range pass.pkg.Machines() {
+		for _, f := range mr.Result.Findings {
+			if keep(f.Kind) && !seen[f.Pos] {
+				seen[f.Pos] = true
+				pass.Reportf(f.Pos, "%s", f.Message)
+			}
+		}
+	}
+}

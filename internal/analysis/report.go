@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// Finding is the serializable form of a Diagnostic: the shape skelvet
+// emits as JSON and embeds in SARIF. File paths are rewritten relative
+// to a root directory so reports are byte-identical across checkouts.
+type Finding struct {
+	Rule     string `json:"rule"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+// MakeFindings converts diagnostics (already sorted by Check) into
+// serializable findings with root-relative, slash-separated paths.
+func MakeFindings(diags []Diagnostic, root string) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, Finding{
+			Rule:     d.Rule,
+			File:     relFile(d.Pos.Filename, root),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Severity: d.Severity.String(),
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+func relFile(name, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return filepath.ToSlash(name)
+}
+
+// JSONReport renders findings as an indented JSON array terminated by a
+// newline. Output is byte-deterministic: identical findings yield
+// identical bytes.
+func JSONReport(findings []Finding) ([]byte, error) {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(findings); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// renderReports loads the neighbor fixture fresh and renders its
+// findings both ways. A synthetic note exercises the SARIF notification
+// path, which real fixtures are too small to trigger.
+func renderReports(t *testing.T) (jsonOut, sarifOut []byte) {
+	t.Helper()
+	l := loader(t)
+	pkg, err := l.LoadFile(filepath.Join("testdata", "neighbor.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := MakeFindings(Check(pkg, All()), l.ModuleRoot())
+	if len(findings) == 0 {
+		t.Fatal("neighbor fixture produced no findings")
+	}
+	notes := []string{"matcher: explored 4096 states without exhausting the space; findings may be incomplete"}
+	jsonOut, err = JSONReport(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sarifOut, err = SARIFReport(findings, notes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jsonOut, sarifOut
+}
+
+// TestReportsMatchGolden pins the exact bytes of the -json and -sarif
+// renderings: CI diffs and SARIF upload dedup both depend on identical
+// findings producing identical files. Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/analysis/ -run TestReportsMatchGolden
+func TestReportsMatchGolden(t *testing.T) {
+	j, s := renderReports(t)
+	for _, tc := range []struct {
+		file string
+		got  []byte
+	}{
+		{filepath.Join("testdata", "golden", "neighbor.json"), j},
+		{filepath.Join("testdata", "golden", "neighbor.sarif"), s},
+	} {
+		if os.Getenv("UPDATE_GOLDEN") != "" {
+			if err := os.WriteFile(tc.file, tc.got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(tc.file)
+		if err != nil {
+			t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+		}
+		if !bytes.Equal(tc.got, want) {
+			t.Errorf("%s: output drifted from golden file:\ngot:\n%s\nwant:\n%s", tc.file, tc.got, want)
+		}
+	}
+}
+
+// TestReportsAreByteDeterministic renders the same package twice from
+// scratch; any map-order or pointer-identity leak in the report path
+// would show up as a byte difference.
+func TestReportsAreByteDeterministic(t *testing.T) {
+	j1, s1 := renderReports(t)
+	j2, s2 := renderReports(t)
+	if !bytes.Equal(j1, j2) {
+		t.Error("JSON report is not byte-deterministic across runs")
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Error("SARIF report is not byte-deterministic across runs")
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// SARIF 2.1.0 report generation, the interchange format CI code
+// scanners ingest. The encoder walks fixed struct types, so field
+// order — and therefore the byte output — is deterministic.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool        sarifTool         `json:"tool"`
+	Results     []sarifResult     `json:"results"`
+	Invocations []sarifInvocation `json:"invocations,omitempty"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifInvocation struct {
+	ExecutionSuccessful        bool                `json:"executionSuccessful"`
+	ToolExecutionNotifications []sarifNotification `json:"toolExecutionNotifications,omitempty"`
+}
+
+type sarifNotification struct {
+	Level   string       `json:"level"`
+	Message sarifMessage `json:"message"`
+}
+
+// sarifExtraRules are rule ids skelvet can report that are not shipped
+// Analyzers: directive hygiene and static signature verification.
+var sarifExtraRules = []sarifRule{
+	{ID: "directive", ShortDescription: sarifMessage{
+		Text: "skelvet:ignore directives must carry a justification."}},
+	{ID: "signature-mismatch", ShortDescription: sarifMessage{
+		Text: "a skeleton source file must reproduce the execution signature it was generated from."}},
+}
+
+// SARIFReport renders findings as a SARIF 2.1.0 log. notes (extraction
+// and exploration diagnostics that are not findings, such as a hit
+// state cap) are carried as tool-execution notifications so bounded
+// analysis is never silent. Output is byte-deterministic.
+func SARIFReport(findings []Finding, notes []string) ([]byte, error) {
+	var rules []sarifRule
+	for _, a := range All() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifExtraRules...)
+
+	results := []sarifResult{}
+	for _, f := range findings {
+		level := "error"
+		if f.Severity == "warning" {
+			level = "warning"
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   level,
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.File},
+				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+			}}},
+		})
+	}
+
+	inv := sarifInvocation{ExecutionSuccessful: true}
+	for _, n := range notes {
+		inv.ToolExecutionNotifications = append(inv.ToolExecutionNotifications,
+			sarifNotification{Level: "note", Message: sarifMessage{Text: n}})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "skelvet",
+				InformationURI: "https://github.com/perfskel/perfskel",
+				Rules:          rules,
+			}},
+			Results:     results,
+			Invocations: []sarifInvocation{inv},
+		}},
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(log); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,82 +1,31 @@
 package analysis
 
 import (
-	"perfskel/internal/mpi"
+	"perfskel/internal/analysis/commgraph"
 )
 
-// SendSendDeadlock flags symmetric head-to-head blocking sends: two
-// ranks whose first blocking point-to-point operation toward each other
-// is a Send of rendezvous size. Under the rendezvous protocol neither
-// send can complete until the peer posts a receive, and neither rank
-// reaches its receive — the classic send-send deadlock. Eager-size
-// pairs (below mpi.DefaultEagerThreshold) are buffered by the runtime
-// and complete, so they are not reported.
+// SendSendDeadlock flags send-send deadlocks: executions in which every
+// blocked rank sits in a rendezvous-size blocking Send, so no send can
+// complete until a receive is posted and no rank ever reaches one.
+//
+// The rule is path-sensitive: each rank's program is symbolically
+// executed (internal/analysis/commgraph), so rank-arithmetic peers like
+// (rank+1)%size, conditionals on rank predicates, and constant-bounded
+// loops are all resolved before the per-rank automata are composed and
+// model-checked under the runtime's eager/rendezvous semantics
+// (mpi.DefaultEagerThreshold). Eager-size exchanges are buffered by the
+// runtime and complete, so they are never reported. Exploration is
+// bounded and deterministic; when the state cap is hit, the analysis
+// says so through the package's Notes rather than guessing.
 var SendSendDeadlock = &Analyzer{
 	Name: "sendsend-deadlock",
-	Doc: "two ranks must not both block in rendezvous-size Sends to each " +
-		"other before either posts a matching receive.",
+	Doc: "no execution may leave every blocked rank in a rendezvous-size " +
+		"Send: such a state can never make progress.",
 	Run: runSendSend,
 }
 
 func runSendSend(pass *Pass) {
-	for _, sw := range rankSwitches(pass) {
-		for i := range sw.progs {
-			for j := i + 1; j < len(sw.progs); j++ {
-				a, b := &sw.progs[i], &sw.progs[j]
-				if a.rank == b.rank {
-					continue
-				}
-				fa := firstBlockingToward(a.ops, b.rank)
-				fb := firstBlockingToward(b.ops, a.rank)
-				if fa == nil || fb == nil || fa.name != "Send" || fb.name != "Send" {
-					continue
-				}
-				if fa.bytes == unknownArg || fb.bytes == unknownArg {
-					continue // cannot judge the protocol; stay quiet
-				}
-				if fa.bytes < mpi.DefaultEagerThreshold || fb.bytes < mpi.DefaultEagerThreshold {
-					continue // at least one side completes eagerly
-				}
-				pass.Reportf(fa.pos,
-					"ranks %d and %d both block in rendezvous-size Sends to each other (%d and %d bytes >= eager threshold %d) before any receive; this deadlocks (peer send at %s)",
-					a.rank, b.rank, fa.bytes, fb.bytes, int64(mpi.DefaultEagerThreshold),
-					pass.Fset.Position(fb.pos))
-			}
-		}
-	}
-}
-
-// firstBlockingToward returns the first blocking point-to-point
-// operation in ops that involves peer, or nil. An operation with an
-// unknown peer aborts the scan (it might involve peer), returning nil
-// so the caller stays conservative.
-func firstBlockingToward(ops []commOp, peer int64) *commOp {
-	for i := range ops {
-		op := &ops[i]
-		switch op.name {
-		case "Send":
-			if op.peer == unknownArg {
-				return nil
-			}
-			if op.peer == peer {
-				return op
-			}
-		case "Recv":
-			if op.peer == unknownArg {
-				return nil
-			}
-			// A wildcard receive can match any sender, including peer.
-			if op.peer == peer || op.peer == int64(mpi.AnySource) {
-				return op
-			}
-		case "Sendrecv":
-			if op.peer == unknownArg || op.peer2 == unknownArg {
-				return nil
-			}
-			if op.peer == peer || op.peer2 == peer || op.peer2 == int64(mpi.AnySource) {
-				return op
-			}
-		}
-	}
-	return nil
+	reportMachineFindings(pass, func(k commgraph.FindingKind) bool {
+		return k == commgraph.DeadlockSendSend
+	})
 }

@@ -1,0 +1,535 @@
+package symexec
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Env is one rank's evaluation environment: the concrete (rank, size)
+// specialization, variable bindings, and request-kind bindings for
+// *Comm request handles (so a later Wait can be attributed to the
+// Isend/Irecv that produced the handle).
+type Env struct {
+	Rank int64
+	Size int64
+	Info *types.Info
+
+	vars map[types.Object]Value
+	reqs map[types.Object]int64
+}
+
+// NewEnv returns an environment specialized to one rank of a size-P run.
+func NewEnv(info *types.Info, rank, size int64) *Env {
+	return &Env{
+		Rank: rank,
+		Size: size,
+		Info: info,
+		vars: make(map[types.Object]Value),
+		reqs: make(map[types.Object]int64),
+	}
+}
+
+// Bind records a variable binding.
+func (e *Env) Bind(obj types.Object, v Value) {
+	if obj != nil {
+		e.vars[obj] = v
+	}
+}
+
+// Lookup returns the binding for obj.
+func (e *Env) Lookup(obj types.Object) (Value, bool) {
+	v, ok := e.vars[obj]
+	return v, ok
+}
+
+// BindReq records that obj holds a request produced by an operation of
+// the given kind (an mpi.Op value, passed as int64 to keep this package
+// independent of internal/mpi).
+func (e *Env) BindReq(obj types.Object, kind int64) {
+	if obj != nil {
+		e.reqs[obj] = kind
+	}
+}
+
+// ReqKind resolves a request-handle expression to the op kind that
+// produced it.
+func (e *Env) ReqKind(x ast.Expr) (int64, bool) {
+	id, ok := unparen(x).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	obj := e.Info.Uses[id]
+	if obj == nil {
+		return 0, false
+	}
+	k, ok := e.reqs[obj]
+	return k, ok
+}
+
+// Snapshot copies the current variable bindings.
+func (e *Env) Snapshot() map[types.Object]Value {
+	m := make(map[types.Object]Value, len(e.vars))
+	for k, v := range e.vars {
+		m[k] = v
+	}
+	return m
+}
+
+// Restore replaces the variable bindings with a snapshot.
+func (e *Env) Restore(snap map[types.Object]Value) {
+	e.vars = make(map[types.Object]Value, len(snap))
+	for k, v := range snap {
+		e.vars[k] = v
+	}
+}
+
+// SameExcept reports whether the current bindings are observably equal
+// to the snapshot for every object the ignore predicate rejects. Used
+// to detect environment-invariant loop bodies: the caller ignores the
+// loop variable and any object scoped inside the loop, since Go
+// scoping makes those invisible to later iterations' surroundings. A
+// binding absent from one side is equal to an unknown value on the
+// other — an unbound variable already evaluates to Unknown, so binding
+// it to an unknown value changes nothing observable.
+func (e *Env) SameExcept(snap map[types.Object]Value, ignore func(types.Object) bool) bool {
+	for k, v := range e.vars {
+		if ignore(k) {
+			continue
+		}
+		w, ok := snap[k]
+		if !ok {
+			if v.Known {
+				return false
+			}
+			continue
+		}
+		if w != v && (w.Known || v.Known) {
+			return false
+		}
+	}
+	for k, w := range snap {
+		if ignore(k) {
+			continue
+		}
+		if _, ok := e.vars[k]; !ok && w.Known {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates an integer expression under this environment.
+func (e *Env) Eval(x ast.Expr) Value {
+	// Compile-time constants (including named consts and untyped
+	// literals) fold through the type checker first.
+	if tv, ok := e.Info.Types[x]; ok && tv.Value != nil {
+		if v := constant.ToInt(tv.Value); v.Kind() == constant.Int {
+			if n, exact := constant.Int64Val(v); exact {
+				return Const(n)
+			}
+		}
+		return Unknown()
+	}
+	switch s := x.(type) {
+	case *ast.ParenExpr:
+		return e.Eval(s.X)
+	case *ast.Ident:
+		if obj := e.Info.Uses[s]; obj != nil {
+			if v, ok := e.vars[obj]; ok {
+				return v
+			}
+		}
+		return Unknown()
+	case *ast.CallExpr:
+		switch name, _ := CommMethod(e.Info, s); name {
+		case "Rank":
+			return Value{Known: true, N: e.Rank, Sym: "rank"}
+		case "Size":
+			return Value{Known: true, N: e.Size, Sym: "size"}
+		}
+		// Integer conversions like int64(x) are transparent.
+		if len(s.Args) == 1 {
+			if tv, ok := e.Info.Types[s.Fun]; ok && tv.IsType() {
+				return e.Eval(s.Args[0])
+			}
+		}
+		return Unknown()
+	case *ast.BinaryExpr:
+		return e.evalBinary(s)
+	case *ast.UnaryExpr:
+		v := e.Eval(s.X)
+		if !v.Known {
+			return Unknown()
+		}
+		switch s.Op {
+		case token.SUB:
+			return Value{Known: true, N: -v.N, Sym: binSym("-", Const(0), v)}
+		case token.ADD:
+			return v
+		case token.XOR:
+			return Value{Known: true, N: ^v.N, Sym: binSym("^", Const(-1), v)}
+		}
+		return Unknown()
+	}
+	return Unknown()
+}
+
+func (e *Env) evalBinary(s *ast.BinaryExpr) Value {
+	x, y := e.Eval(s.X), e.Eval(s.Y)
+	if !x.Known || !y.Known {
+		return Unknown()
+	}
+	var n int64
+	switch s.Op {
+	case token.ADD:
+		n = x.N + y.N
+	case token.SUB:
+		n = x.N - y.N
+	case token.MUL:
+		n = x.N * y.N
+	case token.QUO:
+		if y.N == 0 {
+			return Unknown()
+		}
+		n = x.N / y.N
+	case token.REM:
+		if y.N == 0 {
+			return Unknown()
+		}
+		n = x.N % y.N
+	case token.AND:
+		n = x.N & y.N
+	case token.OR:
+		n = x.N | y.N
+	case token.XOR:
+		n = x.N ^ y.N
+	case token.AND_NOT:
+		n = x.N &^ y.N
+	case token.SHL:
+		if y.N < 0 || y.N > 62 {
+			return Unknown()
+		}
+		n = x.N << uint(y.N)
+	case token.SHR:
+		if y.N < 0 || y.N > 62 {
+			return Unknown()
+		}
+		n = x.N >> uint(y.N)
+	default:
+		return Unknown()
+	}
+	return Value{Known: true, N: n, Sym: binSym(s.Op.String(), x, y)}
+}
+
+// EvalInt evaluates x and returns its concrete value when known.
+func (e *Env) EvalInt(x ast.Expr) (int64, bool) {
+	v := e.Eval(x)
+	return v.N, v.Known
+}
+
+// EvalFloat evaluates x as a float64 (compute-work arguments).
+func (e *Env) EvalFloat(x ast.Expr) (float64, bool) {
+	if tv, ok := e.Info.Types[x]; ok && tv.Value != nil {
+		if v := constant.ToFloat(tv.Value); v.Kind() == constant.Float || v.Kind() == constant.Int {
+			f, _ := constant.Float64Val(v)
+			return f, true
+		}
+		return 0, false
+	}
+	if p, ok := unparen(x).(*ast.ParenExpr); ok {
+		return e.EvalFloat(p.X)
+	}
+	if n, ok := e.EvalInt(x); ok {
+		return float64(n), true
+	}
+	return 0, false
+}
+
+// EvalBool evaluates a boolean condition under this environment.
+func (e *Env) EvalBool(x ast.Expr) (val, ok bool) {
+	if tv, found := e.Info.Types[x]; found && tv.Value != nil && tv.Value.Kind() == constant.Bool {
+		return constant.BoolVal(tv.Value), true
+	}
+	switch s := x.(type) {
+	case *ast.ParenExpr:
+		return e.EvalBool(s.X)
+	case *ast.UnaryExpr:
+		if s.Op == token.NOT {
+			v, ok := e.EvalBool(s.X)
+			return !v, ok
+		}
+	case *ast.Ident:
+		// Booleans are not tracked as variables; only constants fold.
+		return false, false
+	case *ast.BinaryExpr:
+		switch s.Op {
+		case token.LAND:
+			l, ok := e.EvalBool(s.X)
+			if !ok {
+				return false, false
+			}
+			if !l {
+				return false, true
+			}
+			return e.EvalBool(s.Y)
+		case token.LOR:
+			l, ok := e.EvalBool(s.X)
+			if !ok {
+				return false, false
+			}
+			if l {
+				return true, true
+			}
+			return e.EvalBool(s.Y)
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			xv, xok := e.EvalInt(s.X)
+			yv, yok := e.EvalInt(s.Y)
+			if !xok || !yok {
+				return false, false
+			}
+			switch s.Op {
+			case token.EQL:
+				return xv == yv, true
+			case token.NEQ:
+				return xv != yv, true
+			case token.LSS:
+				return xv < yv, true
+			case token.LEQ:
+				return xv <= yv, true
+			case token.GTR:
+				return xv > yv, true
+			default:
+				return xv >= yv, true
+			}
+		}
+	}
+	return false, false
+}
+
+// Trip describes a canonical counting loop: the induction variable,
+// its start value, stride, and trip count under this environment.
+type Trip struct {
+	Obj   types.Object
+	Start int64
+	Step  int64 // additive stride; 0 for geometric loops
+	Mul   int64 // multiplicative stride for geometric loops, else 0
+	Count int64
+}
+
+// TripLoop recognizes `for i := a; i <op> b; i += s` counting loops
+// (including i++/i--) whose bounds evaluate under the environment.
+func (e *Env) TripLoop(s *ast.ForStmt) (Trip, bool) {
+	var t Trip
+
+	init, ok := s.Init.(*ast.AssignStmt)
+	if !ok || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return t, false
+	}
+	if init.Tok != token.DEFINE && init.Tok != token.ASSIGN {
+		return t, false
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return t, false
+	}
+	t.Obj = e.Info.Defs[id]
+	if t.Obj == nil {
+		t.Obj = e.Info.Uses[id]
+	}
+	if t.Obj == nil {
+		return t, false
+	}
+	start, ok := e.EvalInt(init.Rhs[0])
+	if !ok {
+		return t, false
+	}
+	t.Start = start
+
+	switch post := s.Post.(type) {
+	case *ast.IncDecStmt:
+		pid, ok := post.X.(*ast.Ident)
+		if !ok || e.Info.Uses[pid] != t.Obj {
+			return t, false
+		}
+		if post.Tok == token.INC {
+			t.Step = 1
+		} else {
+			t.Step = -1
+		}
+	case *ast.AssignStmt:
+		if len(post.Lhs) != 1 || len(post.Rhs) != 1 {
+			return t, false
+		}
+		pid, ok := post.Lhs[0].(*ast.Ident)
+		if !ok || e.Info.Uses[pid] != t.Obj {
+			return t, false
+		}
+		step, ok := e.EvalInt(post.Rhs[0])
+		if !ok || step == 0 {
+			return t, false
+		}
+		switch post.Tok {
+		case token.ADD_ASSIGN:
+			t.Step = step
+		case token.SUB_ASSIGN:
+			t.Step = -step
+		case token.MUL_ASSIGN, token.SHL_ASSIGN:
+			// Geometric loops (i *= 2, i <<= 1) count by simulation.
+			return e.geometricTrip(t, s, post, step)
+		default:
+			return t, false
+		}
+	default:
+		return t, false
+	}
+
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return t, false
+	}
+	cid, ok := unparen(cond.X).(*ast.Ident)
+	if !ok || e.Info.Uses[cid] != t.Obj {
+		return t, false
+	}
+	bound, ok := e.EvalInt(cond.Y)
+	if !ok {
+		return t, false
+	}
+
+	switch cond.Op {
+	case token.LSS:
+		if t.Step <= 0 {
+			return t, false
+		}
+		t.Count = ceilDiv(bound-t.Start, t.Step)
+	case token.LEQ:
+		if t.Step <= 0 {
+			return t, false
+		}
+		t.Count = ceilDiv(bound-t.Start+1, t.Step)
+	case token.GTR:
+		if t.Step >= 0 {
+			return t, false
+		}
+		t.Count = ceilDiv(t.Start-bound, -t.Step)
+	case token.GEQ:
+		if t.Step >= 0 {
+			return t, false
+		}
+		t.Count = ceilDiv(t.Start-bound+1, -t.Step)
+	default:
+		return t, false
+	}
+	if t.Count < 0 {
+		t.Count = 0
+	}
+	return t, true
+}
+
+// geometricTrip simulates `for i := a; i <op> b; i *= s` loops to a
+// bounded trip count.
+func (e *Env) geometricTrip(t Trip, s *ast.ForStmt, post *ast.AssignStmt, step int64) (Trip, bool) {
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return t, false
+	}
+	cid, ok := unparen(cond.X).(*ast.Ident)
+	if !ok || e.Info.Uses[cid] != t.Obj {
+		return t, false
+	}
+	bound, ok := e.EvalInt(cond.Y)
+	if !ok {
+		return t, false
+	}
+	mul := step
+	if post.Tok == token.SHL_ASSIGN {
+		if step < 0 || step > 62 {
+			return t, false
+		}
+		mul = 1 << uint(step)
+	}
+	if mul <= 1 || t.Start <= 0 {
+		return t, false
+	}
+	holds := func(v int64) bool {
+		switch cond.Op {
+		case token.LSS:
+			return v < bound
+		case token.LEQ:
+			return v <= bound
+		default:
+			return false
+		}
+	}
+	v := t.Start
+	for t.Count = 0; holds(v) && t.Count < 64; t.Count++ {
+		v *= mul
+	}
+	if holds(v) {
+		return t, false // did not terminate within 64 iterations
+	}
+	// Geometric loops are reported with Step encoding the multiplier;
+	// callers that need per-iteration values must re-simulate, so mark
+	// the stride as non-affine with Step 0.
+	t.Step = 0
+	t.Mul = mul
+	return t, true
+}
+
+// IterValue returns the induction-variable value at iteration i
+// (0-based) of a recognized loop.
+func (t Trip) IterValue(i int64) int64 {
+	if t.Mul > 1 {
+		v := t.Start
+		for ; i > 0; i-- {
+			v *= t.Mul
+		}
+		return v
+	}
+	return t.Start + t.Step*i
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// CommMethod reports whether call is a method call on the runtime's
+// Comm type (or the perfskel.Comm alias) and returns the method name
+// and receiver expression.
+func CommMethod(info *types.Info, call *ast.CallExpr) (string, ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	t := info.TypeOf(sel.X)
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Comm" {
+		return "", nil
+	}
+	return sel.Sel.Name, sel.X
+}
+
+func unparen(x ast.Expr) ast.Expr {
+	for {
+		p, ok := x.(*ast.ParenExpr)
+		if !ok {
+			return x
+		}
+		x = p.X
+	}
+}

@@ -1,0 +1,59 @@
+// Package symexec is the abstract-interpretation substrate under the
+// communication-graph extractor (internal/analysis/commgraph): a small
+// symbolic evaluator for the integer expressions skeleton programs and
+// handwritten rank programs compute their communication arguments from.
+//
+// Values are evaluated under a concrete (rank, size) specialization —
+// the extractor runs each rank's program once per rank — while keeping
+// a symbolic rendering in terms of `rank` and `size` so that rank-affine
+// expressions like (rank+1)%size survive into the automaton for display
+// and diffing. The evaluator is deliberately partial: anything it cannot
+// prove evaluates to Unknown, and the callers stay conservative.
+package symexec
+
+import "strconv"
+
+// Value is an abstract integer: a possibly-known concrete value for the
+// current (rank, size) specialization plus a symbolic rendering in terms
+// of rank/size. A pure constant has Sym == "".
+type Value struct {
+	Known bool
+	N     int64
+	Sym   string
+}
+
+// Const returns a known constant value.
+func Const(n int64) Value { return Value{Known: true, N: n} }
+
+// Unknown returns the bottom value: nothing is known.
+func Unknown() Value { return Value{} }
+
+func (v Value) String() string {
+	if v.Sym != "" {
+		return v.Sym
+	}
+	if v.Known {
+		return strconv.FormatInt(v.N, 10)
+	}
+	return "?"
+}
+
+// term renders the value as an operand of a larger expression.
+func (v Value) term() string {
+	if v.Sym != "" {
+		return v.Sym
+	}
+	if v.Known {
+		return strconv.FormatInt(v.N, 10)
+	}
+	return "?"
+}
+
+// binSym renders the symbolic form of a binary operation, or "" when
+// both operands are plain constants (the result is one, too).
+func binSym(op string, x, y Value) string {
+	if x.Sym == "" && y.Sym == "" {
+		return ""
+	}
+	return "(" + x.term() + op + y.term() + ")"
+}

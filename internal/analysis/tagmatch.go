@@ -1,108 +1,37 @@
 package analysis
 
 import (
-	"perfskel/internal/mpi"
+	"perfskel/internal/analysis/commgraph"
 )
 
-// TagMismatch flags constant-foldable point-to-point operations with no
-// counterpart in the peer rank's program: a Send(dst, tag) for which
-// rank dst never posts a Recv with a matching source and tag, and a
-// Recv(src, tag) for which rank src never posts a matching Send. Either
-// way one rank blocks forever and the program deadlocks.
+// TagMismatch flags point-to-point matching failures: messages that are
+// sent but never received (orphans), receives that block forever
+// because no matching message can still arrive, posted receive requests
+// that never match, and point-to-point operations targeting ranks
+// outside the program's world.
 //
-// The check is set-level (wildcards and non-constant arguments match
-// anything, counts are not compared — loop-count balance is the dynamic
-// Consistent() check's job) and only runs on switch-on-Rank programs
-// whose cases are all constant, so it cannot misjudge a rank it cannot
-// see.
+// The rule is path-sensitive: it model-checks the communication
+// automata extracted by symbolic execution
+// (internal/analysis/commgraph) instead of comparing constant argument
+// sets, so rank-arithmetic peers, loops, and wildcard receives
+// (AnySource / AnyTag, explored by branching over every matchable
+// message) are all handled. A finding describes the failing operation
+// and — when the failure only occurs under a particular wildcard
+// matching order — the interleaving that exposes it.
 var TagMismatch = &Analyzer{
 	Name: "tag-mismatch",
-	Doc: "every constant (peer, tag) Send needs a matching Recv in the " +
-		"destination rank's program, and vice versa.",
+	Doc: "every send must be receivable and every receive satisfiable " +
+		"under the matching order the runtime guarantees; unmatched " +
+		"messages and dead receives deadlock or corrupt the skeleton.",
 	Run: runTagMismatch,
 }
 
 func runTagMismatch(pass *Pass) {
-	for _, sw := range rankSwitches(pass) {
-		if !sw.complete {
-			continue
+	reportMachineFindings(pass, func(k commgraph.FindingKind) bool {
+		switch k {
+		case commgraph.OrphanSend, commgraph.UnmatchedRecv, commgraph.DeadlockRecv, commgraph.InvalidRank:
+			return true
 		}
-		byRank := map[int64]*rankProg{}
-		for i := range sw.progs {
-			byRank[sw.progs[i].rank] = &sw.progs[i]
-		}
-		for i := range sw.progs {
-			a := &sw.progs[i]
-			for _, op := range a.ops {
-				switch op.name {
-				case "Send", "Isend":
-					if op.peer == unknownArg || op.peer < 0 || op.tag == unknownArg {
-						continue
-					}
-					peer, ok := byRank[op.peer]
-					if !ok {
-						continue
-					}
-					if !hasMatchingRecv(peer.ops, a.rank, op.tag) {
-						pass.Reportf(op.pos,
-							"%s to rank %d with tag %d has no matching receive in rank %d's program",
-							op.name, op.peer, op.tag, op.peer)
-					}
-				case "Recv", "Irecv":
-					if op.peer == unknownArg || op.peer < 0 || op.tag == unknownArg || op.tag == int64(mpi.AnyTag) {
-						continue // wildcards match anything
-					}
-					peer, ok := byRank[op.peer]
-					if !ok {
-						continue
-					}
-					if !hasMatchingSend(peer.ops, a.rank, op.tag) {
-						pass.Reportf(op.pos,
-							"%s from rank %d with tag %d has no matching send in rank %d's program",
-							op.name, op.peer, op.tag, op.peer)
-					}
-				}
-			}
-		}
-	}
-}
-
-// hasMatchingRecv reports whether ops contains a receive that could
-// match a send from rank src with the given tag.
-func hasMatchingRecv(ops []commOp, src, tag int64) bool {
-	srcOK := func(p int64) bool {
-		return p == unknownArg || p == src || p == int64(mpi.AnySource)
-	}
-	tagOK := func(t int64) bool {
-		return t == unknownArg || t == tag || t == int64(mpi.AnyTag)
-	}
-	for _, op := range ops {
-		switch op.name {
-		case "Recv", "Irecv":
-			if srcOK(op.peer) && tagOK(op.tag) {
-				return true
-			}
-		case "Sendrecv": // receive side: (src=peer2, tag)
-			if srcOK(op.peer2) && tagOK(op.tag) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// hasMatchingSend reports whether ops contains a send that could match
-// a receive posted by rank dst with the given tag.
-func hasMatchingSend(ops []commOp, dst, tag int64) bool {
-	dstOK := func(p int64) bool { return p == unknownArg || p == dst }
-	tagOK := func(t int64) bool { return t == unknownArg || t == tag }
-	for _, op := range ops {
-		switch op.name {
-		case "Send", "Isend", "Sendrecv":
-			if dstOK(op.peer) && tagOK(op.tag) {
-				return true
-			}
-		}
-	}
-	return false
+		return false
+	})
 }

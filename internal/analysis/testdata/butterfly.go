@@ -1,0 +1,38 @@
+// Fixture for the path-sensitive rank-divergent-collective rule: a
+// hypercube butterfly exchange must be proven clean, while a collective
+// guarded by a computed rank predicate — invisible to syntactic branch
+// comparison — must be caught by the matcher.
+package main
+
+import "perfskel"
+
+func main() {
+	env := perfskel.NewTestbed(4, perfskel.Dedicated())
+	if _, err := env.Run(4, func(c *perfskel.Comm) {
+		r, n := c.Rank(), c.Size()
+		for m := 1; m < n; m *= 2 {
+			c.Sendrecv(r^m, 1024, r^m, 5)
+		}
+		c.Barrier()
+	}); err != nil {
+		panic(err)
+	}
+	if _, err := env.Run(4, skewed); err == nil {
+		panic("expected divergence")
+	}
+}
+
+// skewed hides the rank condition behind a computed flag, so the
+// syntactic pass cannot see it; symbolic execution resolves half per
+// rank and the matcher reports the divergence.
+func skewed(c *perfskel.Comm) {
+	r, n := c.Rank(), c.Size()
+	half := 0
+	if r < n/2 {
+		half = 1
+	}
+	if half == 1 {
+		c.Allreduce(8) // want rank-divergent-collective
+	}
+	c.Barrier()
+}

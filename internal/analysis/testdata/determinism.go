@@ -1,19 +1,23 @@
-// Fixture for the nondeterminism rule: wall-clock reads, ambient rand,
-// goroutines and map-order dependence. The key-collection idiom and an
-// explicitly seeded generator must stay clean.
+// Fixture for the nondeterminism rule: wall-clock reads, environment
+// reads, ambient rand, goroutines and map-order dependence. The
+// key-collection idiom and an explicitly seeded generator must stay
+// clean.
 package main
 
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"time"
 )
 
 func main() {
-	go tick()                 // want nondeterminism
-	fmt.Println(time.Now())   // want nondeterminism
-	fmt.Println(rand.Intn(4)) // want nondeterminism
+	go tick()                      // want nondeterminism
+	start := time.Now()            // want nondeterminism
+	fmt.Println(time.Since(start)) // want nondeterminism
+	fmt.Println(os.Getenv("SEED")) // want nondeterminism
+	fmt.Println(rand.Intn(4))      // want nondeterminism
 	counts := map[string]int{"a": 1, "b": 2}
 	for k, v := range counts { // want nondeterminism
 		fmt.Println(k, v)

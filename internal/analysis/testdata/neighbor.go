@@ -1,0 +1,38 @@
+// Fixture for the path-sensitive tag-mismatch rule: an even/odd
+// neighbour exchange whose peers and tags are computed from rank
+// parity. The corrected exchange must stay clean.
+package main
+
+import "perfskel"
+
+func main() {
+	env := perfskel.NewTestbed(4, perfskel.Dedicated())
+	if _, err := env.Run(4, func(c *perfskel.Comm) {
+		r := c.Rank()
+		if r%2 == 0 {
+			c.Send(r+1, 2, 64) // want tag-mismatch
+			c.Recv(r+1, 4)
+		} else {
+			c.Send(r-1, 4, 64)
+			c.Recv(r-1, 3) // want tag-mismatch
+		}
+	}); err != nil {
+		panic(err)
+	}
+	if _, err := env.Run(4, goodNeighbor); err != nil {
+		panic(err)
+	}
+}
+
+// goodNeighbor pairs each even rank with its odd successor using
+// matching tags in both directions: clean.
+func goodNeighbor(c *perfskel.Comm) {
+	r := c.Rank()
+	if r%2 == 0 {
+		c.Send(r+1, 2, 64)
+		c.Recv(r+1, 3)
+	} else {
+		c.Recv(r-1, 2)
+		c.Send(r-1, 3, 64)
+	}
+}

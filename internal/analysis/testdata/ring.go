@@ -1,0 +1,31 @@
+// Fixture for the path-sensitive sendsend-deadlock rule: a rendezvous
+// ring addressed with rank arithmetic, which constant-only matching
+// cannot resolve. The Sendrecv ring must stay clean.
+package main
+
+import "perfskel"
+
+// ringBytes is above the eager threshold: each Send blocks until its
+// successor posts the receive, and no rank ever does.
+const ringBytes = 1 << 20
+
+func main() {
+	env := perfskel.NewTestbed(4, perfskel.Dedicated())
+	if _, err := env.Run(4, func(c *perfskel.Comm) {
+		r, n := c.Rank(), c.Size()
+		c.Send((r+1)%n, 1, ringBytes) // want sendsend-deadlock
+		c.Recv((r+n-1)%n, 1)
+	}); err != nil {
+		panic(err)
+	}
+	if _, err := env.Run(4, safeRing); err != nil {
+		panic(err)
+	}
+}
+
+// safeRing shifts the same payload with Sendrecv, which posts the
+// receive before blocking on the send: clean.
+func safeRing(c *perfskel.Comm) {
+	r, n := c.Rank(), c.Size()
+	c.Sendrecv((r+1)%n, ringBytes, (r+n-1)%n, 1)
+}

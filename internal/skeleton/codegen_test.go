@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"perfskel/internal/analysis"
+	"perfskel/internal/analysis/commgraph"
 	"perfskel/internal/mpi"
+	"perfskel/internal/signature"
 )
 
 // gateLoader is shared across the codegen gate tests: building a loader
@@ -15,10 +17,15 @@ import (
 var gateLoader *analysis.Loader
 
 // gateGoSource is the codegen quality gate: generated Go source must
-// parse, typecheck against the real perfskel API, and come back clean
-// from every skelvet rule. Returning text that merely "looks like Go"
-// is not enough to close the loop from trace to replayable program.
-func gateGoSource(t *testing.T, name, src string) {
+// parse, typecheck against the real perfskel API, come back clean from
+// every skelvet rule, and — the static-signature gate — the execution
+// signature recovered from the source text by symbolic execution must
+// equal the program it was generated from, operation for operation.
+// Returning text that merely "looks like Go" is not enough to close
+// the loop from trace to replayable program. The recovered canonical
+// signature is returned for further checks against the dynamic
+// signature.
+func gateGoSource(t *testing.T, name, src string, p *Program) *signature.CanonSignature {
 	t.Helper()
 	if gateLoader == nil {
 		l, err := analysis.NewLoader(".")
@@ -34,6 +41,23 @@ func gateGoSource(t *testing.T, name, src string) {
 	for _, d := range analysis.Check(pkg, analysis.All()) {
 		t.Errorf("%s: skelvet finding in generated source: %s", name, d)
 	}
+
+	machines := commgraph.Extract(commgraph.Source{Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info})
+	if len(machines) != 1 {
+		t.Fatalf("%s: extracted %d communication machines from generated source, want 1", name, len(machines))
+	}
+	m := &machines[0]
+	if len(m.Approx) > 0 {
+		t.Fatalf("%s: extraction was approximate: %v", name, m.Approx)
+	}
+	got := m.StaticSignature()
+	if got == nil {
+		t.Fatalf("%s: no static signature recovered", name)
+	}
+	if d := Canon(p).Diff(got); d != "" {
+		t.Errorf("%s: static signature from source differs from skeleton program: %s", name, d)
+	}
+	return got
 }
 
 func codegenProgram(t *testing.T) *Program {
@@ -181,7 +205,13 @@ func TestGeneratedSourcesTypecheckAndPassSkelvet(t *testing.T) {
 				t.Errorf("K=%d %s source contains formatting errors", k, name)
 			}
 		}
-		gateGoSource(t, fmt.Sprintf("iter_k%d", k), gosrc)
+		static := gateGoSource(t, fmt.Sprintf("iter_k%d", k), gosrc, p)
+		// Up-to-K equivalence closes the chain signature -> skeleton ->
+		// source -> static signature: the shape recovered from the source
+		// text must be a scaled-down version of the dynamic signature.
+		if d := signature.ScaledDiff(signature.Canon(sig), static); d != "" {
+			t.Errorf("K=%d: static signature is not a scaled version of the dynamic signature: %s", k, d)
+		}
 	}
 }
 
@@ -190,7 +220,7 @@ func TestAllOpsGoSourcePassesSkelvet(t *testing.T) {
 	// nonblocking send/recv plus wait/waitall pairs the unwaited-request
 	// rule tracks through the generated helper functions.
 	p := &Program{NRanks: 2, K: 1, PerRank: [][]Node{allOpsSeq(0), allOpsSeq(1)}}
-	gateGoSource(t, "allops", GoSource(p))
+	gateGoSource(t, "allops", GoSource(p), p)
 }
 
 func TestCodegenOfRescaledProgram(t *testing.T) {
@@ -223,5 +253,5 @@ func TestCodegenOfRescaledProgram(t *testing.T) {
 			t.Errorf("missing rank %d function", r)
 		}
 	}
-	gateGoSource(t, "rescaled8", GoSource(p8))
+	gateGoSource(t, "rescaled8", GoSource(p8), p8)
 }

@@ -32,3 +32,29 @@ END {
 
 echo "==> wrote $out"
 cat "$out"
+
+# Static-analysis extraction: the same 200-iteration ring exchange as
+# unrolled straight-line code and as a counted loop the symbolic
+# executor folds. Writes BENCH_analysis.json.
+out=BENCH_analysis.json
+
+echo "==> go test -bench AnalysisLoopFree/Symexec (count=$count)"
+go test -run xxx -bench 'BenchmarkAnalysis(LoopFree|Symexec)$' -benchmem -count "$count" "$@" ./internal/analysis/ | tee /tmp/bench_analysis.txt
+
+awk '
+/^BenchmarkAnalysisLoopFree/ { flat += $3; nflat++ }
+/^BenchmarkAnalysisSymexec/  { sym  += $3; nsym++  }
+END {
+    if (nflat == 0 || nsym == 0) { print "no benchmark output" > "/dev/stderr"; exit 1 }
+    mflat = flat / nflat; msym = sym / nsym
+    printf "{\n"
+    printf "  \"benchmark\": \"commgraph extract+match, 200-iteration ring, 4 ranks\",\n"
+    printf "  \"runs\": %d,\n", nflat
+    printf "  \"loop_free_ns_op\": %.0f,\n", mflat
+    printf "  \"symexec_ns_op\": %.0f,\n", msym
+    printf "  \"fold_speedup\": %.2f\n", mflat / msym
+    printf "}\n"
+}' /tmp/bench_analysis.txt > "$out"
+
+echo "==> wrote $out"
+cat "$out"
