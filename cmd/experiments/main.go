@@ -22,10 +22,12 @@ func main() {
 	ext := flag.Bool("ext", false, "run the processor-count scaling extension (4 -> 8 ranks)")
 	ranks := flag.Int("ranks", 4, "number of ranks / nodes")
 	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all six)")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", "", "on-disk campaign cache directory, reused across runs")
 	verbose := flag.Bool("v", false, "log per-run progress")
 	flag.Parse()
 
-	cfg := experiments.Config{Ranks: *ranks}
+	cfg := experiments.Config{Ranks: *ranks, Workers: *workers, CacheDir: *cacheDir}
 	if *bench != "" {
 		cfg.Benchmarks = strings.Split(*bench, ",")
 	}

@@ -14,11 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
-	"perfskel/internal/skeleton"
-	"perfskel/internal/trace"
+	"perfskel"
 )
 
 func main() {
@@ -37,18 +35,17 @@ func main() {
 	if (*target <= 0) == (*k <= 0) {
 		fail(fmt.Errorf("exactly one of -time or -k is required"))
 	}
-	tr, err := trace.Load(*tracePath)
+	tr, err := perfskel.LoadTrace(*tracePath)
 	if err != nil {
 		fail(err)
 	}
-	kk := *k
-	if kk <= 0 {
-		kk = int(math.Round(tr.AppTime / *target))
-		if kk < 1 {
-			kk = 1
-		}
+	var opt perfskel.ConstructOption
+	if *k > 0 {
+		opt = perfskel.WithK(*k)
+	} else {
+		opt = perfskel.WithTargetTime(*target)
 	}
-	prog, sig, err := skeleton.BuildFromTrace(tr, kk, skeleton.Options{})
+	prog, sig, err := perfskel.Construct(tr, opt)
 	if err != nil {
 		fail(err)
 	}
@@ -57,20 +54,20 @@ func main() {
 	}
 	fmt.Printf("trace: %.2f s application, %d events\n", tr.AppTime, tr.Len())
 	fmt.Printf("signature: ratio %.1f at similarity threshold %.3f (target Q=%.1f met: %v)\n",
-		sig.Ratio, sig.Threshold, float64(kk)/2, sig.TargetMet)
-	fmt.Printf("skeleton: K=%d, intended %.2f s, written to %s\n", kk, prog.TargetTime, *out)
+		sig.Ratio, sig.Threshold, float64(prog.K)/2, sig.TargetMet)
+	fmt.Printf("skeleton: K=%d, intended %.2f s, written to %s\n", prog.K, prog.TargetTime, *out)
 	fmt.Printf("smallest good skeleton for this application: %.2f s\n", prog.MinGoodTime)
 	if !prog.Good {
 		fmt.Printf("WARNING: requested skeleton is below the smallest good size; prediction accuracy may suffer\n")
 	}
 	if *cOut != "" {
-		if err := os.WriteFile(*cOut, []byte(skeleton.CSource(prog)), 0o644); err != nil {
+		if err := os.WriteFile(*cOut, []byte(perfskel.CSource(prog)), 0o644); err != nil {
 			fail(err)
 		}
 		fmt.Printf("C source written to %s\n", *cOut)
 	}
 	if *goOut != "" {
-		if err := os.WriteFile(*goOut, []byte(skeleton.GoSource(prog)), 0o644); err != nil {
+		if err := os.WriteFile(*goOut, []byte(perfskel.GoSource(prog)), 0o644); err != nil {
 			fail(err)
 		}
 		fmt.Printf("Go source written to %s\n", *goOut)

@@ -7,6 +7,10 @@
 // the divergence to compute, communication and blocking per phase
 // region — the diagnostic view behind the paper's accuracy tables.
 //
+// All four runs go through the campaign engine, so the dedicated
+// application run doubles as the skeleton's trace source and nothing is
+// simulated twice.
+//
 // Usage:
 //
 //	skelprof -bench CG -class B -ranks 4 -scenario combined
@@ -19,13 +23,11 @@ import (
 	"fmt"
 	"os"
 
+	"perfskel/internal/campaign"
 	"perfskel/internal/cluster"
-	"perfskel/internal/mpi"
 	"perfskel/internal/nas"
 	"perfskel/internal/predict"
-	"perfskel/internal/skeleton"
 	"perfskel/internal/telemetry"
-	"perfskel/internal/trace"
 )
 
 // report is the machine-readable form of one skelprof run.
@@ -55,7 +57,7 @@ func main() {
 	traceSkel := flag.String("trace-skel", "", "write the skeleton run's Perfetto trace")
 	flag.Parse()
 
-	app, err := nas.App(*bench, nas.Class(*class))
+	app, err := campaign.NASApp(*bench, nas.Class(*class))
 	if err != nil {
 		fail(err)
 	}
@@ -65,48 +67,53 @@ func main() {
 		fail(err)
 	}
 
-	// Step 1: trace the application on the dedicated testbed and build
-	// the skeleton from the trace.
-	rec := trace.NewRecorder(n)
-	appDed, err := mpi.Run(cluster.Build(cluster.Testbed(n), cluster.Dedicated()), n, mpi.Config{}, rec, app)
-	if err != nil {
-		fail(err)
-	}
-	prog, _, err := skeleton.BuildFromTrace(rec.Finish(appDed), *k, skeleton.Options{})
-	if err != nil {
-		fail(err)
-	}
+	eng := campaign.New(campaign.Config{Telemetry: true})
+	cell := campaign.Cell{App: app, NRanks: n, Scenario: sc, K: *k}
 
-	// Step 2: measure the scaling ratio on the dedicated testbed.
-	skelDed, err := skeleton.Run(prog, cluster.Build(cluster.Testbed(n), cluster.Dedicated()), mpi.Config{}, nil)
+	// Steps 1–2: dedicated application run (the skeleton's trace source)
+	// and dedicated skeleton run; their quotient is the scaling ratio.
+	dedApp := cell
+	dedApp.K = 0
+	dedApp.Scenario = cluster.Dedicated()
+	appDedRes, err := eng.Run(dedApp)
 	if err != nil {
 		fail(err)
 	}
-	ratio := predict.Ratio(appDed, skelDed)
+	prog, _, err := eng.Construct(cell)
+	if err != nil {
+		fail(err)
+	}
+	dedSkel := cell
+	dedSkel.Scenario = cluster.Dedicated()
+	skelDedRes, err := eng.Run(dedSkel)
+	if err != nil {
+		fail(err)
+	}
+	ratio := predict.Ratio(appDedRes.Time, skelDedRes.Time)
 
-	// Step 3: run application and skeleton under the target scenario,
-	// each instrumented with a fresh collector.
-	appCol := telemetry.NewCollector()
-	_, err = mpi.Run(cluster.BuildProbed(cluster.Testbed(n), sc, appCol), n, mpi.Config{Probe: appCol}, nil, app)
+	// Step 3: run application and skeleton under the target scenario; the
+	// engine attaches a fresh collector to each cell.
+	scenApp := cell
+	scenApp.K = 0
+	appRes, err := eng.Run(scenApp)
 	if err != nil {
 		fail(err)
 	}
-	skelCol := telemetry.NewCollector()
-	_, err = skeleton.Run(prog, cluster.BuildProbed(cluster.Testbed(n), sc, skelCol), mpi.Config{Probe: skelCol}, nil)
+	skelRes, err := eng.Run(cell)
 	if err != nil {
 		fail(err)
 	}
-	writeTrace(*traceApp, appCol)
-	writeTrace(*traceSkel, skelCol)
+	writeTrace(*traceApp, appRes.Telemetry)
+	writeTrace(*traceSkel, skelRes.Telemetry)
 
 	// Step 4: align the phase profiles and attribute the error.
-	appProf, skelProf := appCol.Profile(), skelCol.Profile()
+	appProf, skelProf := appRes.Telemetry.Profile(), skelRes.Telemetry.Profile()
 	diff := telemetry.Diff(appProf, skelProf, ratio, *buckets)
 
 	if *jsonOut {
 		r := report{
 			Bench: *bench, Class: *class, Ranks: n, K: prog.K, Scenario: sc.Name,
-			AppDedicated: appDed, SkelDedicated: skelDed,
+			AppDedicated: appDedRes.Time, SkelDedicated: skelDedRes.Time,
 			Diff: diff, App: appProf, Skel: skelProf,
 		}
 		enc := json.NewEncoder(os.Stdout)
@@ -118,7 +125,7 @@ func main() {
 	}
 	fmt.Printf("%s class %s on %d ranks, skeleton K=%d, scenario %s\n",
 		*bench, *class, n, prog.K, sc.Name)
-	fmt.Printf("dedicated: application %.4f s, skeleton %.4f s\n\n", appDed, skelDed)
+	fmt.Printf("dedicated: application %.4f s, skeleton %.4f s\n\n", appDedRes.Time, skelDedRes.Time)
 	fmt.Print(diff.Render())
 }
 
@@ -126,6 +133,9 @@ func main() {
 func writeTrace(path string, col *telemetry.Collector) {
 	if path == "" {
 		return
+	}
+	if col == nil {
+		fail(fmt.Errorf("no telemetry collected for %s", path))
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -1,0 +1,106 @@
+package perfskel
+
+import (
+	"fmt"
+
+	"perfskel/internal/signature"
+	"perfskel/internal/skeleton"
+)
+
+// ScaleMode selects how skeleton construction scales communication
+// operations (ByteScale or TimeScale).
+type ScaleMode = skeleton.ScaleMode
+
+// ConstructOption configures Construct. Options apply in argument order,
+// so a later option overrides an earlier one for the same setting.
+type ConstructOption func(*constructConfig)
+
+type constructConfig struct {
+	k          int
+	targetTime float64
+	skelOpts   SkeletonOptions
+	sigOpts    *SignatureOptions
+}
+
+// WithK sets the skeleton's integer scaling factor directly: the
+// skeleton's dedicated execution time is about 1/K of the application's.
+// When both WithK and WithTargetTime are given, WithK wins — an explicit
+// factor is more specific than a derived one.
+func WithK(k int) ConstructOption {
+	return func(c *constructConfig) { c.k = k }
+}
+
+// WithTargetTime derives the scaling factor from an intended skeleton
+// execution time in seconds: K = round(appTime / seconds), at least 1.
+func WithTargetTime(seconds float64) ConstructOption {
+	return func(c *constructConfig) { c.targetTime = seconds }
+}
+
+// WithMode sets the communication scale mode (ByteScale, the paper's
+// method and the default, or TimeScale).
+func WithMode(m ScaleMode) ConstructOption {
+	return func(c *constructConfig) { c.skelOpts.Mode = m }
+}
+
+// WithSkeletonOptions replaces the full skeleton construction options
+// (scale mode, assumed latency/bandwidth, compute spreading, coverage).
+func WithSkeletonOptions(o SkeletonOptions) ConstructOption {
+	return func(c *constructConfig) { c.skelOpts = o }
+}
+
+// WithSignatureOptions pins the signature-compression stage to explicit
+// clustering options instead of the default similarity-threshold search.
+// The resulting skeleton is still verified mutually consistent across
+// ranks before it is returned.
+func WithSignatureOptions(o SignatureOptions) ConstructOption {
+	return func(c *constructConfig) { c.sigOpts = &o }
+}
+
+// Construct runs the complete skeleton-construction pipeline on a trace:
+// signature compression (by default searching the similarity threshold
+// until the compression ratio reaches the paper's Q = K/2), skeleton
+// generation at scaling factor K, and a cross-rank consistency check (an
+// inconsistent skeleton would deadlock). It returns the skeleton together
+// with the execution signature it was built from.
+//
+// The scaling factor comes from WithK or WithTargetTime; exactly one is
+// required (WithK wins if both are given).
+//
+//	skel, sig, err := perfskel.Construct(tr,
+//	    perfskel.WithTargetTime(5.0),
+//	    perfskel.WithMode(perfskel.TimeScale))
+func Construct(tr *Trace, opts ...ConstructOption) (*Skeleton, *Signature, error) {
+	var cfg constructConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	k := cfg.k
+	if k == 0 {
+		if cfg.targetTime == 0 {
+			return nil, nil, fmt.Errorf("perfskel: Construct needs WithK or WithTargetTime")
+		}
+		var err error
+		k, err = skeleton.KForTime(tr.AppTime, cfg.targetTime)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("perfskel: scaling factor must be >= 1, got %d", k)
+	}
+	if cfg.sigOpts != nil {
+		sig, err := signature.Build(tr, *cfg.sigOpts)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog, err := skeleton.BuildOpts(sig, k, cfg.skelOpts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := prog.Consistent(); err != nil {
+			return nil, nil, err
+		}
+		return prog, sig, nil
+	}
+	return skeleton.BuildFromTrace(tr, k, cfg.skelOpts)
+}

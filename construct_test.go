@@ -1,0 +1,136 @@
+package perfskel_test
+
+import (
+	"testing"
+
+	"perfskel"
+)
+
+// constructTrace records a small two-rank iterative app for the
+// Construct option tests.
+func constructTrace(t *testing.T) (*perfskel.Trace, float64) {
+	t.Helper()
+	app := func(c *perfskel.Comm) {
+		peer := 1 - c.Rank()
+		for i := 0; i < 40; i++ {
+			c.Compute(0.01)
+			c.Sendrecv(peer, 8_000, peer, 1)
+			c.Allreduce(8)
+		}
+	}
+	env := perfskel.NewTestbed(2, perfskel.Dedicated())
+	tr, appTime, err := env.Trace(2, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, appTime
+}
+
+func TestConstructRequiresScalingFactor(t *testing.T) {
+	tr, _ := constructTrace(t)
+	if _, _, err := perfskel.Construct(tr); err == nil {
+		t.Fatal("Construct without WithK or WithTargetTime should fail")
+	}
+	if _, _, err := perfskel.Construct(tr, perfskel.WithTargetTime(-1)); err == nil {
+		t.Fatal("Construct with a negative target time should fail")
+	}
+	if _, _, err := perfskel.Construct(tr, perfskel.WithK(-2)); err == nil {
+		t.Fatal("Construct with a negative K should fail")
+	}
+}
+
+// WithK overrides WithTargetTime: an explicit factor is more specific
+// than a derived one.
+func TestConstructKPrecedence(t *testing.T) {
+	tr, _ := constructTrace(t)
+	skel, _, err := perfskel.Construct(tr,
+		perfskel.WithTargetTime(0.001), // would derive a huge K
+		perfskel.WithK(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skel.K != 4 {
+		t.Errorf("K = %d, want 4 (WithK should win over WithTargetTime)", skel.K)
+	}
+}
+
+// The legacy wrappers are exact synonyms for their Construct spellings.
+func TestConstructWrapperEquivalence(t *testing.T) {
+	tr, appTime := constructTrace(t)
+
+	skelA, _, err := perfskel.BuildSkeletonFromTrace(tr, 8, perfskel.SkeletonOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skelB, _, err := perfskel.Construct(tr, perfskel.WithK(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skelA.K != skelB.K || skelA.TargetTime != skelB.TargetTime {
+		t.Errorf("BuildSkeletonFromTrace (K=%d, %.4f s) != Construct WithK (K=%d, %.4f s)",
+			skelA.K, skelA.TargetTime, skelB.K, skelB.TargetTime)
+	}
+
+	target := appTime / 2.5 // lands K on a rounding boundary
+	skelC, _, err := perfskel.BuildSkeletonFromTraceForTime(tr, target, perfskel.SkeletonOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skelD, _, err := perfskel.Construct(tr, perfskel.WithTargetTime(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skelC.K != skelD.K {
+		t.Errorf("wrapper derived K=%d, Construct derived K=%d", skelC.K, skelD.K)
+	}
+	if skelC.K != 3 {
+		t.Errorf("K = %d at the x.5 boundary, want 3 (round half away from zero)", skelC.K)
+	}
+}
+
+func TestConstructWithSignatureOptions(t *testing.T) {
+	tr, _ := constructTrace(t)
+	skel, sig, err := perfskel.Construct(tr,
+		perfskel.WithK(6),
+		perfskel.WithSignatureOptions(perfskel.SignatureOptions{TargetRatio: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skel.K != 6 {
+		t.Errorf("K = %d, want 6", skel.K)
+	}
+	if sig == nil || sig.Len() == 0 {
+		t.Fatal("Construct returned no signature")
+	}
+	env := perfskel.NewTestbed(2, perfskel.Dedicated())
+	if _, err := env.RunSkeleton(skel); err != nil {
+		t.Errorf("skeleton from explicit signature options does not run: %v", err)
+	}
+}
+
+func TestConstructWithMode(t *testing.T) {
+	tr, _ := constructTrace(t)
+	// K above the iteration count forces parameter scaling, where the
+	// two modes actually diverge (loop division alone is mode-agnostic).
+	byteScale, _, err := perfskel.Construct(tr, perfskel.WithK(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeScale, _, err := perfskel.Construct(tr, perfskel.WithK(80),
+		perfskel.WithMode(perfskel.TimeScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := perfskel.NewTestbed(2, perfskel.Dedicated())
+	tB, err := env.RunSkeleton(byteScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tT, err := env.RunSkeleton(timeScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tB == tT {
+		t.Error("ByteScale and TimeScale skeletons ran identically; WithMode may be ignored")
+	}
+}

@@ -25,11 +25,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sig, err := perfskel.BuildSignature(tr, 2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	skel, err := perfskel.BuildSkeleton(sig, 5)
+	skel, _, err := perfskel.Construct(tr, perfskel.WithK(5),
+		perfskel.WithSignatureOptions(perfskel.SignatureOptions{TargetRatio: 2}))
 	if err != nil {
 		log.Fatal(err)
 	}

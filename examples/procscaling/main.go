@@ -27,7 +27,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	skel, _, err := perfskel.BuildSkeletonFromTraceForTime(tr, 2.0, perfskel.SkeletonOptions{})
+	skel, _, err := perfskel.Construct(tr, perfskel.WithTargetTime(2.0))
 	if err != nil {
 		log.Fatal(err)
 	}

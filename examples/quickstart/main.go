@@ -33,7 +33,7 @@ func main() {
 	// 2. Compress the trace into an execution signature and build a
 	//    2-second performance skeleton (the threshold search targets the
 	//    paper's compression ratio Q = K/2 and verifies consistency).
-	skel, sig, err := perfskel.BuildSkeletonFromTraceForTime(tr, 2.0, perfskel.SkeletonOptions{})
+	skel, sig, err := perfskel.Construct(tr, perfskel.WithTargetTime(2.0))
 	if err != nil {
 		log.Fatal(err)
 	}

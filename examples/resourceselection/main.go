@@ -30,11 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sig, err := perfskel.BuildSignature(tr, appTime/2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	skel, err := perfskel.BuildSkeletonForTime(sig, 1.0)
+	skel, _, err := perfskel.Construct(tr, perfskel.WithTargetTime(1.0))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,11 +1,12 @@
 // Scenario sweep: how well does one skeleton track its application across
 // a whole range of network conditions it was never measured under?
 //
-// We build a single LU skeleton from one dedicated trace, then sweep the
-// cluster-wide link bandwidth from full Gigabit down to 10 Mbps and
-// compare skeleton-based predictions with the application's actual times.
-// LU's many small pipelined messages make it the most latency- and
-// bandwidth-sensitive of the compute-bound NAS codes.
+// The sweep runs through the campaign engine: the grid of (application,
+// K, scenario) cells is declared once and PredictAll executes it on a
+// worker pool, sharing the dedicated baselines between every prediction
+// through the content-addressed cache. LU's many small pipelined messages
+// make it the most latency- and bandwidth-sensitive of the compute-bound
+// NAS codes.
 package main
 
 import (
@@ -17,30 +18,14 @@ import (
 
 func main() {
 	const ranks = 4
-	app, err := perfskel.NASApp("LU", perfskel.ClassA)
+	app, err := perfskel.CampaignNASApp("LU", perfskel.ClassA)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dedicated := perfskel.NewTestbed(ranks, perfskel.Dedicated())
-	tr, appTime, err := dedicated.Trace(ranks, app)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sig, err := perfskel.BuildSignature(tr, appTime/2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	skel, err := perfskel.BuildSkeletonForTime(sig, 1.0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	skelDed, err := dedicated.RunSkeleton(skel)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("LU class A: %.2f s dedicated; 1 s skeleton (K=%d)\n\n", appTime, skel.K)
 
-	fmt.Printf("%-12s  %12s  %12s  %8s\n", "bandwidth", "predicted", "actual", "error")
+	// Custom scenarios: cluster-wide link bandwidth from full Gigabit
+	// down to 10 Mbps.
+	var scenarios []perfskel.Scenario
 	for _, mbps := range []float64{1000, 500, 100, 50, 10} {
 		bytesPerSec := mbps * 1e6 / 8
 		sc := perfskel.Scenario{
@@ -50,17 +35,29 @@ func main() {
 		for i := 0; i < ranks; i++ {
 			sc.LinkBandwidth[i] = bytesPerSec
 		}
-		env := perfskel.NewTestbed(ranks, sc)
-		probe, err := env.RunSkeleton(skel)
-		if err != nil {
-			log.Fatal(err)
-		}
-		actual, err := env.Run(ranks, app)
-		if err != nil {
-			log.Fatal(err)
-		}
-		predicted := perfskel.PredictTime(appTime, skelDed, probe)
-		fmt.Printf("%-12s  %10.2f s  %10.2f s  %6.1f %%\n",
-			sc.Name, predicted, actual, perfskel.PredictionErrorPct(predicted, actual))
+		scenarios = append(scenarios, sc)
 	}
+
+	eng := perfskel.NewCampaign(perfskel.CampaignConfig{})
+	preds, err := eng.PredictAll(perfskel.CampaignGrid{
+		Apps:       []perfskel.CampaignApp{app},
+		NRanks:     ranks,
+		Scenarios:  scenarios,
+		Ks:         []int{30}, // ~4 s skeleton for the ~2 min application
+		MeasureApp: true,      // also run LU itself everywhere, to verify
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("LU class A: %.2f s dedicated; K=%d skeleton runs %.2f s\n\n",
+		preds[0].AppDedicated, preds[0].K, preds[0].SkelDedicated)
+	fmt.Printf("%-12s  %12s  %12s  %8s\n", "bandwidth", "predicted", "actual", "error")
+	for _, p := range preds {
+		fmt.Printf("%-12s  %10.2f s  %10.2f s  %6.1f %%\n",
+			p.Scenario, p.Predicted, p.AppActual, p.ErrorPct)
+	}
+	st := eng.Stats()
+	fmt.Printf("\ncampaign: %d simulations for %d predictions (%d cache hits)\n",
+		st.Sims, len(preds), st.Hits)
 }

@@ -1,0 +1,210 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"perfskel/internal/signature"
+	"perfskel/internal/skeleton"
+	"perfskel/internal/telemetry"
+	"perfskel/internal/trace"
+)
+
+// cellValue is what one cache cell holds. Run cells carry a time and the
+// trace statistics; build cells carry the constructed program and its
+// signature. The trace and the telemetry collector are memory-only: the
+// trace is large and reconstructible, and a collector only describes a
+// simulation this process actually executed.
+type cellValue struct {
+	time  float64
+	stats *trace.Stats
+	prog  *skeleton.Program
+	sig   *signature.Signature
+	trace *trace.Trace
+	tel   *telemetry.Collector
+}
+
+// diskEntry is a cell's persistent form. Program and Signature embed the
+// packages' own JSON encodings.
+type diskEntry struct {
+	Label     string          `json:"label"`
+	Time      float64         `json:"time,omitempty"`
+	Stats     *trace.Stats    `json:"stats,omitempty"`
+	Program   json.RawMessage `json:"program,omitempty"`
+	Signature json.RawMessage `json:"signature,omitempty"`
+}
+
+// Stats counts what the cache did for one engine's lifetime.
+type Stats struct {
+	Hits     int64 // memory hits: a second request for a completed or in-flight cell
+	DiskHits int64 // cells satisfied from the on-disk cache
+	Misses   int64 // cells computed in this process
+	Sims     int64 // simulations actually executed
+}
+
+// entry is one in-flight or completed cell. done closes when val/err are
+// final; waiters block on it (singleflight), so a cell is computed at
+// most once per engine no matter how many workers request it.
+type entry struct {
+	done chan struct{}
+	val  cellValue
+	err  error
+}
+
+// memo is the content-addressed run cache: an in-memory singleflight
+// table over canonical labels, optionally backed by a directory of
+// SHA-256-named JSON files.
+type memo struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	dir     string
+	stats   struct{ hits, diskHits, misses, sims atomic.Int64 }
+}
+
+func newMemo(dir string) *memo {
+	return &memo{entries: make(map[string]*entry), dir: dir}
+}
+
+// do returns the cell's value, computing it with compute on first
+// request. persist marks the cell disk-cacheable; diskRead additionally
+// allows satisfying it from disk (an engine collecting telemetry always
+// simulates, so it passes diskRead=false while still writing). Errors are
+// cached too: the computation is deterministic, so retrying cannot
+// succeed.
+func (m *memo) do(label string, persist, diskRead bool, compute func() (cellValue, error)) (cellValue, error) {
+	m.mu.Lock()
+	if e, ok := m.entries[label]; ok {
+		m.mu.Unlock()
+		<-e.done
+		m.stats.hits.Add(1)
+		return e.val, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	m.entries[label] = e
+	m.mu.Unlock()
+	defer close(e.done)
+
+	if m.dir != "" && persist && diskRead {
+		if v, ok := m.loadDisk(label); ok {
+			m.stats.diskHits.Add(1)
+			e.val = v
+			return e.val, nil
+		}
+	}
+	m.stats.misses.Add(1)
+	e.val, e.err = compute()
+	if e.err == nil && m.dir != "" && persist {
+		// Best effort: a cache-write failure (full disk, permissions) only
+		// costs a future recompute.
+		_ = m.saveDisk(label, e.val)
+	}
+	return e.val, e.err
+}
+
+// snapshot returns the cache counters.
+func (m *memo) snapshot() Stats {
+	return Stats{
+		Hits:     m.stats.hits.Load(),
+		DiskHits: m.stats.diskHits.Load(),
+		Misses:   m.stats.misses.Load(),
+		Sims:     m.stats.sims.Load(),
+	}
+}
+
+// telemetryCells returns every completed cell that recorded a collector,
+// labeled for the deterministic merge.
+func (m *memo) telemetryCells() []telemetry.LabeledCollector {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []telemetry.LabeledCollector
+	for label, e := range m.entries {
+		select {
+		case <-e.done:
+			if e.err == nil && e.val.tel != nil {
+				out = append(out, telemetry.LabeledCollector{Label: label, C: e.val.tel})
+			}
+		default:
+		}
+	}
+	return out
+}
+
+func (m *memo) path(label string) string {
+	return filepath.Join(m.dir, keyOf(label)+".json")
+}
+
+// loadDisk reads a persisted cell; any failure (missing, corrupt, label
+// mismatch) is a miss.
+func (m *memo) loadDisk(label string) (cellValue, bool) {
+	raw, err := os.ReadFile(m.path(label))
+	if err != nil {
+		return cellValue{}, false
+	}
+	var de diskEntry
+	if err := json.Unmarshal(raw, &de); err != nil || de.Label != label {
+		return cellValue{}, false
+	}
+	v := cellValue{time: de.Time, stats: de.Stats}
+	if len(de.Program) > 0 {
+		p, err := skeleton.Read(bytes.NewReader(de.Program))
+		if err != nil {
+			return cellValue{}, false
+		}
+		v.prog = p
+	}
+	if len(de.Signature) > 0 {
+		s, err := signature.Read(bytes.NewReader(de.Signature))
+		if err != nil {
+			return cellValue{}, false
+		}
+		v.sig = s
+	}
+	return v, true
+}
+
+// saveDisk persists a cell's durable parts. The write goes through a
+// temp file plus rename so concurrent engines sharing a cache directory
+// never observe a half-written entry.
+func (m *memo) saveDisk(label string, v cellValue) error {
+	if err := os.MkdirAll(m.dir, 0o755); err != nil {
+		return err
+	}
+	de := diskEntry{Label: label, Time: v.time, Stats: v.stats}
+	if v.prog != nil {
+		var b bytes.Buffer
+		if err := v.prog.Write(&b); err != nil {
+			return err
+		}
+		de.Program = b.Bytes()
+	}
+	if v.sig != nil {
+		var b bytes.Buffer
+		if err := v.sig.Write(&b); err != nil {
+			return err
+		}
+		de.Signature = b.Bytes()
+	}
+	raw, err := json.Marshal(de)
+	if err != nil {
+		return err
+	}
+	path := m.path(label)
+	tmp, err := os.CreateTemp(m.dir, "cell-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,342 @@
+// Package campaign is the batch execution layer of perfskel: a
+// concurrent sweep engine that takes a declarative grid of simulation
+// cells — (app, nranks, topology, scenario, K, mode) — fans them out
+// over a bounded worker pool, deduplicates identical cells through a
+// canonical content-addressed key, and memoizes every result in an
+// in-memory (plus optional on-disk) cache, so dedicated baselines and
+// repeated ratio measurements are computed once per campaign instead of
+// once per table cell.
+//
+// Parallelism is safe because every simulation is an isolated world: a
+// cell's execution builds a fresh cluster.Cluster on a fresh sim.Engine,
+// shares no mutable state with any other cell, and is fully
+// deterministic. Cell values are therefore pure functions of their
+// canonical labels, which has two consequences the tests pin down:
+// results are byte-identical at any worker count, and a cache hit is
+// indistinguishable from a fresh run.
+//
+// Observability survives the fan-out: with Config.Telemetry set, every
+// executed cell carries its own telemetry.Collector, and the engine's
+// merged exports order cells by canonical label, so the merged Perfetto
+// trace and metrics files are byte-identical regardless of worker count
+// or completion schedule.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/nas"
+	"perfskel/internal/signature"
+	"perfskel/internal/skeleton"
+	"perfskel/internal/telemetry"
+	"perfskel/internal/trace"
+)
+
+// App is a per-rank program plus the stable identity the cache keys it
+// by. Two App values with equal IDs are assumed to be the same program;
+// NASApp guarantees that, CustomApp makes it the caller's contract.
+type App struct {
+	// ID is the app's canonical identity, e.g. "nas:CG:B".
+	ID string
+	// Fn is the per-rank program body.
+	Fn mpi.App
+}
+
+// NASApp returns the named NAS benchmark as a campaign app with the
+// canonical identity "nas:<name>:<class>".
+func NASApp(name string, class nas.Class) (App, error) {
+	fn, err := nas.App(name, class)
+	if err != nil {
+		return App{}, err
+	}
+	return App{ID: "nas:" + name + ":" + string(class), Fn: fn}, nil
+}
+
+// CustomApp wraps an arbitrary program body under a caller-chosen
+// identity. The caller owns the contract that the identity changes
+// whenever the program's behaviour does — an on-disk cache entry written
+// under a stale identity would otherwise be served for a different
+// program.
+func CustomApp(id string, fn mpi.App) App { return App{ID: "custom:" + id, Fn: fn} }
+
+// Config tunes one engine.
+type Config struct {
+	// Workers bounds the number of simulations executing concurrently
+	// (the worker pool size). Zero means GOMAXPROCS.
+	Workers int
+	// CacheDir, when non-empty, backs the in-memory cache with a
+	// directory of content-addressed JSON files shared across processes.
+	CacheDir string
+	// Telemetry attaches a fresh collector to every executed cell. It
+	// also makes the engine ignore on-disk cache entries when reading
+	// (still writing them): a disk hit executes no simulation and so has
+	// nothing to observe, and a merged export with silently missing cells
+	// would be worse than a slower campaign.
+	Telemetry bool
+	// MPI is the runtime cost model every cell runs under.
+	MPI mpi.Config
+	// Skeleton is the construction option set for skeleton cells. A
+	// cell's Mode field overrides Skeleton.Mode when non-zero.
+	Skeleton skeleton.Options
+}
+
+// Cell is one grid cell: an application (K == 0) or its K-skeleton
+// (K >= 1) executed under a scenario.
+type Cell struct {
+	App    App
+	NRanks int
+	// Topo is the cluster topology; the zero value means the paper's
+	// n-node dual-CPU testbed.
+	Topo     cluster.Topology
+	Scenario cluster.Scenario
+	// K selects what runs: 0 the application itself, >= 1 the
+	// performance skeleton with that scaling factor (constructed from
+	// the application's dedicated trace on the cell's topology).
+	K int
+	// Mode overrides the engine's skeleton scale mode when non-zero
+	// (ByteScale is the zero value and the default).
+	Mode skeleton.ScaleMode
+}
+
+// RunResult is one executed (or cache-satisfied) cell's outcome.
+type RunResult struct {
+	// Time is the run's parallel execution time in virtual seconds.
+	Time float64
+	// Stats is the run's trace-derived time breakdown. Treat as
+	// read-only: the value is shared with the cache.
+	Stats *trace.Stats
+	// Telemetry is the cell's collector when the engine was configured
+	// with Config.Telemetry and this process executed the cell.
+	Telemetry *telemetry.Collector
+}
+
+// Engine is a campaign's executor: the worker pool plus the
+// content-addressed run cache. An Engine is safe for concurrent use; all
+// methods may be called from any goroutine.
+type Engine struct {
+	cfg  Config
+	memo *memo
+	sem  chan struct{}
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		cfg:  cfg,
+		memo: newMemo(cfg.CacheDir),
+		sem:  make(chan struct{}, cfg.Workers),
+	}
+}
+
+// acquire takes a worker slot. Compute functions hold a slot only around
+// actual simulation or construction work, never while waiting on another
+// cell, so the pool cannot deadlock on dependencies.
+func (e *Engine) acquire() { e.sem <- struct{}{} }
+func (e *Engine) release() { <-e.sem }
+
+// dedicatedCanon is the canonical form of the unshared baseline scenario;
+// app-run cells matching it keep their trace in memory for skeleton
+// construction.
+var dedicatedCanon = func() string {
+	c, err := cluster.CanonScenario(cluster.Dedicated())
+	if err != nil {
+		panic(err)
+	}
+	return c
+}()
+
+// norm validates a cell and fills defaults.
+func (e *Engine) norm(c Cell) (Cell, error) {
+	if c.App.Fn == nil {
+		return c, fmt.Errorf("campaign: cell has no app (App.Fn nil)")
+	}
+	if c.App.ID == "" {
+		return c, fmt.Errorf("campaign: app has no identity (App.ID empty)")
+	}
+	if c.NRanks < 1 {
+		return c, fmt.Errorf("campaign: cell needs at least 1 rank, got %d", c.NRanks)
+	}
+	if c.K < 0 {
+		return c, fmt.Errorf("campaign: negative scaling factor %d", c.K)
+	}
+	if len(c.Topo.Nodes) == 0 {
+		c.Topo = cluster.Testbed(c.NRanks)
+	}
+	return c, nil
+}
+
+// skelOpts returns the effective construction options for a cell.
+func (e *Engine) skelOpts(c Cell) skeleton.Options {
+	o := e.cfg.Skeleton
+	if c.Mode != 0 {
+		o.Mode = c.Mode
+	}
+	return o
+}
+
+// Run executes one cell — the application when K == 0, the K-skeleton
+// otherwise — returning its execution time and statistics. Identical
+// cells are simulated once per engine (and once per cache directory).
+func (e *Engine) Run(c Cell) (RunResult, error) {
+	c, err := e.norm(c)
+	if err != nil {
+		return RunResult{}, err
+	}
+	l, err := e.labelsFor(c)
+	if err != nil {
+		return RunResult{}, err
+	}
+	var v cellValue
+	if c.K == 0 {
+		v, err = e.appRun(c, l)
+	} else {
+		v, err = e.skelRun(c, l)
+	}
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{Time: v.time, Stats: v.stats, Telemetry: v.tel}, nil
+}
+
+// Construct builds (or recalls) the cell's performance skeleton and its
+// execution signature. The trace behind it is the application's
+// dedicated run on the cell's topology.
+func (e *Engine) Construct(c Cell) (*skeleton.Program, *signature.Signature, error) {
+	c, err := e.norm(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.K < 1 {
+		return nil, nil, fmt.Errorf("campaign: Construct needs K >= 1, got %d", c.K)
+	}
+	l, err := e.labelsFor(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err := e.build(c, l)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.prog, v.sig, nil
+}
+
+// Stats returns the cache counters accumulated so far.
+func (e *Engine) Stats() Stats { return e.memo.snapshot() }
+
+// newProbe returns a fresh collector when telemetry is on.
+func (e *Engine) newProbe() (*telemetry.Collector, telemetry.Sink, mpi.Config) {
+	cfg := e.cfg.MPI
+	if !e.cfg.Telemetry {
+		return nil, nil, cfg
+	}
+	col := telemetry.NewCollector()
+	cfg.Probe = col
+	return col, col, cfg
+}
+
+// appRun memoizes one application execution. Dedicated runs keep their
+// trace in memory so skeleton builds can reuse it without re-simulating.
+func (e *Engine) appRun(c Cell, l labels) (cellValue, error) {
+	return e.memo.do(appRunLabel(c, l), true, !e.cfg.Telemetry, func() (cellValue, error) {
+		col, sink, cfg := e.newProbe()
+		cl := cluster.BuildProbed(c.Topo, c.Scenario, sink)
+		rec := trace.NewRecorder(c.NRanks)
+		e.acquire()
+		e.memo.stats.sims.Add(1)
+		dur, err := mpi.Run(cl, c.NRanks, cfg, rec, c.App.Fn)
+		e.release()
+		if err != nil {
+			return cellValue{}, fmt.Errorf("campaign: %s under %s: %w", c.App.ID, c.Scenario.Name, err)
+		}
+		tr := rec.Finish(dur)
+		st := tr.Stats()
+		v := cellValue{time: dur, stats: &st, tel: col}
+		if l.sc == dedicatedCanon {
+			v.trace = tr
+		}
+		return v, nil
+	})
+}
+
+// ensureTrace returns the application's dedicated execution trace on the
+// cell's topology, re-simulating (memory-memoized) when the run cell was
+// satisfied from disk and so carries no trace.
+func (e *Engine) ensureTrace(c Cell) (*trace.Trace, float64, error) {
+	d := c
+	d.K = 0
+	d.Scenario = cluster.Dedicated()
+	l, err := e.labelsFor(d)
+	if err != nil {
+		return nil, 0, err
+	}
+	v, err := e.appRun(d, l)
+	if err != nil {
+		return nil, 0, err
+	}
+	if v.trace != nil {
+		return v.trace, v.time, nil
+	}
+	v, err = e.memo.do(traceLabel(d, l), false, false, func() (cellValue, error) {
+		cl := cluster.Build(d.Topo, d.Scenario)
+		rec := trace.NewRecorder(d.NRanks)
+		e.acquire()
+		e.memo.stats.sims.Add(1)
+		dur, err := mpi.Run(cl, d.NRanks, e.cfg.MPI, rec, d.App.Fn)
+		e.release()
+		if err != nil {
+			return cellValue{}, err
+		}
+		return cellValue{time: dur, trace: rec.Finish(dur)}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return v.trace, v.time, nil
+}
+
+// build memoizes one skeleton construction.
+func (e *Engine) build(c Cell, l labels) (cellValue, error) {
+	opts := e.skelOpts(c)
+	return e.memo.do(buildLabel(c, l, opts), true, !e.cfg.Telemetry, func() (cellValue, error) {
+		tr, _, err := e.ensureTrace(c)
+		if err != nil {
+			return cellValue{}, err
+		}
+		e.acquire()
+		prog, sig, err := skeleton.BuildFromTrace(tr, c.K, opts)
+		e.release()
+		if err != nil {
+			return cellValue{}, fmt.Errorf("campaign: skeleton K=%d of %s: %w", c.K, c.App.ID, err)
+		}
+		return cellValue{prog: prog, sig: sig}, nil
+	})
+}
+
+// skelRun memoizes one skeleton execution under a scenario.
+func (e *Engine) skelRun(c Cell, l labels) (cellValue, error) {
+	opts := e.skelOpts(c)
+	return e.memo.do(skelRunLabel(c, l, opts), true, !e.cfg.Telemetry, func() (cellValue, error) {
+		bv, err := e.build(c, l)
+		if err != nil {
+			return cellValue{}, err
+		}
+		col, sink, cfg := e.newProbe()
+		cl := cluster.BuildProbed(c.Topo, c.Scenario, sink)
+		rec := trace.NewRecorder(c.NRanks)
+		e.acquire()
+		e.memo.stats.sims.Add(1)
+		dur, err := skeleton.Run(bv.prog, cl, cfg, rec)
+		e.release()
+		if err != nil {
+			return cellValue{}, fmt.Errorf("campaign: skeleton K=%d of %s under %s: %w", c.K, c.App.ID, c.Scenario.Name, err)
+		}
+		st := rec.Finish(dur).Stats()
+		return cellValue{time: dur, stats: &st, tel: col}, nil
+	})
+}

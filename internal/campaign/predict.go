@@ -1,0 +1,162 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/predict"
+	"perfskel/internal/skeleton"
+)
+
+// Grid is a declarative sweep: the cross product Apps × Ks × Scenarios at
+// one rank count. Zero fields take the paper's defaults (4 ranks, the
+// testbed topology, the five sharing scenarios, K=8).
+type Grid struct {
+	Apps   []App
+	NRanks int
+	// Topo is the cluster topology; zero means the n-node testbed.
+	Topo cluster.Topology
+	// Scenarios are the target scenarios predictions are made for; nil
+	// means the paper's five sharing scenarios.
+	Scenarios []cluster.Scenario
+	// Ks are the skeleton scaling factors; empty means {8}.
+	Ks []int
+	// Mode is the communication scale mode for every cell.
+	Mode skeleton.ScaleMode
+	// MeasureApp additionally runs each application under each target
+	// scenario so every prediction carries its actual time and error.
+	MeasureApp bool
+}
+
+func (g Grid) withDefaults() Grid {
+	if g.NRanks == 0 {
+		g.NRanks = 4
+	}
+	if len(g.Topo.Nodes) == 0 {
+		g.Topo = cluster.Testbed(g.NRanks)
+	}
+	if g.Scenarios == nil {
+		g.Scenarios = cluster.PaperScenarios(g.NRanks)
+	}
+	if len(g.Ks) == 0 {
+		g.Ks = []int{8}
+	}
+	return g
+}
+
+// Cells expands the grid into its prediction cells in deterministic
+// order: apps outermost, then Ks, then scenarios.
+func (g Grid) Cells() []Cell {
+	g = g.withDefaults()
+	var cells []Cell
+	for _, app := range g.Apps {
+		for _, k := range g.Ks {
+			for _, sc := range g.Scenarios {
+				cells = append(cells, Cell{
+					App: app, NRanks: g.NRanks, Topo: g.Topo,
+					Scenario: sc, K: k, Mode: g.Mode,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// Prediction is one grid cell's outcome: the skeleton-probe prediction of
+// the application's execution time under the cell's scenario (paper
+// section 4.2), plus the measured actual when the grid asked for it.
+type Prediction struct {
+	App           string  `json:"app"`
+	NRanks        int     `json:"nranks"`
+	K             int     `json:"k"`
+	Scenario      string  `json:"scenario"`
+	AppDedicated  float64 `json:"app_dedicated_s"`
+	SkelDedicated float64 `json:"skel_dedicated_s"`
+	SkelScenario  float64 `json:"skel_scenario_s"`
+	Predicted     float64 `json:"predicted_s"`
+	// Measured marks that the application was actually run under the
+	// scenario too, filling AppActual and ErrorPct.
+	Measured  bool    `json:"measured,omitempty"`
+	AppActual float64 `json:"app_actual_s,omitempty"`
+	ErrorPct  float64 `json:"error_pct,omitempty"`
+}
+
+// Predict runs one cell's full prediction: dedicated application
+// baseline, dedicated skeleton run (the scaling ratio), and the skeleton
+// probe under the cell's scenario. All three sub-runs go through the
+// cache, so a campaign's shared baselines are simulated once.
+func (e *Engine) Predict(c Cell) (Prediction, error) { return e.predict(c, false) }
+
+func (e *Engine) predict(c Cell, measure bool) (Prediction, error) {
+	c, err := e.norm(c)
+	if err != nil {
+		return Prediction{}, err
+	}
+	if c.K < 1 {
+		return Prediction{}, fmt.Errorf("campaign: Predict needs K >= 1, got %d", c.K)
+	}
+	appDedCell := c
+	appDedCell.K = 0
+	appDedCell.Scenario = cluster.Dedicated()
+	appDed, err := e.Run(appDedCell)
+	if err != nil {
+		return Prediction{}, err
+	}
+	skelDedCell := c
+	skelDedCell.Scenario = cluster.Dedicated()
+	skelDed, err := e.Run(skelDedCell)
+	if err != nil {
+		return Prediction{}, err
+	}
+	skelScen, err := e.Run(c)
+	if err != nil {
+		return Prediction{}, err
+	}
+	p := Prediction{
+		App: c.App.ID, NRanks: c.NRanks, K: c.K, Scenario: c.Scenario.Name,
+		AppDedicated:  appDed.Time,
+		SkelDedicated: skelDed.Time,
+		SkelScenario:  skelScen.Time,
+		Predicted:     predict.Predict(skelScen.Time, predict.Ratio(appDed.Time, skelDed.Time)),
+	}
+	if measure {
+		actCell := c
+		actCell.K = 0
+		act, err := e.Run(actCell)
+		if err != nil {
+			return Prediction{}, err
+		}
+		p.Measured = true
+		p.AppActual = act.Time
+		p.ErrorPct = predict.ErrorPct(p.Predicted, act.Time)
+	}
+	return p, nil
+}
+
+// PredictAll runs every cell of the grid through the worker pool and
+// returns the predictions in the grid's deterministic expansion order
+// (apps × Ks × scenarios). Results are identical — to the byte, once
+// serialized — for any Workers setting, because each cell's value is a
+// pure function of its content-addressed key.
+func (e *Engine) PredictAll(g Grid) ([]Prediction, error) {
+	cells := g.Cells()
+	g = g.withDefaults()
+	preds := make([]Prediction, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			preds[i], errs[i] = e.predict(cells[i], g.MeasureApp)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return preds, nil
+}

@@ -1,0 +1,38 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+
+	"perfskel/internal/telemetry"
+)
+
+// TelemetryCells returns the per-cell collectors recorded so far (only
+// when the engine was built with Config.Telemetry), labeled with each
+// cell's canonical cache label. The slice order is unspecified; the
+// exporters below sort by label, which is what makes their output
+// independent of worker count and completion schedule.
+func (e *Engine) TelemetryCells() []telemetry.LabeledCollector {
+	return e.memo.telemetryCells()
+}
+
+// WritePerfetto writes the campaign's merged Chrome trace-event file: one
+// pid block per executed cell, ordered by canonical label. Byte-identical
+// for the same campaign at any worker count.
+func (e *Engine) WritePerfetto(w io.Writer) error {
+	cells := e.TelemetryCells()
+	if len(cells) == 0 {
+		return fmt.Errorf("campaign: no telemetry recorded (was Config.Telemetry set?)")
+	}
+	return telemetry.WriteMergedPerfetto(w, cells)
+}
+
+// WriteMetrics writes the campaign's merged metrics snapshots as JSON,
+// keyed by cell label. Byte-identical at any worker count.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	cells := e.TelemetryCells()
+	if len(cells) == 0 {
+		return fmt.Errorf("campaign: no telemetry recorded (was Config.Telemetry set?)")
+	}
+	return telemetry.WriteMergedMetrics(w, cells)
+}

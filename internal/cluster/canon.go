@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical forms for content addressing. The campaign engine keys its
+// run cache on a hash of "everything that determines a simulation's
+// outcome"; topologies and scenarios contribute through the canonical
+// strings below. Two values with equal canonical strings produce
+// identical simulations (the simulator is deterministic), so the strings
+// are safe cache identities.
+//
+// The forms are plain ASCII with sorted map keys and %g float formatting,
+// so they are stable across processes and Go versions and double as
+// human-readable cache labels.
+
+// CanonTopology returns the topology's canonical string.
+func CanonTopology(t Topology) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topo{bw=%g;lat=%g;nodes=[", t.Bandwidth, t.Latency)
+	for i, n := range t.Nodes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%g", n.CPUs, n.Speed)
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// CanonScenario returns the scenario's canonical string, covering the
+// name, the competing-process map, the link-bandwidth and extra-latency
+// overrides, and — when present — the cross-traffic parameters.
+//
+// A scenario carrying cross traffic is content-addressable only when the
+// traffic derives entirely from its Seed: WithCrossTraffic scenarios are
+// therefore *included* in the canonical form (MeanGap, MeanBytes and
+// Seed all contribute), but a scenario whose Traffic.Rand generator was
+// injected is rejected with an error — an external generator's state is
+// not reproducible from the scenario value, so two runs under the "same"
+// scenario could differ and a cache hit would be wrong.
+func CanonScenario(sc Scenario) (string, error) {
+	if sc.Traffic != nil && sc.Traffic.Rand != nil {
+		return "", fmt.Errorf("cluster: scenario %q has an injected Traffic.Rand generator and is not content-addressable", sc.Name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario{name=%s", sc.Name)
+	if len(sc.LoadProcs) > 0 {
+		b.WriteString(";load=[")
+		for i, k := range sortedIntKeys(sc.LoadProcs) {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d:%d", k, sc.LoadProcs[k])
+		}
+		b.WriteByte(']')
+	}
+	writeFloatMap(&b, ";linkbw=", sc.LinkBandwidth)
+	writeFloatMap(&b, ";xlat=", sc.ExtraLatency)
+	if t := sc.Traffic; t != nil {
+		fmt.Fprintf(&b, ";traffic={gap=%g;bytes=%g;seed=%d}", t.MeanGap, t.MeanBytes, t.Seed)
+	}
+	b.WriteByte('}')
+	return b.String(), nil
+}
+
+func writeFloatMap(b *strings.Builder, prefix string, m map[int]float64) {
+	if len(m) == 0 {
+		return
+	}
+	b.WriteString(prefix)
+	b.WriteByte('[')
+	for i, k := range sortedIntKeys(m) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%d:%g", k, m[k])
+	}
+	b.WriteByte(']')
+}
+
+// sortedIntKeys returns the map's keys in increasing order.
+func sortedIntKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

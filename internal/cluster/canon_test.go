@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestScenarioByNameRoundTrip: every scenario the campaign key
+// canonicalizes must survive a name round trip — CanonScenario embeds the
+// name, ByName resolves the name back, and the resolved scenario must
+// canonicalize identically, or a cache entry written under one spelling
+// could be read back as a different configuration.
+func TestScenarioByNameRoundTrip(t *testing.T) {
+	const n = 4
+	scenarios := append([]Scenario{Dedicated()}, PaperScenarios(n)...)
+	if len(scenarios) != 6 {
+		t.Fatalf("expected 6 scenarios, got %d", len(scenarios))
+	}
+	seen := make(map[string]bool)
+	for _, sc := range scenarios {
+		canon, err := CanonScenario(sc)
+		if err != nil {
+			t.Fatalf("CanonScenario(%s): %v", sc.Name, err)
+		}
+		if seen[canon] {
+			t.Errorf("canonical form collision: %s", canon)
+		}
+		seen[canon] = true
+		if !strings.Contains(canon, "name="+sc.Name) {
+			t.Errorf("canon of %s does not embed its name: %s", sc.Name, canon)
+		}
+
+		back, err := ByName(sc.Name, n)
+		if err != nil {
+			t.Fatalf("ByName(%s, %d): %v", sc.Name, n, err)
+		}
+		backCanon, err := CanonScenario(back)
+		if err != nil {
+			t.Fatalf("CanonScenario(ByName(%s)): %v", sc.Name, err)
+		}
+		if backCanon != canon {
+			t.Errorf("round trip changed %s:\n  before %s\n  after  %s", sc.Name, canon, backCanon)
+		}
+	}
+}
+
+// Seed-derived cross traffic is content-addressable (the canonical form
+// includes gap, size and seed); ByName cannot resolve the derived
+// "+traffic" name, which is the documented asymmetry: traffic scenarios
+// are built with WithCrossTraffic, not looked up.
+func TestCanonScenarioCrossTraffic(t *testing.T) {
+	sc := WithCrossTraffic(NetOneLink(), CrossTraffic{MeanGap: 0.01, MeanBytes: 1e6, Seed: 7})
+	canon, err := CanonScenario(sc)
+	if err != nil {
+		t.Fatalf("seed-derived traffic should canonicalize: %v", err)
+	}
+	for _, want := range []string{"name=net-one-link+traffic", "gap=0.01", "bytes=1e+06", "seed=7"} {
+		if !strings.Contains(canon, want) {
+			t.Errorf("canon missing %q: %s", want, canon)
+		}
+	}
+	// A different seed is a different content identity.
+	sc2 := WithCrossTraffic(NetOneLink(), CrossTraffic{MeanGap: 0.01, MeanBytes: 1e6, Seed: 8})
+	canon2, err := CanonScenario(sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon2 == canon {
+		t.Error("different traffic seeds canonicalized identically")
+	}
+	if _, err := ByName(sc.Name, 4); err == nil {
+		t.Error("ByName resolved a derived +traffic name; traffic scenarios must be built, not looked up")
+	}
+}
+
+func TestCanonScenarioRejectsInjectedRand(t *testing.T) {
+	sc := WithCrossTraffic(Dedicated(), CrossTraffic{MeanGap: 0.01, MeanBytes: 1e6,
+		Rand: rand.New(rand.NewSource(1))})
+	if _, err := CanonScenario(sc); err == nil {
+		t.Fatal("scenario with injected Traffic.Rand must not be content-addressable")
+	}
+}
+
+func TestCanonTopology(t *testing.T) {
+	a := CanonTopology(Testbed(4))
+	b := CanonTopology(Testbed(4))
+	if a != b {
+		t.Fatalf("canon not deterministic: %s vs %s", a, b)
+	}
+	if a == CanonTopology(Testbed(8)) {
+		t.Error("different node counts canonicalized identically")
+	}
+	hetero := Testbed(4)
+	hetero.Nodes = append([]NodeSpec(nil), hetero.Nodes...)
+	hetero.Nodes[2] = NodeSpec{CPUs: 1, Speed: 0.5}
+	if CanonTopology(hetero) == a {
+		t.Error("heterogeneous node ignored by canon")
+	}
+}
+
+// Map iteration order must not leak into the canonical form.
+func TestCanonScenarioSortedMaps(t *testing.T) {
+	sc := Scenario{
+		Name:          "custom",
+		LoadProcs:     map[int]int{3: 1, 0: 2, 7: 4},
+		LinkBandwidth: map[int]float64{5: TenMbps, 1: GigabitBandwidth},
+		ExtraLatency:  map[int]float64{5: ShapedLatency, 1: 0},
+	}
+	first, err := CanonScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := CanonScenario(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("canon varies across calls:\n%s\n%s", first, again)
+		}
+	}
+	if !strings.Contains(first, "load=[0:2,3:1,7:4]") {
+		t.Errorf("load map not sorted: %s", first)
+	}
+}

@@ -300,6 +300,10 @@ type CrossTraffic struct {
 }
 
 // WithCrossTraffic returns a copy of sc with background traffic added.
+// The derived scenario's name gains a "+traffic" suffix that ByName does
+// not resolve: traffic scenarios are built, not looked up. A seed-derived
+// traffic scenario (Rand nil) is still content-addressable and therefore
+// usable in campaign grids; see CanonScenario.
 func WithCrossTraffic(sc Scenario, t CrossTraffic) Scenario {
 	sc.Name = sc.Name + "+traffic"
 	sc.Traffic = &t

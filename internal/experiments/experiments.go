@@ -8,10 +8,10 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math"
 	"sort"
 	"sync"
 
+	"perfskel/internal/campaign"
 	"perfskel/internal/cluster"
 	"perfskel/internal/mpi"
 	"perfskel/internal/nas"
@@ -27,7 +27,9 @@ type Config struct {
 	Ranks      int
 	Benchmarks []string
 	Sizes      []float64
-	Sequential bool      // run benchmarks one at a time instead of in parallel
+	Sequential bool      // serialize all simulations (campaign with one worker)
+	Workers    int       // campaign worker-pool size; 0 means GOMAXPROCS
+	CacheDir   string    // optional on-disk campaign cache, reused across runs
 	Progress   io.Writer // optional progress log
 }
 
@@ -105,7 +107,10 @@ func runApp(ranks int, sc cluster.Scenario, app mpi.App, traced bool) (float64, 
 }
 
 // Run executes the full evaluation and returns the dataset behind every
-// figure.
+// figure. All simulations go through one campaign engine, so shared cells
+// (the dedicated runs every prediction divides by) are executed once,
+// concurrency is bounded by Config.Workers, and a Config.CacheDir
+// carries results across invocations.
 func Run(cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
 	scs := scenarios(cfg.Ranks)
@@ -113,6 +118,12 @@ func Run(cfg Config) (*Results, error) {
 	for _, sc := range scs {
 		res.Scenarios = append(res.Scenarios, sc.Name)
 	}
+
+	workers := cfg.Workers
+	if cfg.Sequential {
+		workers = 1
+	}
+	eng := campaign.New(campaign.Config{Workers: workers, CacheDir: cfg.CacheDir})
 
 	progress := func(format string, args ...interface{}) {}
 	var progressMu sync.Mutex
@@ -129,18 +140,11 @@ func Run(cfg Config) (*Results, error) {
 		err error
 	}
 	results := make(chan outcome, len(cfg.Benchmarks))
-	runOne := func(name string) {
-		bd, err := runBenchmark(cfg, scs, name, progress)
-		results <- outcome{bd, err}
-	}
-	if cfg.Sequential {
-		for _, name := range cfg.Benchmarks {
-			runOne(name)
-		}
-	} else {
-		for _, name := range cfg.Benchmarks {
-			go runOne(name)
-		}
+	for _, name := range cfg.Benchmarks {
+		go func(name string) {
+			bd, err := runBenchmark(cfg, eng, scs, name, progress)
+			results <- outcome{bd, err}
+		}(name)
 	}
 	var firstErr error
 	for range cfg.Benchmarks {
@@ -158,8 +162,9 @@ func Run(cfg Config) (*Results, error) {
 	return res, nil
 }
 
-// runBenchmark performs the whole pipeline for one benchmark.
-func runBenchmark(cfg Config, scs []cluster.Scenario, name string, progress func(string, ...interface{})) (*BenchData, error) {
+// runBenchmark performs the whole pipeline for one benchmark on the
+// shared campaign engine.
+func runBenchmark(cfg Config, eng *campaign.Engine, scs []cluster.Scenario, name string, progress func(string, ...interface{})) (*BenchData, error) {
 	bd := &BenchData{
 		Name:        name,
 		AppScenario: make(map[string]float64),
@@ -167,60 +172,64 @@ func runBenchmark(cfg Config, scs []cluster.Scenario, name string, progress func
 		ClassSScen:  make(map[string]float64),
 	}
 
-	appB, err := nas.App(name, nas.ClassB)
+	appB, err := campaign.NASApp(name, nas.ClassB)
 	if err != nil {
 		return nil, err
 	}
-	appS, err := nas.App(name, nas.ClassS)
+	appS, err := campaign.NASApp(name, nas.ClassS)
 	if err != nil {
 		return nil, err
+	}
+	cell := func(app campaign.App, sc cluster.Scenario, k int) campaign.Cell {
+		return campaign.Cell{App: app, NRanks: cfg.Ranks, Scenario: sc, K: k}
 	}
 
-	// 1. Dedicated traced run of the class B application.
-	dur, tr, err := runApp(cfg.Ranks, cluster.Dedicated(), appB, true)
+	// 1. Dedicated run of the class B application (the trace source every
+	// skeleton below is constructed from).
+	ded, err := eng.Run(cell(appB, cluster.Dedicated(), 0))
 	if err != nil {
 		return nil, fmt.Errorf("%s dedicated: %w", name, err)
 	}
-	bd.AppDedicated = dur
-	st := tr.Stats()
+	bd.AppDedicated = ded.Time
+	st := ded.Stats
 	bd.ComputeFrac, bd.MPIFrac = st.ComputeFrac, st.MPIFrac
-	bd.TraceEvents = tr.Len()
-	progress("%s: class B dedicated %.1f s (%d events, %.1f%% MPI)", name, dur, tr.Len(), 100*st.MPIFrac)
+	bd.TraceEvents = st.Events
+	progress("%s: class B dedicated %.1f s (%d events, %.1f%% MPI)", name, ded.Time, st.Events, 100*st.MPIFrac)
 
 	// 2. Class B under each sharing scenario.
 	for _, sc := range scs {
-		d, _, err := runApp(cfg.Ranks, sc, appB, false)
+		r, err := eng.Run(cell(appB, sc, 0))
 		if err != nil {
 			return nil, fmt.Errorf("%s %s: %w", name, sc.Name, err)
 		}
-		bd.AppScenario[sc.Name] = d
-		progress("%s: class B %s %.1f s (slowdown %.2fx)", name, sc.Name, d, d/dur)
+		bd.AppScenario[sc.Name] = r.Time
+		progress("%s: class B %s %.1f s (slowdown %.2fx)", name, sc.Name, r.Time, r.Time/ded.Time)
 	}
 
 	// 3. Class S baseline runs.
-	sDur, sTr, err := runApp(cfg.Ranks, cluster.Dedicated(), appS, true)
+	sDed, err := eng.Run(cell(appS, cluster.Dedicated(), 0))
 	if err != nil {
 		return nil, fmt.Errorf("%s class S: %w", name, err)
 	}
-	bd.ClassSDed = sDur
-	bd.ClassSMPIFrac = sTr.Stats().MPIFrac
+	bd.ClassSDed = sDed.Time
+	bd.ClassSMPIFrac = sDed.Stats.MPIFrac
 	for _, sc := range scs {
-		d, _, err := runApp(cfg.Ranks, sc, appS, false)
+		r, err := eng.Run(cell(appS, sc, 0))
 		if err != nil {
 			return nil, fmt.Errorf("%s class S %s: %w", name, sc.Name, err)
 		}
-		bd.ClassSScen[sc.Name] = d
+		bd.ClassSScen[sc.Name] = r.Time
 	}
 
 	// 4. Skeletons of each intended size.
 	sizes := append([]float64(nil), cfg.Sizes...)
 	sort.Sort(sort.Reverse(sort.Float64Slice(sizes))) // largest (smallest K) first
 	for _, size := range sizes {
-		k := int(math.Round(bd.AppDedicated / size))
-		if k < 1 {
-			k = 1
+		k, err := skeleton.KForTime(bd.AppDedicated, size)
+		if err != nil {
+			return nil, fmt.Errorf("%s skeleton %.1fs: %w", name, size, err)
 		}
-		prog, sig, err := skeleton.BuildFromTrace(tr, k, skeleton.Options{})
+		prog, sig, err := eng.Construct(cell(appB, cluster.Dedicated(), k))
 		if err != nil {
 			return nil, fmt.Errorf("%s skeleton (K=%d): %w", name, k, err)
 		}
@@ -237,28 +246,24 @@ func runBenchmark(cfg Config, scs []cluster.Scenario, name string, progress func
 		if mg := skeleton.MinGoodTime(sig, skeleton.DefaultCoverage); bd.MinGood == 0 || size == sizes[len(sizes)-1] {
 			bd.MinGood = mg
 		}
-		// Dedicated traced run for the Figure 2 breakdown and the
-		// measured scaling ratio.
-		cl := cluster.Build(cluster.Testbed(cfg.Ranks), cluster.Dedicated())
-		rec := trace.NewRecorder(cfg.Ranks)
-		d, err := skeleton.Run(prog, cl, mpi.Config{}, rec)
+		// Dedicated run for the Figure 2 breakdown and the measured
+		// scaling ratio.
+		dedSkel, err := eng.Run(cell(appB, cluster.Dedicated(), k))
 		if err != nil {
 			return nil, fmt.Errorf("%s skeleton %.1fs dedicated: %w", name, size, err)
 		}
-		sd.Dedicated = d
-		sst := rec.Finish(d).Stats()
-		sd.ComputeFrac, sd.MPIFrac = sst.ComputeFrac, sst.MPIFrac
+		sd.Dedicated = dedSkel.Time
+		sd.ComputeFrac, sd.MPIFrac = dedSkel.Stats.ComputeFrac, dedSkel.Stats.MPIFrac
 		for _, sc := range scs {
-			cl := cluster.Build(cluster.Testbed(cfg.Ranks), sc)
-			ds, err := skeleton.Run(prog, cl, mpi.Config{}, nil)
+			r, err := eng.Run(cell(appB, sc, k))
 			if err != nil {
 				return nil, fmt.Errorf("%s skeleton %.1fs %s: %w", name, size, sc.Name, err)
 			}
-			sd.Scenario[sc.Name] = ds
+			sd.Scenario[sc.Name] = r.Time
 		}
 		bd.Skels[size] = sd
 		progress("%s: skeleton %.1fs K=%d ran %.2fs dedicated (good=%v, thr=%.3f)",
-			name, size, k, d, sd.Good, sig.Threshold)
+			name, size, k, dedSkel.Time, sd.Good, sig.Threshold)
 	}
 	return bd, nil
 }

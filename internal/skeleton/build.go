@@ -95,16 +95,28 @@ func BuildOpts(sig *signature.Signature, k int, opts Options) (*Program, error) 
 	return p, nil
 }
 
-// BuildForTime constructs a skeleton with an intended execution time,
-// deriving K = round(AppTime / target) as the paper's experiments do for
-// their 10/5/2/1/0.5-second skeletons.
-func BuildForTime(sig *signature.Signature, target float64) (*Program, error) {
+// KForTime derives the integer scaling factor for an intended skeleton
+// execution time: K = round(appTime / target), at least 1, as the paper's
+// experiments do for their 10/5/2/1/0.5-second skeletons. Every
+// time-targeted construction path must derive K through this helper so
+// the paths cannot disagree at rounding boundaries.
+func KForTime(appTime, target float64) (int, error) {
 	if target <= 0 {
-		return nil, fmt.Errorf("skeleton: target time must be positive, got %v", target)
+		return 0, fmt.Errorf("skeleton: target time must be positive, got %v", target)
 	}
-	k := int(math.Round(sig.AppTime / target))
+	k := int(math.Round(appTime / target))
 	if k < 1 {
 		k = 1
+	}
+	return k, nil
+}
+
+// BuildForTime constructs a skeleton with an intended execution time,
+// deriving K with KForTime.
+func BuildForTime(sig *signature.Signature, target float64) (*Program, error) {
+	k, err := KForTime(sig.AppTime, target)
+	if err != nil {
+		return nil, err
 	}
 	return Build(sig, k)
 }

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fillCollector populates a collector with a small deterministic run.
+func fillCollector(scenario string, shift float64) *Collector {
+	c := NewCollector()
+	c.ScenarioStart(scenario, 2)
+	c.ProcSpawn(0, "rank0", false)
+	c.RankStart(0, 0)
+	c.OpSpan(0, "send", false, 1, 1024, 3, PathEager, shift, shift+0.5,
+		Split{Compute: 0.1, Blocked: 0.2, Transfer: 0.2})
+	c.CPULoad(shift+0.1, "cpu0", 2)
+	c.RankFinish(0, shift+0.5)
+	return c
+}
+
+func TestWriteMergedPerfettoOrderIndependent(t *testing.T) {
+	a := LabeledCollector{Label: "cell-a", C: fillCollector("dedicated", 0)}
+	b := LabeledCollector{Label: "cell-b", C: fillCollector("combined", 1)}
+
+	var fwd, rev bytes.Buffer
+	if err := WriteMergedPerfetto(&fwd, []LabeledCollector{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMergedPerfetto(&rev, []LabeledCollector{b, a}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fwd.Bytes(), rev.Bytes()) {
+		t.Fatal("merged Perfetto output depends on input order")
+	}
+	out := fwd.String()
+	for _, want := range []string{
+		`cell-a · mpi ranks (dedicated)`,
+		`cell-b · mpi ranks (combined)`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged output missing process name %q", want)
+		}
+	}
+	// cell-b's rank events occupy the shifted pid block.
+	if !strings.Contains(out, `"pid": 5`) {
+		t.Error("second cell's rank pid not shifted by the stride")
+	}
+}
+
+func TestWriteMergedPerfettoRejectsDuplicateLabels(t *testing.T) {
+	a := LabeledCollector{Label: "same", C: fillCollector("dedicated", 0)}
+	b := LabeledCollector{Label: "same", C: fillCollector("combined", 1)}
+	if err := WriteMergedPerfetto(&bytes.Buffer{}, []LabeledCollector{a, b}); err == nil {
+		t.Fatal("duplicate labels must be rejected")
+	}
+	if _, err := MergedSnapshot([]LabeledCollector{a, b}); err == nil {
+		t.Fatal("duplicate labels must be rejected by MergedSnapshot too")
+	}
+}
+
+func TestWriteMergedMetricsDeterministic(t *testing.T) {
+	a := LabeledCollector{Label: "cell-a", C: fillCollector("dedicated", 0)}
+	b := LabeledCollector{Label: "cell-b", C: fillCollector("combined", 1)}
+	var fwd, rev bytes.Buffer
+	if err := WriteMergedMetrics(&fwd, []LabeledCollector{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMergedMetrics(&rev, []LabeledCollector{b, a}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fwd.Bytes(), rev.Bytes()) {
+		t.Fatal("merged metrics output depends on input order")
+	}
+	if !strings.Contains(fwd.String(), `"mpi.ops.send"`) {
+		t.Error("per-cell counters missing from merged metrics")
+	}
+}

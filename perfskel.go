@@ -21,19 +21,22 @@
 //	app, _ := perfskel.NASApp("CG", perfskel.ClassB)
 //	tr, appTime, _ := env.Trace(4, app)
 //
-//	sig, _ := perfskel.BuildSignature(tr, 10)          // compression ratio Q
-//	skel, _ := perfskel.BuildSkeletonForTime(sig, 5.0) // a 5-second skeleton
+//	// Full construction pipeline: a ~5-second skeleton.
+//	skel, _, _ := perfskel.Construct(tr, perfskel.WithTargetTime(5.0))
 //
 //	ded, _ := perfskel.NewTestbed(4, perfskel.Dedicated()).RunSkeleton(skel)
 //	shared := perfskel.NewTestbed(4, perfskel.CPUOneNode())
 //	t, _ := shared.RunSkeleton(skel)
 //	predicted := perfskel.PredictTime(appTime, ded, t)
+//
+// Construct consolidates the staged builders (BuildSignature,
+// BuildSkeleton, ...) behind functional options; those remain as thin
+// wrappers. For sweeps over many applications, scenarios and scaling
+// factors, NewCampaign runs the whole grid concurrently with
+// content-addressed caching of shared baselines.
 package perfskel
 
 import (
-	"fmt"
-	"math"
-
 	"perfskel/internal/cluster"
 	"perfskel/internal/gridsel"
 	"perfskel/internal/mpi"
@@ -326,21 +329,16 @@ func TestbedTopology(n int) Topology { return cluster.Testbed(n) }
 // scaling factor K: the similarity threshold is searched until the
 // compression ratio reaches the paper's Q = K/2 and the skeleton is
 // verified mutually consistent across ranks (an inconsistent skeleton
-// would deadlock). This is the recommended entry point; BuildSignature +
-// BuildSkeleton expose the individual stages.
+// would deadlock). Equivalent to Construct(tr, WithK(k),
+// WithSkeletonOptions(opts)).
 func BuildSkeletonFromTrace(tr *Trace, k int, opts SkeletonOptions) (*Skeleton, *Signature, error) {
-	return skeleton.BuildFromTrace(tr, k, opts)
+	return Construct(tr, WithK(k), WithSkeletonOptions(opts))
 }
 
 // BuildSkeletonFromTraceForTime is BuildSkeletonFromTrace with an intended
-// skeleton execution time instead of an explicit K.
+// skeleton execution time instead of an explicit K. Equivalent to
+// Construct(tr, WithTargetTime(seconds), WithSkeletonOptions(opts)); the
+// scaling factor is derived exactly as BuildSkeletonForTime derives it.
 func BuildSkeletonFromTraceForTime(tr *Trace, seconds float64, opts SkeletonOptions) (*Skeleton, *Signature, error) {
-	if seconds <= 0 {
-		return nil, nil, fmt.Errorf("perfskel: target time must be positive, got %v", seconds)
-	}
-	k := int(math.Round(tr.AppTime / seconds))
-	if k < 1 {
-		k = 1
-	}
-	return skeleton.BuildFromTrace(tr, k, opts)
+	return Construct(tr, WithTargetTime(seconds), WithSkeletonOptions(opts))
 }

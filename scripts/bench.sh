@@ -58,3 +58,37 @@ END {
 
 echo "==> wrote $out"
 cat "$out"
+
+# Campaign engine: the CG+MG class A prediction grid (4 ranks, five
+# scenarios, K in {8,16}, apps measured under every scenario) run
+# serially, on the full worker pool, and against a warm cache. Writes
+# BENCH_campaign.json. The campaign grid is expensive, so each
+# configuration runs once per count.
+out=BENCH_campaign.json
+cpus=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+echo "==> go test -bench Campaign(Serial|Parallel|WarmCache) (count=$count)"
+go test -run xxx -bench 'BenchmarkCampaign(Serial|Parallel|WarmCache)$' \
+    -benchtime 1x -count "$count" "$@" ./internal/campaign/ | tee /tmp/bench_campaign.txt
+
+awk -v cpus="$cpus" '
+/^BenchmarkCampaignSerial/    { ser  += $3; nser++  }
+/^BenchmarkCampaignParallel/  { par  += $3; npar++  }
+/^BenchmarkCampaignWarmCache/ { warm += $3; nwarm++ }
+END {
+    if (nser == 0 || npar == 0 || nwarm == 0) { print "no benchmark output" > "/dev/stderr"; exit 1 }
+    mser = ser / nser; mpar = par / npar; mwarm = warm / nwarm
+    printf "{\n"
+    printf "  \"benchmark\": \"campaign PredictAll: CG+MG class A, 4 ranks, 5 scenarios, K in {8,16}, measured\",\n"
+    printf "  \"runs\": %d,\n", nser
+    printf "  \"cpus\": %d,\n", cpus
+    printf "  \"serial_ns_op\": %.0f,\n", mser
+    printf "  \"parallel_ns_op\": %.0f,\n", mpar
+    printf "  \"warm_cache_ns_op\": %.0f,\n", mwarm
+    printf "  \"parallel_speedup\": %.2f,\n", mser / mpar
+    printf "  \"warm_cache_speedup\": %.2f\n", mser / mwarm
+    printf "}\n"
+}' /tmp/bench_campaign.txt > "$out"
+
+echo "==> wrote $out"
+cat "$out"
