@@ -17,6 +17,9 @@
 //
 // Flags:
 //
+//	-self                 self-verification: run every rule over every
+//	                      package of the enclosing module and report a
+//	                      summary; composes with -json/-sarif
 //	-rules r1,r2          run only the listed rules (default: all)
 //	-list                 print the available rules and exit
 //	-json                 print findings as a JSON array instead of text
@@ -44,6 +47,7 @@ import (
 )
 
 func main() {
+	self := flag.Bool("self", false, "self-verification: check every package of the enclosing module")
 	rules := flag.String("rules", "", "comma-separated rule ids to run (default: all)")
 	list := flag.Bool("list", false, "list available rules and exit")
 	jsonOut := flag.Bool("json", false, "print findings as a JSON array")
@@ -94,6 +98,13 @@ func main() {
 	root := loader.ModuleRoot()
 
 	args := flag.Args()
+	if *self {
+		if len(args) > 0 {
+			fmt.Fprintln(os.Stderr, "skelvet: -self takes no targets; it always checks the whole module")
+			os.Exit(2)
+		}
+		args = []string{"./..."}
+	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
@@ -173,6 +184,9 @@ func main() {
 	default:
 		for _, d := range diags {
 			fmt.Println(shortenPos(d, root))
+			for _, r := range d.Related {
+				fmt.Printf("\t%s: %s\n", shortenRel(r, root), r.Message)
+			}
 		}
 	}
 	if !*sarifOut {
@@ -186,6 +200,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skelvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+	if *self {
+		fmt.Fprintf(os.Stderr, "skelvet: self-verification OK: %d package(s), %d rule(s), 0 findings\n",
+			len(pkgs), len(analyzers))
+	}
+}
+
+// shortenRel renders a related position relative to the module root.
+func shortenRel(r analysis.RelatedPos, root string) string {
+	name := r.Pos.Filename
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	return fmt.Sprintf("%s:%d:%d", name, r.Pos.Line, r.Pos.Column)
 }
 
 // dumpMachines prints each package's extracted communication machines

@@ -33,6 +33,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Severity grades a diagnostic.
@@ -52,13 +53,22 @@ func (s Severity) String() string {
 	return "error"
 }
 
+// RelatedPos is one supporting location of a diagnostic: a step of the
+// taint path a dataflow rule followed from source to sink.
+type RelatedPos struct {
+	Pos     token.Position
+	Message string
+}
+
 // Diagnostic is one finding: a rule id, a source position, a severity
-// and a human-readable message.
+// and a human-readable message. Related, when non-empty, is the
+// source-to-sink path supporting the finding, in flow order.
 type Diagnostic struct {
 	Rule     string
 	Pos      token.Position
 	Severity Severity
 	Message  string
+	Related  []RelatedPos
 }
 
 func (d Diagnostic) String() string {
@@ -72,7 +82,10 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of what the rule catches.
 	Doc string
 	// Scope, when non-nil, restricts the rule to the listed import
-	// paths. A nil scope applies everywhere.
+	// path patterns. A pattern is either an exact import path or a
+	// prefix ending in "/...", which matches the prefix itself and
+	// every path below it (go tool semantics). A nil scope applies
+	// everywhere.
 	Scope []string
 	// Run analyzes one package and reports findings via Pass.Reportf.
 	Run func(*Pass)
@@ -83,11 +96,21 @@ func (a *Analyzer) applies(path string) bool {
 		return true
 	}
 	for _, p := range a.Scope {
-		if p == path {
+		if MatchScope(p, path) {
 			return true
 		}
 	}
 	return false
+}
+
+// MatchScope matches an import path against a scope pattern. A
+// trailing "/..." matches the prefix itself and everything below it;
+// any other pattern matches exactly.
+func MatchScope(pattern, path string) bool {
+	if prefix, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return path == prefix || strings.HasPrefix(path, prefix+"/")
+	}
+	return pattern == path
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -104,11 +127,18 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportRelatedf(pos, nil, format, args...)
+}
+
+// ReportRelatedf records a finding at pos with a supporting
+// source-to-sink path.
+func (p *Pass) ReportRelatedf(pos token.Pos, related []RelatedPos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Rule:     p.Analyzer.Name,
 		Pos:      p.Fset.Position(pos),
 		Severity: Error,
 		Message:  fmt.Sprintf(format, args...),
+		Related:  related,
 	})
 }
 
@@ -120,6 +150,7 @@ func All() []*Analyzer {
 		TagMismatch,
 		RankDivergentCollective,
 		Nondeterminism,
+		OrderFlow,
 	}
 }
 
@@ -138,6 +169,17 @@ func ByName(name string) *Analyzer {
 // justified skelvet:ignore directive are dropped; directives missing a
 // justification are themselves reported under the rule id "directive".
 func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return sortDiags(applyDirectives(pkg, runAnalyzers(pkg, analyzers)))
+}
+
+// CheckRaw runs the analyzers without applying ignore directives:
+// every finding, suppressed or not, sorted by position. Tests use it
+// to prove each in-tree directive still masks a live finding.
+func CheckRaw(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return sortDiags(runAnalyzers(pkg, analyzers))
+}
+
+func runAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		if a.Run == nil || !a.applies(pkg.Path) {
@@ -154,7 +196,10 @@ func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		a.Run(pass)
 	}
-	diags = applyDirectives(pkg, diags)
+	return diags
+}
+
+func sortDiags(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

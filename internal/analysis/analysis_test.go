@@ -68,6 +68,9 @@ func TestFixturesFireExpectedRules(t *testing.T) {
 		{"ring.go", "sendsend-deadlock"},
 		{"neighbor.go", "tag-mismatch"},
 		{"butterfly.go", "rank-divergent-collective"},
+		{"orderflow/taintwrite.go", "orderflow"},
+		{"orderflow/crossfunc.go", "orderflow"},
+		{"orderflow/fanin.go", "orderflow"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.file, func(t *testing.T) {

@@ -2,10 +2,12 @@ package analysis
 
 import (
 	"fmt"
+	"go/ast"
 	"strings"
 	"testing"
 
 	"perfskel/internal/analysis/commgraph"
+	"perfskel/internal/analysis/dataflow"
 )
 
 // The two benchmarks compare the extraction pipeline's straight-line
@@ -84,4 +86,65 @@ func BenchmarkAnalysisLoopFree(b *testing.B) {
 
 func BenchmarkAnalysisSymexec(b *testing.B) {
 	benchMachines(b, benchRing(200, true))
+}
+
+// BenchmarkOrderflowSummaries measures interprocedural summary
+// construction from a cold cache: every iteration analyzes the
+// telemetry package with a fresh Summaries, so each callee summary in
+// its call graph (sortedKeys, the merge helpers, stats) is recomputed.
+func BenchmarkOrderflowSummaries(b *testing.B) {
+	l := sharedBenchLoader(b)
+	pkg, err := l.Load(l.ModulePath() + "/internal/telemetry")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		findings := 0
+		a := &dataflow.Analysis{
+			Fset:      pkg.Fset,
+			Info:      pkg.Info,
+			Pkg:       pkg.Types,
+			Summaries: dataflow.NewSummaries(l.funcSource),
+			Report:    func(dataflow.Finding) { findings++ },
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					a.Func(fd)
+				}
+			}
+		}
+		if findings != 0 {
+			b.Fatalf("telemetry package is expected clean, got %d findings", findings)
+		}
+	}
+}
+
+// BenchmarkOrderflowSelfModule is the cost of the `skelvet -self` gate:
+// the orderflow rule over every package in the module (packages
+// pre-loaded; the loader's shared summary cache is warm after the
+// first iteration, as it is across packages in a real self run).
+func BenchmarkOrderflowSelfModule(b *testing.B) {
+	l := sharedBenchLoader(b)
+	paths, err := l.ModulePackages()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pkg := range pkgs {
+			for _, d := range Check(pkg, []*Analyzer{OrderFlow}) {
+				b.Fatalf("module is expected clean, got: %s", d)
+			}
+		}
+	}
 }

@@ -1,0 +1,507 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// call dispatches one call expression: builtins, conversions,
+// module-local callees (via summaries), known stdlib functions, and a
+// conservative default for everything else. It returns one taint per
+// result value.
+func (fa *funcAnalysis) call(c *ast.CallExpr, st state) []Taint {
+	fun := unparen(c.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := fa.info.Uses[id].(*types.Builtin); ok {
+			return []Taint{fa.builtinCall(c, b.Name(), st)}
+		}
+	}
+
+	// Conversions: T(x) propagates x's taint.
+	if tv, ok := fa.info.Types[c.Fun]; ok && tv.IsType() {
+		if len(c.Args) == 1 {
+			return []Taint{fa.eval(c.Args[0], st)}
+		}
+		return []Taint{{}}
+	}
+
+	// Resolve the callee and, for methods, the receiver taint.
+	var fn *types.Func
+	var recvT Taint
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := fa.info.Selections[f]; ok && sel.Kind() == types.MethodVal {
+			fn, _ = sel.Obj().(*types.Func)
+			recvT = fa.eval(f.X, st)
+		} else if obj, ok := fa.info.Uses[f.Sel].(*types.Func); ok {
+			fn = obj
+		}
+	case *ast.Ident:
+		fn, _ = fa.objOf(f).(*types.Func)
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if id, ok := unparen(f.X).(*ast.Ident); ok {
+			fn, _ = fa.objOf(id).(*types.Func)
+		}
+	case *ast.IndexListExpr:
+		if id, ok := unparen(f.X).(*ast.Ident); ok {
+			fn, _ = fa.objOf(id).(*types.Func)
+		}
+	}
+
+	argT := make([]Taint, len(c.Args))
+	for i, a := range c.Args {
+		argT[i] = fa.eval(a, st)
+	}
+
+	// Module-local callee: apply its computed summary.
+	if fn != nil && fa.summaries != nil {
+		if sum := fa.summaries.For(fn); sum != nil {
+			return fa.applySummary(c, fn, sum, recvT, argT, st)
+		}
+	}
+
+	// Known stdlib behavior.
+	if out, ok := fa.knownCall(c, fn, recvT, argT, st); ok {
+		return out
+	}
+
+	return fa.defaultCall(c, fn, recvT, argT)
+}
+
+func (fa *funcAnalysis) builtinCall(c *ast.CallExpr, name string, st state) Taint {
+	switch name {
+	case "append":
+		var t Taint
+		for _, a := range c.Args {
+			t = joinTaint(t, fa.eval(a, st))
+		}
+		return t
+	case "min", "max":
+		// Order-insensitive folds: Order taint dies, Content survives.
+		var t Taint
+		for _, a := range c.Args {
+			if at := fa.eval(a, st); at.Kind == Content {
+				t = joinTaint(t, at.step(c.Pos(), "folded by "+name))
+			}
+		}
+		return t
+	case "copy":
+		if len(c.Args) == 2 {
+			fa.weakAssign(c.Args[0], fa.eval(c.Args[1], st).step(c.Pos(), "copied here"), st)
+		}
+		return Taint{}
+	case "print", "println":
+		for i, a := range c.Args {
+			fa.sinkValue(a.Pos(), fa.eval(a, st), name, i)
+		}
+		return Taint{}
+	default:
+		// len, cap, make, new, delete, clear, close, panic, complex, ...
+		for _, a := range c.Args {
+			fa.eval(a, st)
+		}
+		return Taint{}
+	}
+}
+
+// sortFuncs are the sort.* / slices.Sort* entry points that sanitize
+// their first argument in place.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// knownCall models stdlib functions the analysis understands exactly.
+func (fa *funcAnalysis) knownCall(c *ast.CallExpr, fn *types.Func, recvT Taint, argT []Taint, st state) ([]Taint, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return nil, false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+
+	if byName, ok := sortFuncs[path]; ok && byName[name] && len(c.Args) > 0 {
+		fa.sortSanitize(c.Args[0], st)
+		return []Taint{{}}, true
+	}
+
+	switch path {
+	case "math":
+		if name == "Min" || name == "Max" {
+			var t Taint
+			for _, at := range argT {
+				if at.Kind == Content {
+					t = joinTaint(t, at.step(c.Pos(), "folded by math."+name))
+				}
+			}
+			return []Taint{t}, true
+		}
+	case "fmt":
+		switch name {
+		case "Fprintf", "Fprintln", "Fprint":
+			for i := 1; i < len(argT); i++ {
+				fa.sinkValue(c.Args[i].Pos(), argT[i], "fmt."+name, i)
+			}
+			return []Taint{{}}, true
+		case "Printf", "Println", "Print":
+			for i := range argT {
+				fa.sinkValue(c.Args[i].Pos(), argT[i], "fmt."+name, i)
+			}
+			return []Taint{{}}, true
+		case "Sprintf", "Sprint", "Sprintln", "Errorf":
+			return []Taint{fa.foldJoin(c, argT, "fmt."+name)}, true
+		}
+	case "strings":
+		if name == "Join" {
+			return []Taint{fa.foldJoin(c, argT, "strings.Join")}, true
+		}
+	case "encoding/json":
+		if name == "Marshal" || name == "MarshalIndent" {
+			// Maps marshal in sorted key order; only sequence ordering
+			// and content corruption survive into the bytes.
+			return []Taint{fa.foldJoin(c, argT, "json."+name)}, true
+		}
+	case "encoding/binary":
+		if name == "Write" && len(argT) == 3 {
+			fa.sinkValue(c.Args[2].Pos(), argT[2], "binary.Write", 2)
+			return []Taint{{}}, true
+		}
+	case "io":
+		if name == "WriteString" && len(argT) == 2 {
+			fa.sinkValue(c.Args[1].Pos(), argT[1], "io.WriteString", 1)
+			return []Taint{{}}, true
+		}
+	case "os":
+		switch name {
+		case "WriteFile":
+			if len(argT) >= 2 {
+				fa.sinkValue(c.Args[1].Pos(), argT[1], "os.WriteFile", 1)
+			}
+			return []Taint{{}}, true
+		case "Readdirnames", "Readdir", "ReadDir":
+			// Methods on *os.File list in directory order; the os.ReadDir
+			// *function* sorts and stays clean.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return []Taint{{Kind: Order, Src: &Step{Pos: c.Pos(), What: "lists a directory in nondeterministic order"}}}, true
+			}
+		}
+	case "sync":
+		if name == "Range" && len(c.Args) == 1 {
+			if lit, ok := unparen(c.Args[0]).(*ast.FuncLit); ok {
+				fa.analyzeRangeCallback(lit, c.Pos())
+			}
+			return []Taint{{}}, true
+		}
+	}
+
+	// Any Write-family or Encode-family method is a byte sink.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			for i := range argT {
+				fa.sinkValue(c.Args[i].Pos(), argT[i], methodLabel(fn), i)
+			}
+			return []Taint{recvT}, true
+		case "Encode":
+			if hasPrefix(path, "encoding/") {
+				for i := range argT {
+					fa.sinkValue(c.Args[i].Pos(), argT[i], methodLabel(fn), i)
+				}
+				return []Taint{{}}, true
+			}
+		}
+	}
+
+	return nil, false
+}
+
+// foldJoin joins argument taints for a call that serializes its
+// arguments: an Order-tainted slice hardens to Content (its elements
+// are serialized in their current, nondeterministic order), scalars
+// keep their kind.
+func (fa *funcAnalysis) foldJoin(c *ast.CallExpr, argT []Taint, label string) Taint {
+	var t Taint
+	for i, at := range argT {
+		if !at.Tainted() {
+			continue
+		}
+		if at.Kind == Order && isSliceOrArray(fa.info.TypeOf(c.Args[i])) {
+			at = at.step(c.Pos(), "serialized in its current order by "+label)
+			at.Kind = Content
+		} else {
+			at = at.step(c.Pos(), "passed through "+label)
+		}
+		t = joinTaint(t, at)
+	}
+	return t
+}
+
+// applySummary models a module-local call through its summary:
+// in-place sorts sanitize, recorded parameter sinks fire, and result
+// taints materialize from concrete sources and tainted arguments.
+func (fa *funcAnalysis) applySummary(c *ast.CallExpr, fn *types.Func, sum *Summary, recvT Taint, argT []Taint, st state) []Taint {
+	sig := fn.Type().(*types.Signature)
+
+	for i := range c.Args {
+		if p := paramIndex(sig, i); p >= 0 && p < len(sum.ParamSort) && sum.ParamSort[p] {
+			fa.sortSanitize(c.Args[i], st)
+			argT[i] = Taint{Params: argT[i].Params}
+		}
+	}
+
+	for i, at := range argT {
+		p := paramIndex(sig, i)
+		if p < 0 || p >= len(sum.ParamSinks) || !sum.ParamSinks[p].Pos.IsValid() || !at.Tainted() {
+			continue
+		}
+		t := at.step(c.Args[i].Pos(), "passed to "+fn.Name())
+		t = t.step(sum.ParamSinks[p].Pos, "inside "+fn.Name())
+		fa.sink(c.Args[i].Pos(), t, sum.ParamSinks[p].What+" (inside "+fn.Name()+")")
+	}
+
+	n := sig.Results().Len()
+	out := make([]Taint, maxInt(n, 1))
+	for i := range out {
+		if i >= len(sum.Results) {
+			break
+		}
+		r := sum.Results[i]
+		if !r.Tainted() {
+			continue
+		}
+		if r.Params == 0 {
+			// Concrete source inside the callee.
+			t := Taint{Kind: r.Kind, Src: r.Src}.step(c.Pos(), "returned by "+fn.Name())
+			out[i] = joinTaint(out[i], t)
+			continue
+		}
+		// Parameter-derived: materializes only from tainted arguments.
+		for j, at := range argT {
+			p := paramIndex(sig, j)
+			if p < 0 || p >= 64 || r.Params&(1<<uint(p)) == 0 || !at.Tainted() {
+				continue
+			}
+			t := at.step(c.Pos(), "flows through "+fn.Name())
+			t.Kind = maxKind(r.Kind, at.Kind)
+			out[i] = joinTaint(out[i], t)
+		}
+	}
+	// A Content-tainted receiver contaminates whatever the method
+	// derives from it (field-insensitive approximation).
+	if recvT.Kind == Content {
+		for i := range out {
+			out[i] = joinTaint(out[i], recvT.step(c.Pos(), "derived from receiver by "+fn.Name()))
+		}
+	}
+	return out
+}
+
+// strictExemptPkgs are external packages whose functions are pure
+// value transformations: taint passing through them is propagation,
+// not escape, even in strict mode.
+var strictExemptPkgs = map[string]bool{
+	"strconv": true, "strings": true, "bytes": true, "errors": true,
+	"math": true, "unicode": true, "unicode/utf8": true, "time": true,
+	"fmt": true, "sort": true, "slices": true,
+}
+
+func strictExempt(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return true
+	}
+	path := fn.Pkg().Path()
+	return strictExemptPkgs[path] || hasPrefix(path, "crypto/") ||
+		hasPrefix(path, "hash/") || hasPrefix(path, "encoding/")
+}
+
+// defaultCall handles calls the engine has no model for: taint
+// propagates from receiver and arguments to the results, Order-tainted
+// sequences harden to Content (the callee may fold them), and strict
+// mode reports the escape.
+func (fa *funcAnalysis) defaultCall(c *ast.CallExpr, fn *types.Func, recvT Taint, argT []Taint) []Taint {
+	label := callLabel(c, fn)
+	t := recvT
+	var escaped Taint
+	for i, at := range argT {
+		if !at.Tainted() {
+			continue
+		}
+		escaped = joinTaint(escaped, at)
+		if at.Kind == Order && isSliceOrArray(fa.info.TypeOf(c.Args[i])) {
+			at = at.step(c.Pos(), "passed to "+label+", which may fold it in iteration order")
+			at.Kind = Content
+		} else {
+			at = at.step(c.Pos(), "passed through "+label)
+		}
+		t = joinTaint(t, at)
+	}
+	if fa.strict && escaped.Kind != None && fn != nil && !strictExempt(fn) {
+		fa.sink(c.Pos(), escaped.step(c.Pos(), "escapes into "+label),
+			"order-tainted value passed to "+label+", which skelvet cannot prove order-insensitive")
+	}
+
+	n := 1
+	if tv, ok := fa.info.Types[c]; ok {
+		if tup, ok := tv.Type.(*types.Tuple); ok {
+			n = tup.Len()
+		}
+	}
+	out := make([]Taint, maxInt(n, 1))
+	for i := range out {
+		out[i] = t
+	}
+	return out
+}
+
+// sortSanitize kills Order taint on the root object of a sorted
+// expression; in symbolic mode a sorted parameter is recorded so
+// callers get the sanitizer transitively.
+func (fa *funcAnalysis) sortSanitize(arg ast.Expr, st state) {
+	obj := fa.rootObj(arg)
+	if obj == nil {
+		return
+	}
+	if t, ok := st[obj]; ok && t.Kind == Content {
+		return // sorting reorders elements; corrupted content stays corrupted
+	}
+	if fa.symbolic {
+		for i, p := range fa.params {
+			if p != nil && p == obj {
+				fa.sum.ParamSort[i] = true
+			}
+		}
+	}
+	delete(st, obj)
+}
+
+// analyzeRangeCallback analyzes a sync.Map.Range callback with its
+// parameters pre-tainted: the callback sees entries in
+// nondeterministic order.
+func (fa *funcAnalysis) analyzeRangeCallback(lit *ast.FuncLit, pos token.Pos) {
+	nested := &funcAnalysis{
+		fset: fa.fset, info: fa.info, pkg: fa.pkg,
+		body: lit.Body, ftype: lit.Type,
+		summaries: fa.summaries, strict: fa.strict, report: fa.report,
+		selectRecv: map[*ast.UnaryExpr]bool{},
+		fanin:      map[types.Object]bool{},
+		preTaint:   state{},
+	}
+	if lit.Type.Params != nil {
+		for _, f := range lit.Type.Params.List {
+			for _, name := range f.Names {
+				if obj := fa.info.Defs[name]; obj != nil {
+					nested.preTaint[obj] = Taint{
+						Kind: Order,
+						Src:  &Step{Pos: pos, What: "visited by sync.Map.Range in nondeterministic order"},
+					}
+				}
+			}
+		}
+	}
+	nested.run()
+}
+
+// sinkValue reports a tainted value reaching a byte sink, with a
+// kind-specific message.
+func (fa *funcAnalysis) sinkValue(pos token.Pos, t Taint, sinkName string, _ int) {
+	if !t.Tainted() {
+		return
+	}
+	var msg string
+	if t.Kind == Content {
+		msg = "value whose content depends on nondeterministic iteration order reaches " + sinkName
+	} else {
+		msg = "value in nondeterministic order reaches " + sinkName + "; sort or canonicalize before writing"
+	}
+	fa.sink(pos, t.step(pos, "reaches "+sinkName), msg)
+}
+
+// ---- small helpers ----
+
+func methodLabel(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		return "(" + sig.Recv().Type().String() + ")." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func callLabel(c *ast.CallExpr, fn *types.Func) string {
+	if fn != nil {
+		if fn.Pkg() != nil && fn.Type().(*types.Signature).Recv() == nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if id, ok := unparen(c.Fun).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "a function value"
+}
+
+func paramIndex(sig *types.Signature, i int) int {
+	n := sig.Params().Len()
+	if n == 0 {
+		return -1
+	}
+	if i < n {
+		return i
+	}
+	if sig.Variadic() {
+		return n - 1
+	}
+	return -1
+}
+
+func maxKind(a, b Kind) Kind {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}
+
+func isSliceOrArray(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isSequenceType(t types.Type) bool {
+	return isSliceOrArray(t) || isStringType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}

@@ -1,0 +1,321 @@
+// Package dataflow is a small, stdlib-only dataflow engine for the
+// skelvet analyzers: an intraprocedural control-flow graph over
+// go/ast function bodies, a forward worklist solver, and
+// interprocedural function summaries computed on demand across the
+// loaded module.
+//
+// The engine exists to carry the orderflow analysis — proving that
+// values whose *ordering* is nondeterministic (map iteration,
+// goroutine fan-in, select arms, raw directory listings) never reach
+// a byte-producing sink unsorted — but the CFG and solver are
+// domain-agnostic.
+package dataflow
+
+import (
+	"go/ast"
+)
+
+// Block is one basic block: a maximal run of nodes executed in
+// sequence. Nodes are statements plus the bare expressions evaluated
+// for control flow (if/switch conditions), in source order.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is one function body's control-flow graph. Entry is the first
+// block executed; Exit is a virtual empty block every return and the
+// final fallthrough feed into.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// frame is one enclosing breakable construct on the builder's stack.
+type frame struct {
+	label    string
+	isLoop   bool
+	cont     *Block // continue target (loops only)
+	after    *Block // break target
+	nextCase *Block // fallthrough target (switch cases only)
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block // nil after a terminating statement
+	frames []frame
+	label  string // pending label for the next loop/switch
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+// goto is not modeled (none of the analyzed code uses it): a goto
+// terminates its block, which over-approximates nothing the taint
+// domain cares about but would be unsound for liveness-style domains.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Exit = b.newBlock() // allocated first, appended last for readable dumps
+	b.cfg.Blocks = b.cfg.Blocks[:0]
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	b.link(b.cur, b.cfg.Exit)
+	b.cfg.Exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, b.cfg.Exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// link adds a from→to edge; a nil from (unreachable code) is ignored.
+func (b *cfgBuilder) link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block, starting a fresh
+// (unreachable) block if the previous one was terminated.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending statement label.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		b.cur = b.newBlock()
+		b.link(cond, b.cur)
+		b.stmt(s.Body)
+		b.link(b.cur, after)
+		if s.Else != nil {
+			b.cur = b.newBlock()
+			b.link(cond, b.cur)
+			b.stmt(s.Else)
+			b.link(b.cur, after)
+		} else {
+			b.link(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.link(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.link(head, after)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.frames = append(b.frames, frame{label: label, isLoop: true, cont: cont, after: after})
+		b.cur = b.newBlock()
+		b.link(head, b.cur)
+		b.stmt(s.Body)
+		if post != nil {
+			b.link(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post)
+			b.link(b.cur, head)
+		} else {
+			b.link(b.cur, head)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.link(b.cur, head)
+		// The RangeStmt itself is the head node: the transfer function
+		// sees it once per solver pass and taints the iteration vars.
+		head.Nodes = append(head.Nodes, s)
+		after := b.newBlock()
+		b.link(head, after)
+		b.frames = append(b.frames, frame{label: label, isLoop: true, cont: head, after: after})
+		b.cur = b.newBlock()
+		b.link(head, b.cur)
+		b.stmt(s.Body)
+		b.link(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseBlocks(label, s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.caseBlocks(label, s.Body.List, s.Assign)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		entry := b.cur
+		if entry == nil {
+			entry = b.newBlock()
+			b.cur = entry
+		}
+		after := b.newBlock()
+		b.frames = append(b.frames, frame{label: label, after: after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			b.cur = b.newBlock()
+			b.link(entry, b.cur)
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.link(b.cur, after)
+		}
+		if len(s.Body.List) == 0 {
+			b.link(entry, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			if f := b.findFrame(s.Label, false); f != nil {
+				b.link(b.cur, f.after)
+			}
+			b.cur = nil
+		case "continue":
+			if f := b.findFrame(s.Label, true); f != nil {
+				b.link(b.cur, f.cont)
+			}
+			b.cur = nil
+		case "fallthrough":
+			if n := len(b.frames); n > 0 && b.frames[n-1].nextCase != nil {
+				b.link(b.cur, b.frames[n-1].nextCase)
+			}
+			b.cur = nil
+		case "goto":
+			b.cur = nil
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.link(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	default:
+		// Assign, Decl, Expr, IncDec, Send, Go, Defer, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+// caseBlocks builds the per-clause blocks of a switch or type switch.
+// tsAssign, when non-nil, is the type switch's assign statement,
+// replicated into each clause so the transfer function can bind the
+// clause's implicit object.
+func (b *cfgBuilder) caseBlocks(label string, clauses []ast.Stmt, tsAssign ast.Stmt) {
+	entry := b.cur
+	if entry == nil {
+		entry = b.newBlock()
+		b.cur = entry
+	}
+	after := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.link(entry, blocks[i])
+	}
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		var next *Block
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		}
+		b.frames = append(b.frames, frame{label: label, after: after, nextCase: next})
+		b.cur = blocks[i]
+		if tsAssign != nil {
+			// The clause node itself lets the transfer function find
+			// the implicit per-clause object via types.Info.Implicits.
+			b.cur.Nodes = append(b.cur.Nodes, cc)
+		}
+		for _, e := range cc.List {
+			b.cur.Nodes = append(b.cur.Nodes, e)
+		}
+		b.stmtList(cc.Body)
+		b.link(b.cur, after)
+		b.frames = b.frames[:len(b.frames)-1]
+	}
+	if !hasDefault {
+		b.link(entry, after)
+	}
+	b.cur = after
+}
+
+// findFrame locates the break/continue target: the innermost matching
+// frame (loops only, for continue), or the labeled one.
+func (b *cfgBuilder) findFrame(label *ast.Ident, needLoop bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needLoop && !f.isLoop {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}

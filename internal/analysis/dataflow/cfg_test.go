@@ -1,0 +1,127 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func buildFor(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f(xs []int, m map[string]int, ch chan int) int {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return BuildCFG(file.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// reachable walks successor edges from the entry block.
+func reachable(g *CFG) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildFor(t, "x := 1\nreturn x")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable from entry")
+	}
+	if len(g.Exit.Succs) != 0 {
+		t.Fatal("exit must have no successors")
+	}
+}
+
+// TestCFGLoopShapes: loops must contain a back edge (so the fixpoint
+// iterates them) and an exit path; break/continue, including labeled
+// forms, must target the right frames instead of falling off the end.
+func TestCFGLoopShapes(t *testing.T) {
+	bodies := map[string]string{
+		"for":           "s := 0\nfor i := 0; i < len(xs); i++ {\n\ts += xs[i]\n}\nreturn s",
+		"range":         "s := 0\nfor _, v := range m {\n\ts += v\n}\nreturn s",
+		"break":         "for _, v := range xs {\n\tif v > 3 {\n\t\tbreak\n\t}\n}\nreturn 0",
+		"continue":      "s := 0\nfor _, v := range xs {\n\tif v < 0 {\n\t\tcontinue\n\t}\n\ts += v\n}\nreturn s",
+		"labeled":       "outer:\nfor i := range xs {\n\tfor j := range xs {\n\t\tif i == j {\n\t\t\tcontinue outer\n\t\t}\n\t\tif xs[j] < 0 {\n\t\t\tbreak outer\n\t\t}\n\t}\n}\nreturn 0",
+		"switch":        "switch len(xs) {\ncase 0:\n\treturn -1\ncase 1:\n\treturn xs[0]\ndefault:\n\treturn 1\n}",
+		"select":        "select {\ncase v := <-ch:\n\treturn v\ndefault:\n\treturn 0\n}",
+		"infinite-cond": "for {\n\tif len(xs) == 0 {\n\t\treturn 0\n\t}\n}",
+	}
+	for name, body := range bodies {
+		t.Run(name, func(t *testing.T) {
+			g := buildFor(t, body)
+			seen := reachable(g)
+			if !seen[g.Exit] {
+				t.Fatal("exit unreachable from entry")
+			}
+			for _, b := range g.Blocks {
+				if b == g.Exit {
+					continue
+				}
+				if seen[b] && len(b.Succs) == 0 {
+					t.Errorf("reachable block %d dead-ends without reaching exit", b.Index)
+				}
+			}
+		})
+	}
+}
+
+// TestCFGRangeBackEdge: the range statement is its own head node and
+// must sit on a cycle, or map-iteration taint would only propagate one
+// step into the loop body.
+func TestCFGRangeBackEdge(t *testing.T) {
+	g := buildFor(t, "s := 0\nfor _, v := range m {\n\ts += v\n}\nreturn s")
+	var head *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("no block holds the RangeStmt")
+	}
+	onCycle := false
+	var walk func(*Block, map[*Block]bool)
+	walk = func(b *Block, seen map[*Block]bool) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if s == head {
+				onCycle = true
+			}
+			walk(s, seen)
+		}
+	}
+	walk(head, map[*Block]bool{})
+	if !onCycle {
+		t.Error("range head has no back edge")
+	}
+}
+
+func TestCFGBlockIndexesMatchOrder(t *testing.T) {
+	g := buildFor(t, "if len(xs) > 0 {\n\treturn 1\n}\nreturn 0")
+	for i, b := range g.Blocks {
+		if b.Index != i {
+			t.Fatalf("block at position %d has Index %d", i, b.Index)
+		}
+	}
+	if g.Blocks[len(g.Blocks)-1] != g.Exit {
+		t.Error("exit must be the last block, so the reporting pass visits it last")
+	}
+}

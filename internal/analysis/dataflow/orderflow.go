@@ -1,0 +1,632 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The orderflow analysis. Taint sources are values whose ordering is
+// nondeterministic:
+//
+//   - map iteration (for k, v := range m, sync.Map.Range),
+//   - goroutine fan-in (receives from a channel that goroutines
+//     spawned in the same function send on),
+//   - select arms (the ready-arm choice),
+//   - raw directory listings ((*os.File).Readdirnames and friends;
+//     os.ReadDir sorts and is clean).
+//
+// Taint propagates through assignments, append, composite literals,
+// folds and function calls (via summaries, see summary.go). Sanitizers
+// kill it: sorting the tainted slice, inserting into a map (whose
+// own iteration is a fresh source anyway), and order-insensitive
+// folds — commutative integer accumulation, min/max. Order taint that
+// survives into a float or string accumulation hardens into Content
+// taint, which no sanitizer can remove: the value's bytes already
+// depend on the order it was folded in.
+//
+// Sinks are the places where order dependence becomes observable
+// bytes: io.Writer/hash writes, fmt output, JSON/gob/xml encoders,
+// os.WriteFile, and slice/string/content-tainted returns crossing an
+// exported API.
+
+// Finding is one source-to-sink taint path.
+type Finding struct {
+	Pos     token.Pos
+	Message string
+	Path    []Step // source first; the sink position is Pos
+}
+
+// Analysis runs the orderflow pass over one package's functions.
+type Analysis struct {
+	Fset *token.FileSet
+	Info *types.Info
+	Pkg  *types.Package
+	// Summaries resolves callee summaries for interprocedural
+	// propagation; nil disables it (callees get default handling).
+	Summaries *Summaries
+	// Strict additionally reports order-tainted values passed to
+	// calls the engine cannot prove order-insensitive — the regime
+	// for the deterministic core packages, where taint must not even
+	// escape into unknown code.
+	Strict bool
+	Report func(Finding)
+}
+
+// Func analyzes one function declaration and reports findings.
+func (a *Analysis) Func(decl *ast.FuncDecl) {
+	if decl.Body == nil {
+		return
+	}
+	fa := newFuncAnalysis(a.Fset, a.Info, a.Pkg, decl, a.Summaries, false)
+	fa.strict = a.Strict
+	fa.report = a.Report
+	fa.run()
+}
+
+// funcAnalysis is one intraprocedural run: concrete mode reports
+// findings, symbolic mode (parameters pre-tainted) computes a
+// Summary.
+type funcAnalysis struct {
+	fset      *token.FileSet
+	info      *types.Info
+	pkg       *types.Package
+	decl      *ast.FuncDecl // nil for function literals
+	body      *ast.BlockStmt
+	ftype     *ast.FuncType
+	summaries *Summaries
+	symbolic  bool
+	strict    bool
+	report    func(Finding)
+
+	params     []types.Object
+	preTaint   state // extra initial taint (e.g. Range callback params)
+	sum        *Summary
+	returns    []Taint
+	selectRecv map[*ast.UnaryExpr]bool
+	fanin      map[types.Object]bool
+	reporting  bool // final pass: sinks fire, returns are collected
+}
+
+func newFuncAnalysis(fset *token.FileSet, info *types.Info, pkg *types.Package, decl *ast.FuncDecl, sums *Summaries, symbolic bool) *funcAnalysis {
+	fa := &funcAnalysis{
+		fset: fset, info: info, pkg: pkg, decl: decl,
+		body: decl.Body, ftype: decl.Type,
+		summaries: sums, symbolic: symbolic,
+		selectRecv: map[*ast.UnaryExpr]bool{},
+		fanin:      map[types.Object]bool{},
+	}
+	if decl.Type.Params != nil {
+		for _, f := range decl.Type.Params.List {
+			for _, name := range f.Names {
+				fa.params = append(fa.params, info.Defs[name])
+			}
+		}
+	}
+	return fa
+}
+
+func (fa *funcAnalysis) funcName() string {
+	if fa.decl != nil {
+		return fa.decl.Name.Name
+	}
+	return "func literal"
+}
+
+// run solves the function to fixpoint, then makes one reporting pass.
+func (fa *funcAnalysis) run() {
+	fa.prepass()
+	cfg := BuildCFG(fa.body)
+
+	init := state{}
+	for obj, t := range fa.preTaint {
+		init[obj] = t
+	}
+	if fa.symbolic {
+		fa.sum = &Summary{
+			ParamSinks: make([]SinkRef, len(fa.params)),
+			ParamSort:  make([]bool, len(fa.params)),
+		}
+		for i, obj := range fa.params {
+			if obj == nil || i >= 64 {
+				continue
+			}
+			init[obj] = Taint{
+				Kind:   Order,
+				Params: 1 << uint(i),
+				Src:    &Step{Pos: obj.Pos(), What: fmt.Sprintf("parameter %s of %s", obj.Name(), fa.funcName())},
+			}
+		}
+	}
+
+	in := make([]state, len(cfg.Blocks))
+	in[cfg.Entry.Index] = init
+	work := []*Block{cfg.Entry}
+	queued := make([]bool, len(cfg.Blocks))
+	queued[cfg.Entry.Index] = true
+	for steps := 0; len(work) > 0 && steps < 100*len(cfg.Blocks)+1000; steps++ {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		if in[blk.Index] == nil {
+			continue
+		}
+		out := in[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			fa.transfer(n, out)
+		}
+		for _, succ := range blk.Succs {
+			if in[succ.Index] == nil {
+				in[succ.Index] = out.clone()
+			} else if !joinState(in[succ.Index], out) {
+				continue
+			}
+			if !queued[succ.Index] {
+				queued[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Reporting pass: deterministic block order, stable in-states.
+	fa.reporting = true
+	for _, blk := range cfg.Blocks {
+		if in[blk.Index] == nil {
+			continue // unreachable
+		}
+		st := in[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			fa.transfer(n, st)
+		}
+	}
+}
+
+// prepass scans the body for select receives and fan-in channels
+// (channels a go statement in this function sends on).
+func (fa *funcAnalysis) prepass() {
+	ast.Inspect(fa.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			ast.Inspect(n.Call, func(m ast.Node) bool {
+				if send, ok := m.(*ast.SendStmt); ok {
+					if obj := fa.rootObj(send.Chan); obj != nil {
+						fa.fanin[obj] = true
+					}
+				}
+				return true
+			})
+		case *ast.CommClause:
+			collect := func(s ast.Stmt) {
+				ast.Inspect(s, func(m ast.Node) bool {
+					if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+						fa.selectRecv[u] = true
+					}
+					return true
+				})
+			}
+			if n.Comm != nil {
+				collect(n.Comm)
+			}
+		}
+		return true
+	})
+}
+
+// ---- statement transfer ----
+
+func (fa *funcAnalysis) transfer(n ast.Node, st state) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		fa.assignStmt(n, st)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if len(vs.Values) == 1 && len(vs.Names) > 1 {
+					ts := fa.callOrTuple(vs.Values[0], st, len(vs.Names))
+					for i, name := range vs.Names {
+						fa.assignIdent(name, ts[i], st)
+					}
+					continue
+				}
+				for i, name := range vs.Names {
+					var t Taint
+					if i < len(vs.Values) {
+						t = fa.eval(vs.Values[i], st)
+					}
+					fa.assignIdent(name, t, st)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		fa.rangeStmt(n, st)
+	case *ast.ReturnStmt:
+		fa.returnStmt(n, st)
+	case *ast.ExprStmt:
+		fa.eval(n.X, st)
+	case *ast.IncDecStmt:
+		fa.eval(n.X, st) // a commutative fold; no taint change
+	case *ast.SendStmt:
+		fa.eval(n.Chan, st)
+		fa.eval(n.Value, st)
+	case *ast.GoStmt:
+		fa.evalCall(n.Call, st)
+	case *ast.DeferStmt:
+		fa.evalCall(n.Call, st)
+	case *ast.CaseClause:
+		// Type-switch clause: the implicit per-clause object starts
+		// untainted (type switches over tainted values are not a
+		// pattern in the analyzed code); the case expressions are
+		// types, nothing to evaluate.
+	case ast.Expr:
+		fa.eval(n, st)
+	}
+}
+
+func (fa *funcAnalysis) assignStmt(s *ast.AssignStmt, st state) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+			ts := fa.callOrTuple(s.Rhs[0], st, len(s.Lhs))
+			for i, lhs := range s.Lhs {
+				fa.assignTo(lhs, ts[i], st)
+			}
+			return
+		}
+		ts := make([]Taint, len(s.Rhs))
+		for i, rhs := range s.Rhs {
+			ts[i] = fa.rhsTaint(s.Lhs[i%len(s.Lhs)], rhs, st)
+		}
+		for i, lhs := range s.Lhs {
+			fa.assignTo(lhs, ts[i], st)
+		}
+	default:
+		// Op-assign: x op= y is a fold into x.
+		t := fa.foldTaint(s.Tok.String(), fa.info.TypeOf(s.Lhs[0]), fa.eval(s.Rhs[0], st), s.Pos())
+		if t.Tainted() {
+			fa.weakAssign(s.Lhs[0], t, st)
+		}
+	}
+}
+
+// rhsTaint evaluates one rhs, recognizing the self-referential fold
+// x = x + y (same semantics as x += y).
+func (fa *funcAnalysis) rhsTaint(lhs ast.Expr, rhs ast.Expr, st state) Taint {
+	lid, ok := unparen(lhs).(*ast.Ident)
+	if !ok {
+		return fa.eval(rhs, st)
+	}
+	bin, ok := unparen(rhs).(*ast.BinaryExpr)
+	if !ok {
+		return fa.eval(rhs, st)
+	}
+	var other ast.Expr
+	if xid, ok := unparen(bin.X).(*ast.Ident); ok && fa.objOf(xid) != nil && fa.objOf(xid) == fa.objOf(lid) {
+		other = bin.Y
+	} else if yid, ok := unparen(bin.Y).(*ast.Ident); ok && fa.objOf(yid) != nil && fa.objOf(yid) == fa.objOf(lid) {
+		other = bin.X
+	}
+	if other == nil {
+		return fa.eval(rhs, st)
+	}
+	// Keep the accumulator's own taint and fold in the operand's.
+	acc := fa.eval(lhs, st)
+	folded := fa.foldTaint(bin.Op.String()+"=", fa.info.TypeOf(lhs), fa.eval(other, st), rhs.Pos())
+	return joinTaint(acc, folded)
+}
+
+// foldTaint decides what accumulating a tainted operand does to the
+// accumulator. Commutative integer accumulation (+, *, &, |, ^, and -
+// as addition of inverses) of Order values is exact under reordering
+// and sanitizes; everything else hardens to Content.
+func (fa *funcAnalysis) foldTaint(op string, lhsType types.Type, operand Taint, pos token.Pos) Taint {
+	if !operand.Tainted() {
+		return Taint{}
+	}
+	if operand.Kind == Content {
+		return operand.step(pos, "folded into an accumulator")
+	}
+	if b, ok := lhsType.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+		switch op {
+		case "+=", "-=", "*=", "&=", "|=", "^=":
+			return Taint{} // commutative integer fold: order-insensitive
+		}
+	}
+	t := operand.step(pos, "accumulated across nondeterministically ordered iterations")
+	t.Kind = Content
+	return t
+}
+
+// callOrTuple produces n lhs taints for a single multi-value rhs
+// (call, map read, receive, type assert).
+func (fa *funcAnalysis) callOrTuple(rhs ast.Expr, st state, n int) []Taint {
+	out := make([]Taint, n)
+	switch e := unparen(rhs).(type) {
+	case *ast.CallExpr:
+		res := fa.call(e, st)
+		for i := range out {
+			if i < len(res) {
+				out[i] = res[i]
+			}
+		}
+	default:
+		// v, ok := m[k] / <-ch / x.(T): value taint in slot 0.
+		out[0] = fa.eval(rhs, st)
+	}
+	return out
+}
+
+func (fa *funcAnalysis) rangeStmt(s *ast.RangeStmt, st state) {
+	t := fa.eval(s.X, st)
+	var keyT, valT Taint
+	switch fa.info.TypeOf(s.X).Underlying().(type) {
+	case *types.Map:
+		src := Taint{Kind: Order, Src: &Step{Pos: s.Pos(), What: "iterates a map in nondeterministic order"}}
+		keyT, valT = src, src
+		if t.Kind == Content {
+			valT = joinTaint(valT, t.step(s.Pos(), "iterated here"))
+		}
+	case *types.Slice, *types.Array:
+		if t.Tainted() {
+			valT = t.step(s.Pos(), "iterated here")
+		}
+	case *types.Chan:
+		if obj := fa.rootObj(s.X); obj != nil && fa.fanin[obj] {
+			valT = Taint{Kind: Order, Src: &Step{Pos: s.Pos(), What: "receives in goroutine completion order"}}
+		}
+	case *types.Basic: // string
+		if t.Tainted() {
+			valT = t.step(s.Pos(), "iterated here")
+		}
+	}
+	if s.Key != nil {
+		fa.assignTo(s.Key, keyT, st)
+	}
+	if s.Value != nil {
+		fa.assignTo(s.Value, valT, st)
+	}
+}
+
+func (fa *funcAnalysis) returnStmt(s *ast.ReturnStmt, st state) {
+	var sig *types.Signature
+	if fa.decl != nil {
+		sig, _ = fa.info.TypeOf(fa.decl.Name).(*types.Signature)
+	}
+	var ts []Taint
+	if len(s.Results) > 0 {
+		if sig != nil && sig.Results().Len() > 1 && len(s.Results) == 1 {
+			ts = fa.callOrTuple(s.Results[0], st, sig.Results().Len())
+		} else {
+			for _, r := range s.Results {
+				ts = append(ts, fa.eval(r, st))
+			}
+		}
+	} else if fa.ftype.Results != nil {
+		// Bare return: named results carry their current taint.
+		for _, f := range fa.ftype.Results.List {
+			for _, name := range f.Names {
+				if obj := fa.info.Defs[name]; obj != nil {
+					ts = append(ts, st[obj])
+				} else {
+					ts = append(ts, Taint{})
+				}
+			}
+		}
+	}
+	if !fa.reporting {
+		return
+	}
+	// Collect for the summary.
+	for i, t := range ts {
+		if i >= len(fa.returns) {
+			fa.returns = append(fa.returns, t)
+		} else {
+			fa.returns[i] = joinTaint(fa.returns[i], t)
+		}
+	}
+	// Exported-API sink (concrete mode only).
+	if fa.symbolic || fa.decl == nil || !ast.IsExported(fa.decl.Name.Name) || sig == nil {
+		return
+	}
+	for i, t := range ts {
+		if i >= sig.Results().Len() {
+			break
+		}
+		rt := sig.Results().At(i).Type()
+		switch {
+		case t.Kind == Content && !isErrorType(rt):
+			fa.sink(s.Pos(), t, fmt.Sprintf("returned across the exported API %s: its content depends on a nondeterministic iteration order", fa.decl.Name.Name))
+		case t.Kind == Order && isSequenceType(rt):
+			fa.sink(s.Pos(), t, fmt.Sprintf("returned across the exported API %s in nondeterministic order; sort before returning", fa.decl.Name.Name))
+		}
+	}
+}
+
+// ---- assignment targets ----
+
+func (fa *funcAnalysis) objOf(id *ast.Ident) types.Object {
+	if obj := fa.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return fa.info.Uses[id]
+}
+
+// rootObj walks an lvalue-ish expression to its base identifier's
+// object: x, x.f, x[i], *x all root at x.
+func (fa *funcAnalysis) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return fa.objOf(x)
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (fa *funcAnalysis) assignIdent(id *ast.Ident, t Taint, st state) {
+	if id.Name == "_" {
+		return
+	}
+	obj := fa.objOf(id)
+	if obj == nil {
+		return
+	}
+	// Strong update: a plain assignment replaces the variable's value.
+	if t.Tainted() {
+		st[obj] = t
+	} else {
+		delete(st, obj)
+	}
+}
+
+// assignTo routes taint into an assignment target. Identifiers get
+// strong updates; container element/field writes get weak ones; map
+// element writes sanitize Order taint (map iteration re-sources it)
+// but keep Content taint, whose corruption key insertion cannot undo.
+func (fa *funcAnalysis) assignTo(lhs ast.Expr, t Taint, st state) {
+	switch x := unparen(lhs).(type) {
+	case *ast.Ident:
+		fa.assignIdent(x, t, st)
+	case *ast.IndexExpr:
+		if _, isMap := fa.info.TypeOf(x.X).Underlying().(*types.Map); isMap {
+			if t.Kind == Content {
+				fa.weakAssign(x.X, t.step(x.Pos(), "stored into a map"), st)
+			}
+			return // Order taint laundered: the map is an unordered set
+		}
+		fa.weakAssign(x.X, t, st)
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.SliceExpr:
+		fa.weakAssign(lhs, t, st)
+	}
+}
+
+// weakAssign joins taint into the root object of a container write.
+func (fa *funcAnalysis) weakAssign(e ast.Expr, t Taint, st state) {
+	if !t.Tainted() {
+		return
+	}
+	if obj := fa.rootObj(e); obj != nil {
+		st[obj] = joinTaint(st[obj], t)
+	}
+}
+
+// ---- expression evaluation ----
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func (fa *funcAnalysis) eval(e ast.Expr, st state) Taint {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := fa.objOf(x); obj != nil {
+			return st[obj]
+		}
+	case *ast.ParenExpr:
+		return fa.eval(x.X, st)
+	case *ast.StarExpr:
+		return fa.eval(x.X, st)
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			return fa.recvTaint(x, st)
+		}
+		return fa.eval(x.X, st)
+	case *ast.BinaryExpr:
+		return joinTaint(fa.eval(x.X, st), fa.eval(x.Y, st))
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := fa.info.Uses[id].(*types.PkgName); isPkg {
+				return Taint{} // qualified identifier: package member
+			}
+		}
+		return fa.eval(x.X, st)
+	case *ast.IndexExpr:
+		if tv, ok := fa.info.Types[x.X]; ok && tv.IsType() {
+			return Taint{}
+		}
+		return joinTaint(fa.eval(x.X, st), fa.eval(x.Index, st))
+	case *ast.IndexListExpr:
+		return Taint{}
+	case *ast.SliceExpr:
+		return fa.eval(x.X, st)
+	case *ast.TypeAssertExpr:
+		return fa.eval(x.X, st)
+	case *ast.CompositeLit:
+		var t Taint
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t = joinTaint(t, joinTaint(fa.eval(kv.Key, st), fa.eval(kv.Value, st)))
+				continue
+			}
+			t = joinTaint(t, fa.eval(el, st))
+		}
+		return t
+	case *ast.CallExpr:
+		return fa.evalCall(x, st)
+	case *ast.FuncLit:
+		return Taint{}
+	}
+	return Taint{}
+}
+
+// recvTaint handles <-ch: select arms and goroutine fan-in are
+// order sources, plain receives propagate nothing.
+func (fa *funcAnalysis) recvTaint(u *ast.UnaryExpr, st state) Taint {
+	fa.eval(u.X, st)
+	if fa.selectRecv[u] {
+		return Taint{Kind: Order, Src: &Step{Pos: u.Pos(), What: "received in a select, whose ready-arm choice is nondeterministic"}}
+	}
+	if obj := fa.rootObj(u.X); obj != nil && fa.fanin[obj] {
+		return Taint{Kind: Order, Src: &Step{Pos: u.Pos(), What: "receives in goroutine completion order"}}
+	}
+	return Taint{}
+}
+
+func (fa *funcAnalysis) evalCall(c *ast.CallExpr, st state) Taint {
+	var t Taint
+	for _, r := range fa.call(c, st) {
+		t = joinTaint(t, r)
+	}
+	return t
+}
+
+// sink fires a finding (concrete mode) or records a parameter sink
+// (symbolic mode). Only the reporting pass emits.
+func (fa *funcAnalysis) sink(pos token.Pos, t Taint, what string) {
+	if !fa.reporting || !t.Tainted() {
+		return
+	}
+	if fa.symbolic {
+		for i := range fa.params {
+			if i < 64 && t.Params&(1<<uint(i)) != 0 && !fa.sum.ParamSinks[i].Pos.IsValid() {
+				fa.sum.ParamSinks[i] = SinkRef{Pos: pos, What: what}
+			}
+		}
+		return
+	}
+	if t.Kind == None || fa.report == nil {
+		return
+	}
+	fa.report(Finding{Pos: pos, Message: what, Path: Path(t.Src)})
+}

@@ -1,0 +1,83 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SinkRef records that a parameter reaches a byte sink inside a
+// function: position and message of the sink.
+type SinkRef struct {
+	Pos  token.Pos
+	What string
+}
+
+// Summary is the interprocedural model of one function, computed by a
+// symbolic run with every parameter pre-tainted Order.
+type Summary struct {
+	// Results holds one taint per result value. Params bits name the
+	// parameters the result derives from; a zero Params with a non-None
+	// Kind is a concrete source inside the function (e.g. a map range).
+	Results []Taint
+	// ParamSinks marks parameters that reach a sink inside the body.
+	ParamSinks []SinkRef
+	// ParamSort marks slice parameters the function sorts in place —
+	// a sanitizer the caller inherits.
+	ParamSort []bool
+}
+
+// FuncSource locates a function's syntax and type information.
+type FuncSource struct {
+	Decl *ast.FuncDecl
+	Info *types.Info
+	Pkg  *types.Package
+	Fset *token.FileSet
+}
+
+// Summaries computes and caches per-function summaries on demand.
+// Resolve maps a callee to its source; returning false means the
+// function is outside the analyzed module.
+type Summaries struct {
+	Resolve func(*types.Func) (FuncSource, bool)
+	cache   map[*types.Func]*Summary
+	inprog  map[*types.Func]bool
+}
+
+func NewSummaries(resolve func(*types.Func) (FuncSource, bool)) *Summaries {
+	return &Summaries{
+		Resolve: resolve,
+		cache:   map[*types.Func]*Summary{},
+		inprog:  map[*types.Func]bool{},
+	}
+}
+
+// For returns fn's summary, computing it on first use. A nil result
+// means the engine has no model (external function, no body) and the
+// caller should fall back to default propagation. Recursive cycles
+// resolve optimistically to the empty summary.
+func (ss *Summaries) For(fn *types.Func) *Summary {
+	if ss == nil || ss.Resolve == nil || fn == nil {
+		return nil
+	}
+	fn = fn.Origin()
+	if s, ok := ss.cache[fn]; ok {
+		return s
+	}
+	if ss.inprog[fn] {
+		return &Summary{}
+	}
+	src, ok := ss.Resolve(fn)
+	if !ok || src.Decl == nil || src.Decl.Body == nil {
+		ss.cache[fn] = nil
+		return nil
+	}
+	ss.inprog[fn] = true
+	fa := newFuncAnalysis(src.Fset, src.Info, src.Pkg, src.Decl, ss, true)
+	fa.run()
+	sum := fa.sum
+	sum.Results = fa.returns
+	delete(ss.inprog, fn)
+	ss.cache[fn] = sum
+	return sum
+}

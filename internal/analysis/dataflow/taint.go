@@ -1,0 +1,152 @@
+package dataflow
+
+import (
+	"go/token"
+	"go/types"
+)
+
+// Kind grades how a value depends on a nondeterministic ordering.
+type Kind uint8
+
+const (
+	// None: no order dependence.
+	None Kind = iota
+	// Order: a per-iteration value drawn from a nondeterministically
+	// ordered sequence (a map-range key, an element of a slice built
+	// in map order, a goroutine fan-in receive). The *pairing* of the
+	// value with its iteration is nondeterministic, but the multiset
+	// of values is not: sorting, set insertion and commutative folds
+	// all sanitize it.
+	Order
+	// Content: a value whose bytes/bits themselves depend on the
+	// ordering (a float sum folded in map order, a string built by
+	// concatenation across iterations). No sanitizer helps; the value
+	// is already corrupted when it exists.
+	Content
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Order:
+		return "order"
+	case Content:
+		return "content"
+	}
+	return "none"
+}
+
+// Step is one hop in a taint trail, from source toward sink. Prev
+// points toward the source.
+type Step struct {
+	Pos  token.Pos
+	What string
+	Prev *Step
+}
+
+// Taint is the abstract value of the orderflow domain: how (if at
+// all) a value depends on nondeterministic ordering, which function
+// parameters it symbolically derives from (summary computation runs
+// with parameters pre-tainted), and the trail back to its source.
+type Taint struct {
+	Kind   Kind
+	Params uint64 // bitset of parameter indices (symbolic taint)
+	Src    *Step
+}
+
+// Tainted reports whether the value carries any taint at all.
+func (t Taint) Tainted() bool { return t.Kind != None || t.Params != 0 }
+
+// Concrete reports whether the taint has a concrete source (as
+// opposed to being purely parameter-symbolic).
+func (t Taint) Concrete() bool { return t.Kind != None && t.Src != nil }
+
+// step prefixes the trail with a new hop.
+func (t Taint) step(pos token.Pos, what string) Taint {
+	if !t.Tainted() {
+		return t
+	}
+	t.Src = &Step{Pos: pos, What: what, Prev: t.Src}
+	return t
+}
+
+// rootPos returns the position of the trail's source step (the end of
+// the Prev chain), for deterministic trail selection on joins.
+func (t Taint) rootPos() token.Pos {
+	s := t.Src
+	if s == nil {
+		return token.NoPos
+	}
+	for s.Prev != nil {
+		s = s.Prev
+	}
+	return s.Pos
+}
+
+// joinTaint is the lattice join: kinds max (None < Order < Content),
+// parameter sets union. The trail is chosen deterministically: the
+// higher kind wins; on a tie, the trail rooted at the smaller source
+// position.
+func joinTaint(a, b Taint) Taint {
+	out := Taint{Params: a.Params | b.Params}
+	switch {
+	case a.Kind > b.Kind:
+		out.Kind, out.Src = a.Kind, a.Src
+	case b.Kind > a.Kind:
+		out.Kind, out.Src = b.Kind, b.Src
+	default:
+		out.Kind = a.Kind
+		out.Src = a.Src
+		if a.Src == nil || (b.Src != nil && b.rootPos() < a.rootPos()) {
+			out.Src = b.Src
+		}
+	}
+	return out
+}
+
+// sameTaint reports lattice equality (trails are provenance, not part
+// of the ordering, but a trail appearing where none was is growth).
+func sameTaint(a, b Taint) bool {
+	return a.Kind == b.Kind && a.Params == b.Params && (a.Src != nil) == (b.Src != nil)
+}
+
+// state maps variables to their taint. Absent means untainted.
+type state map[types.Object]Taint
+
+func (s state) clone() state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// joinState merges b into a, reporting whether a changed.
+func joinState(a, b state) bool {
+	changed := false
+	for obj, tb := range b {
+		ta, ok := a[obj]
+		if !ok {
+			a[obj] = tb
+			changed = true
+			continue
+		}
+		j := joinTaint(ta, tb)
+		if !sameTaint(j, ta) {
+			a[obj] = j
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Path flattens a sink-side trail into source-first order.
+func Path(s *Step) []Step {
+	var out []Step
+	for ; s != nil; s = s.Prev {
+		out = append(out, *s)
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

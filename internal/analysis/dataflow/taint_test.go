@@ -1,0 +1,88 @@
+package dataflow
+
+import (
+	"go/token"
+	"testing"
+)
+
+func TestJoinTaintLattice(t *testing.T) {
+	src := &Step{Pos: 10, What: "map range"}
+	order := Taint{Kind: Order, Src: src}
+	content := Taint{Kind: Content, Src: src}
+	none := Taint{}
+
+	if got := joinTaint(none, order); got.Kind != Order || got.Src == nil {
+		t.Errorf("None ⊔ Order = %+v", got)
+	}
+	if got := joinTaint(order, content); got.Kind != Content {
+		t.Errorf("Order ⊔ Content = %v, want Content", got.Kind)
+	}
+	if got := joinTaint(Taint{Params: 0b01}, Taint{Params: 0b10}); got.Params != 0b11 {
+		t.Errorf("param bitsets must union, got %b", got.Params)
+	}
+	if joinTaint(none, none).Tainted() {
+		t.Error("None ⊔ None must stay untainted")
+	}
+}
+
+// TestJoinTaintDeterministicTrail: when two tainted values of equal
+// kind merge, the surviving trail must not depend on argument order —
+// the join keeps the trail rooted at the smaller position, so the same
+// program always reports the same path.
+func TestJoinTaintDeterministicTrail(t *testing.T) {
+	early := Taint{Kind: Order, Src: &Step{Pos: 5, What: "early source"}}
+	late := Taint{Kind: Order, Src: &Step{Pos: 50, What: "late source"}}
+	ab := joinTaint(early, late)
+	ba := joinTaint(late, early)
+	if ab.Src.What != ba.Src.What {
+		t.Fatalf("join is order-sensitive: %q vs %q", ab.Src.What, ba.Src.What)
+	}
+	if ab.rootPos() != token.Pos(5) {
+		t.Errorf("join kept trail rooted at %v, want the earlier source (5)", ab.rootPos())
+	}
+}
+
+func TestPathIsSourceFirst(t *testing.T) {
+	taint := Taint{Kind: Order, Src: &Step{Pos: 1, What: "iterates a map"}}
+	taint = taint.step(token.Pos(7), "appended here")
+	taint = taint.step(token.Pos(9), "returned by f")
+	path := Path(taint.Src)
+	if len(path) != 3 {
+		t.Fatalf("path length %d, want 3", len(path))
+	}
+	want := []string{"iterates a map", "appended here", "returned by f"}
+	for i, w := range want {
+		if path[i].What != w {
+			t.Errorf("path[%d] = %q, want %q", i, path[i].What, w)
+		}
+	}
+	if path[0].Pos != token.Pos(1) {
+		t.Errorf("path must start at the source position, got %v", path[0].Pos)
+	}
+}
+
+func TestTaintPredicates(t *testing.T) {
+	if (Taint{}).Tainted() {
+		t.Error("zero taint must not be Tainted")
+	}
+	if !(Taint{Params: 1}).Tainted() {
+		t.Error("symbolic-only taint is still Tainted")
+	}
+	if (Taint{Params: 1}).Concrete() {
+		t.Error("symbolic-only taint must not be Concrete")
+	}
+	if !(Taint{Kind: Order, Src: &Step{}}).Concrete() {
+		t.Error("kinded taint with a trail is Concrete")
+	}
+}
+
+func TestJoinStateDetectsChange(t *testing.T) {
+	a := state{}
+	b := state{nil: Taint{Kind: Order, Src: &Step{Pos: 3}}}
+	if !joinState(a, b) {
+		t.Error("joining new taint into an empty state must report change")
+	}
+	if joinState(a, b) {
+		t.Error("re-joining the same taint must be a fixpoint")
+	}
+}

@@ -5,12 +5,9 @@ import (
 	"go/types"
 )
 
-// Nondeterminism flags constructs that break run-to-run reproducibility
-// inside the packages whose determinism the replay/resume machinery and
-// the paper's evaluation depend on: the simulator core, the MPI
-// runtime, the cluster model, the trace/signature pipeline, the
-// skeleton generator — and generated skeleton programs themselves
-// (package main).
+// Nondeterminism flags ambient-nondeterminism constructs across the
+// whole module — every internal package, the commands, and generated
+// skeleton programs (package main).
 //
 // Flagged:
 //   - wall-clock reads (time.Now / Since / Until): virtual time is the
@@ -22,24 +19,24 @@ import (
 //   - environment reads (os.Getenv / LookupEnv / Environ): the
 //     environment differs between hosts and runs, so configuration
 //     must arrive through explicit parameters;
-//   - go statements, which escape the cooperative scheduler;
-//   - iteration over maps, whose order varies between runs. The
-//     key-collection idiom `for k := range m { ks = append(ks, k) }`
-//     followed by a sort is exempt.
+//   - go statements, which escape the cooperative scheduler.
 //
-// Legitimate exceptions (e.g. the simulator's own coroutine spawns)
-// carry a //skelvet:ignore directive with a justification.
+// Map-iteration-order dependence, which this rule used to flag
+// syntactically, is now tracked flow-sensitively by the orderflow
+// rule: iterating a map is fine, letting the iteration order reach
+// output bytes is not.
+//
+// Legitimate exceptions (e.g. the simulator's own coroutine spawns,
+// the campaign worker pool) carry a //skelvet:ignore directive with a
+// justification.
 var Nondeterminism = &Analyzer{
 	Name: "nondeterminism",
-	Doc: "no wall-clock time, ambient rand, goroutines or map-order " +
-		"dependence in the deterministic core packages.",
+	Doc: "no wall-clock time, ambient rand or unmanaged goroutines " +
+		"anywhere in the module.",
 	Scope: []string{
-		"perfskel/internal/sim",
-		"perfskel/internal/mpi",
-		"perfskel/internal/cluster",
-		"perfskel/internal/trace",
-		"perfskel/internal/signature",
-		"perfskel/internal/skeleton",
+		"perfskel",
+		"perfskel/internal/...",
+		"perfskel/cmd/...",
 		"main", // generated skeleton sources and single-file programs
 	},
 	Run: runNondeterminism,
@@ -70,14 +67,6 @@ func runNondeterminism(pass *Pass) {
 			switch s := n.(type) {
 			case *ast.GoStmt:
 				pass.Reportf(s.Pos(), "go statement escapes the cooperative scheduler; determinism depends on exactly one runnable goroutine")
-			case *ast.RangeStmt:
-				t := pass.Info.TypeOf(s.X)
-				if t == nil {
-					return true
-				}
-				if _, isMap := t.Underlying().(*types.Map); isMap && !isKeyCollectLoop(s) {
-					pass.Reportf(s.Pos(), "map iteration order is nondeterministic; collect the keys, sort them, and iterate the slice")
-				}
 			case *ast.CallExpr:
 				pkgPath, fn, ok := pkgLevelCall(pass.Info, s)
 				if !ok {
@@ -113,23 +102,4 @@ func pkgLevelCall(info *types.Info, call *ast.CallExpr) (string, string, bool) {
 		return "", "", false
 	}
 	return pkgName.Imported().Path(), sel.Sel.Name, true
-}
-
-// isKeyCollectLoop recognises the deterministic-iteration idiom: a map
-// range whose body is exactly one append of loop variables into a slice
-// (which the surrounding code then sorts).
-func isKeyCollectLoop(s *ast.RangeStmt) bool {
-	if len(s.Body.List) != 1 {
-		return false
-	}
-	assign, ok := s.Body.List[0].(*ast.AssignStmt)
-	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
-		return false
-	}
-	call, ok := assign.Rhs[0].(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	fn, ok := call.Fun.(*ast.Ident)
-	return ok && fn.Name == "append"
 }

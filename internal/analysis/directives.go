@@ -22,12 +22,27 @@ type directiveKey struct {
 	rule string
 }
 
-// applyDirectives filters diags through the ignore directives found in
-// pkg's files and appends an error for every malformed directive.
-func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
-	allowed := map[directiveKey]bool{}
-	var kept []Diagnostic
+// DirectiveSite is one well-formed skelvet:ignore directive: where it
+// sits and which rules it suppresses (on its line and the next).
+type DirectiveSite struct {
+	File  string
+	Line  int
+	Rules []string
+}
 
+// IgnoreDirectives returns the well-formed ignore directives found in
+// pkg's files, in file order. Tests use this to prove every in-tree
+// directive still suppresses a live finding.
+func IgnoreDirectives(pkg *Package) []DirectiveSite {
+	sites, _ := scanDirectives(pkg)
+	return sites
+}
+
+// scanDirectives walks pkg's comments, returning the well-formed
+// ignore directives and a diagnostic for each malformed one.
+func scanDirectives(pkg *Package) ([]DirectiveSite, []Diagnostic) {
+	var sites []DirectiveSite
+	var malformed []Diagnostic
 	for _, f := range pkg.Files {
 		for _, group := range f.Comments {
 			for _, c := range group.List {
@@ -42,7 +57,7 @@ func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
 				pos := pkg.Fset.Position(c.Slash)
 				fields := strings.Fields(rest)
 				if len(fields) < 2 {
-					kept = append(kept, Diagnostic{
+					malformed = append(malformed, Diagnostic{
 						Rule:     "directive",
 						Pos:      pos,
 						Severity: Error,
@@ -50,18 +65,34 @@ func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
 					})
 					continue
 				}
+				site := DirectiveSite{File: pos.Filename, Line: pos.Line}
 				for _, rule := range strings.Split(fields[0], ",") {
-					rule = strings.TrimSpace(rule)
-					if rule == "" {
-						continue
+					if rule = strings.TrimSpace(rule); rule != "" {
+						site.Rules = append(site.Rules, rule)
 					}
-					allowed[directiveKey{pos.Filename, pos.Line, rule}] = true
-					allowed[directiveKey{pos.Filename, pos.Line + 1, rule}] = true
+				}
+				if len(site.Rules) > 0 {
+					sites = append(sites, site)
 				}
 			}
 		}
 	}
+	return sites, malformed
+}
 
+// applyDirectives filters diags through the ignore directives found in
+// pkg's files and appends an error for every malformed directive.
+func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
+	sites, malformed := scanDirectives(pkg)
+	allowed := map[directiveKey]bool{}
+	for _, s := range sites {
+		for _, rule := range s.Rules {
+			allowed[directiveKey{s.File, s.Line, rule}] = true
+			allowed[directiveKey{s.File, s.Line + 1, rule}] = true
+		}
+	}
+
+	kept := malformed
 	for _, d := range diags {
 		if allowed[directiveKey{d.Pos.Filename, d.Pos.Line, d.Rule}] {
 			continue

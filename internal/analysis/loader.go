@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"perfskel/internal/analysis/dataflow"
 )
 
 // Package is one loaded, type-checked package: the unit the analyzers
@@ -29,6 +31,38 @@ type Package struct {
 	mach     []MachineResult
 	machDone bool
 	notes    []string
+
+	loader *Loader // back-pointer for cross-package summary resolution
+	funcs  map[*types.Func]*ast.FuncDecl
+}
+
+// FuncDecl returns the declaration of a function defined in this
+// package, or nil. The index is built lazily from Info.Defs.
+func (p *Package) FuncDecl(fn *types.Func) *ast.FuncDecl {
+	if p.funcs == nil {
+		p.funcs = map[*types.Func]*ast.FuncDecl{}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					p.funcs[obj] = fd
+				}
+			}
+		}
+	}
+	return p.funcs[fn]
+}
+
+// Summaries returns the module-wide dataflow summary cache shared by
+// every package this loader produced, or nil for a loader-less package.
+func (p *Package) Summaries() *dataflow.Summaries {
+	if p.loader == nil {
+		return nil
+	}
+	return p.loader.Summaries()
 }
 
 // Loader parses and type-checks packages of one module plus their
@@ -44,6 +78,8 @@ type Loader struct {
 
 	std     types.ImporterFrom
 	pkgs    map[string]*Package
+	byTypes map[*types.Package]*Package
+	sums    *dataflow.Summaries
 	loading map[string]bool
 	genSeq  int
 }
@@ -100,8 +136,33 @@ func NewLoader(root string) (*Loader, error) {
 		module:  module,
 		std:     std,
 		pkgs:    map[string]*Package{},
+		byTypes: map[*types.Package]*Package{},
 		loading: map[string]bool{},
 	}, nil
+}
+
+// Summaries returns the loader's shared dataflow summary cache,
+// resolving callees across every package the loader has type-checked.
+func (l *Loader) Summaries() *dataflow.Summaries {
+	if l.sums == nil {
+		l.sums = dataflow.NewSummaries(l.funcSource)
+	}
+	return l.sums
+}
+
+func (l *Loader) funcSource(fn *types.Func) (dataflow.FuncSource, bool) {
+	if fn.Pkg() == nil {
+		return dataflow.FuncSource{}, false
+	}
+	pkg, ok := l.byTypes[fn.Pkg()]
+	if !ok {
+		return dataflow.FuncSource{}, false
+	}
+	decl := pkg.FuncDecl(fn)
+	if decl == nil {
+		return dataflow.FuncSource{}, false
+	}
+	return dataflow.FuncSource{Decl: decl, Info: pkg.Info, Pkg: pkg.Types, Fset: pkg.Fset}, true
 }
 
 // ModuleRoot returns the module root directory.
@@ -275,6 +336,7 @@ func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
 		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
@@ -283,12 +345,15 @@ func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
 	}
-	return &Package{
-		Path:  path,
-		Dir:   dir,
-		Fset:  l.Fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
-	}, nil
+	pkg := &Package{
+		Path:   path,
+		Dir:    dir,
+		Fset:   l.Fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		loader: l,
+	}
+	l.byTypes[tpkg] = pkg
+	return pkg, nil
 }

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+
+	"perfskel/internal/analysis/dataflow"
+)
+
+// OrderFlow is the dataflow-based byte-determinism rule: it proves
+// that values whose *ordering* is nondeterministic — map iteration,
+// sync.Map.Range, goroutine fan-in, select arms, raw directory
+// listings — never reach a byte-producing sink (io.Writer/hash
+// writes, fmt output, encoders, exported returns) without passing a
+// sanitizer (sort, map/set insertion, an order-insensitive fold).
+//
+// Unlike the syntactic nondeterminism rule, orderflow tracks the
+// value: iterating a map is fine, and so is collecting its keys,
+// sorting them, and writing — only an unsanitized flow from the
+// iteration to the bytes is a finding, reported with the full
+// source-to-sink path. Taint crosses function boundaries through
+// per-function summaries computed over the whole module, so a helper
+// that sorts (or one that folds floats in argument order) is modeled
+// precisely at every call site.
+var OrderFlow = &Analyzer{
+	Name: "orderflow",
+	Doc: "no nondeterministically ordered value may reach a " +
+		"byte-producing sink without being sorted, set-inserted, or " +
+		"folded order-insensitively.",
+	Scope: []string{
+		"perfskel",
+		"perfskel/internal/...",
+		"perfskel/cmd/...",
+		"main", // generated skeleton sources and single-file programs
+	},
+	Run: runOrderFlow,
+}
+
+// orderflowStrict lists the deterministic-core packages where escaped
+// taint — an order-tainted value passed to a call the engine cannot
+// prove order-insensitive — is itself a finding. These are the
+// packages whose byte-determinism the replay/resume machinery and the
+// paper's evaluation rest on.
+var orderflowStrict = map[string]bool{
+	"perfskel":                    true,
+	"perfskel/internal/sim":       true,
+	"perfskel/internal/mpi":       true,
+	"perfskel/internal/cluster":   true,
+	"perfskel/internal/trace":     true,
+	"perfskel/internal/signature": true,
+	"perfskel/internal/skeleton":  true,
+	"main":                        true,
+}
+
+func runOrderFlow(pass *Pass) {
+	an := &dataflow.Analysis{
+		Fset:      pass.Fset,
+		Info:      pass.Info,
+		Pkg:       pass.Pkg,
+		Summaries: pass.pkg.Summaries(),
+		Strict:    orderflowStrict[pass.pkg.Path],
+		Report: func(f dataflow.Finding) {
+			var related []RelatedPos
+			for _, s := range f.Path {
+				related = append(related, RelatedPos{
+					Pos:     pass.Fset.Position(s.Pos),
+					Message: s.What,
+				})
+			}
+			pass.ReportRelatedf(f.Pos, related, "%s", f.Message)
+		},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				an.Func(fd)
+			}
+		}
+	}
+}

@@ -11,12 +11,22 @@ import (
 // emits as JSON and embeds in SARIF. File paths are rewritten relative
 // to a root directory so reports are byte-identical across checkouts.
 type Finding struct {
-	Rule     string `json:"rule"`
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Column   int    `json:"column"`
-	Severity string `json:"severity"`
-	Message  string `json:"message"`
+	Rule     string           `json:"rule"`
+	File     string           `json:"file"`
+	Line     int              `json:"line"`
+	Column   int              `json:"column"`
+	Severity string           `json:"severity"`
+	Message  string           `json:"message"`
+	Related  []RelatedFinding `json:"related,omitempty"`
+}
+
+// RelatedFinding is one step of a finding's source-to-sink path, in
+// flow order.
+type RelatedFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
 }
 
 // MakeFindings converts diagnostics (already sorted by Check) into
@@ -24,14 +34,23 @@ type Finding struct {
 func MakeFindings(diags []Diagnostic, root string) []Finding {
 	out := make([]Finding, 0, len(diags))
 	for _, d := range diags {
-		out = append(out, Finding{
+		f := Finding{
 			Rule:     d.Rule,
 			File:     relFile(d.Pos.Filename, root),
 			Line:     d.Pos.Line,
 			Column:   d.Pos.Column,
 			Severity: d.Severity.String(),
 			Message:  d.Message,
-		})
+		}
+		for _, r := range d.Related {
+			f.Related = append(f.Related, RelatedFinding{
+				File:    relFile(r.Pos.Filename, root),
+				Line:    r.Pos.Line,
+				Column:  r.Pos.Column,
+				Message: r.Message,
+			})
+		}
+		out = append(out, f)
 	}
 	return out
 }

@@ -62,6 +62,62 @@ func TestReportsMatchGolden(t *testing.T) {
 	}
 }
 
+// renderOrderflowSARIF loads the cross-function orderflow fixture —
+// whose findings carry multi-step taint paths — and renders it to
+// SARIF, exercising the relatedLocations encoding.
+func renderOrderflowSARIF(t *testing.T) []byte {
+	t.Helper()
+	l := loader(t)
+	pkg, err := l.LoadFile(filepath.Join("testdata", "orderflow", "crossfunc.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := MakeFindings(Check(pkg, []*Analyzer{OrderFlow}), l.ModuleRoot())
+	hasPath := false
+	for _, f := range findings {
+		if len(f.Related) > 0 {
+			hasPath = true
+		}
+	}
+	if !hasPath {
+		t.Fatal("crossfunc fixture produced no finding with a taint path")
+	}
+	out, err := SARIFReport(findings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestOrderflowSARIFGolden pins the SARIF rendering of taint paths:
+// each step of a path becomes a relatedLocation with its message, and
+// the whole file is byte-stable across from-scratch analysis runs —
+// the trail construction inside the dataflow engine must itself be
+// deterministic for this to hold.
+func TestOrderflowSARIFGolden(t *testing.T) {
+	got := renderOrderflowSARIF(t)
+	if !bytes.Contains(got, []byte("relatedLocations")) {
+		t.Fatal("SARIF output carries no relatedLocations")
+	}
+	file := filepath.Join("testdata", "golden", "orderflow.sarif")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(file, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: output drifted from golden file:\ngot:\n%s\nwant:\n%s", file, got, want)
+		}
+	}
+	if again := renderOrderflowSARIF(t); !bytes.Equal(got, again) {
+		t.Error("orderflow SARIF is not byte-deterministic across runs")
+	}
+}
+
 // TestReportsAreByteDeterministic renders the same package twice from
 // scratch; any map-order or pointer-identity leak in the report path
 // would show up as a byte difference.

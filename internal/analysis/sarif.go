@@ -41,10 +41,18 @@ type sarifMessage struct {
 }
 
 type sarifResult struct {
-	RuleID    string          `json:"ruleId"`
-	Level     string          `json:"level"`
-	Message   sarifMessage    `json:"message"`
-	Locations []sarifLocation `json:"locations"`
+	RuleID           string          `json:"ruleId"`
+	Level            string          `json:"level"`
+	Message          sarifMessage    `json:"message"`
+	Locations        []sarifLocation `json:"locations"`
+	RelatedLocations []sarifRelated  `json:"relatedLocations,omitempty"`
+}
+
+// sarifRelated is one step of a result's taint path: a physical
+// location plus the step's message, in source-to-sink order.
+type sarifRelated struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          sarifMessage  `json:"message"`
 }
 
 type sarifLocation struct {
@@ -101,7 +109,7 @@ func SARIFReport(findings []Finding, notes []string) ([]byte, error) {
 		if f.Severity == "warning" {
 			level = "warning"
 		}
-		results = append(results, sarifResult{
+		res := sarifResult{
 			RuleID:  f.Rule,
 			Level:   level,
 			Message: sarifMessage{Text: f.Message},
@@ -109,7 +117,17 @@ func SARIFReport(findings []Finding, notes []string) ([]byte, error) {
 				ArtifactLocation: sarifArtifact{URI: f.File},
 				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
 			}}},
-		})
+		}
+		for _, r := range f.Related {
+			res.RelatedLocations = append(res.RelatedLocations, sarifRelated{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: r.File},
+					Region:           sarifRegion{StartLine: r.Line, StartColumn: r.Column},
+				},
+				Message: sarifMessage{Text: r.Message},
+			})
+		}
+		results = append(results, res)
 	}
 
 	inv := sarifInvocation{ExecutionSuccessful: true}

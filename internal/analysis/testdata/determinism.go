@@ -1,7 +1,8 @@
 // Fixture for the nondeterminism rule: wall-clock reads, environment
-// reads, ambient rand, goroutines and map-order dependence. The
-// key-collection idiom and an explicitly seeded generator must stay
-// clean.
+// reads, ambient rand and goroutines. Map iteration itself is clean
+// here — order dependence is the flow-sensitive orderflow rule's
+// business (testdata/orderflow/) — as are the key-collection idiom
+// and an explicitly seeded generator.
 package main
 
 import (
@@ -19,8 +20,9 @@ func main() {
 	fmt.Println(os.Getenv("SEED")) // want nondeterminism
 	fmt.Println(rand.Intn(4))      // want nondeterminism
 	counts := map[string]int{"a": 1, "b": 2}
-	for k, v := range counts { // want nondeterminism
-		fmt.Println(k, v)
+	total := 0
+	for _, v := range counts { // map iteration alone: clean (orderflow's business)
+		total += v
 	}
 	keys := make([]string, 0, len(counts))
 	for k := range counts { // key-collection idiom: clean
@@ -28,7 +30,7 @@ func main() {
 	}
 	sort.Strings(keys)
 	rng := rand.New(rand.NewSource(7)) // explicitly seeded: clean
-	fmt.Println(rng.Intn(4), keys)
+	fmt.Println(rng.Intn(4), keys, total)
 }
 
 func tick() {}

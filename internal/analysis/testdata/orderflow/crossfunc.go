@@ -1,0 +1,40 @@
+// Fixture for interprocedural orderflow propagation: taint flows
+// through function summaries. rawKeys leaks map order through its
+// return value; sortedCopy's summary records the in-place sort that
+// sanitizes it; meanOf's summary records the float fold that hardens
+// Order taint into Content.
+package main
+
+import (
+	"fmt"
+)
+
+var weights = map[string]float64{"a": 0.5, "b": 1.5}
+
+func rawKeys() []string {
+	var ks []string
+	for k := range weights {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func meanOf(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func main() {
+	for _, k := range rawKeys() {
+		fmt.Println(k) // want orderflow
+	}
+
+	var vals []float64
+	for _, v := range weights {
+		vals = append(vals, v)
+	}
+	fmt.Println(meanOf(vals)) // want orderflow
+}

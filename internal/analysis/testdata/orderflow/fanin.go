@@ -1,0 +1,19 @@
+// Fixture for the goroutine fan-in orderflow source: values received
+// from a channel fed by concurrently spawned goroutines arrive in
+// completion order.
+package main
+
+import (
+	"fmt"
+)
+
+func main() {
+	ch := make(chan int, 4)
+	for i := 0; i < 4; i++ {
+		go func(i int) { ch <- i * i }(i)
+	}
+	for i := 0; i < 4; i++ {
+		v := <-ch
+		fmt.Println(v) // want orderflow
+	}
+}

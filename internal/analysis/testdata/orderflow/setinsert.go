@@ -1,0 +1,36 @@
+// Clean fixture for the orderflow sanitizers that do not involve
+// sorting: inserting an order-tainted key into a map (a set is
+// insertion-order-blind), commutative integer folds, and min/max.
+package main
+
+import (
+	"fmt"
+	"sort"
+)
+
+var events = map[string]int{"send": 3, "recv": 5}
+
+func main() {
+	// Set insertion launders iteration order: the set's contents do not
+	// depend on the order keys were inserted.
+	seen := make(map[string]bool)
+	for k := range events {
+		seen[k] = true
+	}
+
+	// Commutative integer folds are exact under reordering.
+	total := 0
+	peak := 0
+	for _, n := range events {
+		total += n
+		peak = max(peak, n)
+	}
+	fmt.Println(total, peak)
+
+	names := make([]string, 0, len(seen))
+	for k := range seen {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Println(names)
+}

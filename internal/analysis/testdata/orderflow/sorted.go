@@ -1,0 +1,35 @@
+// Clean fixture for the orderflow rule: map iteration order is
+// sanitized by sorting before any byte reaches a sink. The syntactic
+// nondeterminism rule could never prove this; the dataflow engine can.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+var table = map[string]float64{"x": 1.5, "y": 2.5}
+
+func main() {
+	keys := make([]string, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(os.Stdout, "%s=%g\n", k, table[k])
+	}
+	fmt.Println(Rows())
+}
+
+// Rows returns the table rows sorted with sort.Slice: clean across the
+// exported API.
+func Rows() []string {
+	var rows []string
+	for k, v := range table {
+		rows = append(rows, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}

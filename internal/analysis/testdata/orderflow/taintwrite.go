@@ -1,0 +1,29 @@
+// Fixture for the orderflow rule: map iteration order reaching output
+// bytes unsorted — the canonical bug the rule exists to catch — plus an
+// unsorted slice of map keys crossing an exported API.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+var counts = map[string]int{"a": 1, "b": 2}
+
+func main() {
+	for k := range counts {
+		fmt.Fprintf(os.Stdout, "%s\n", k) // want orderflow
+	}
+	for _, line := range Lines() {
+		_ = line
+	}
+}
+
+// Lines leaks map iteration order across the exported API.
+func Lines() []string {
+	var out []string
+	for k := range counts {
+		out = append(out, k)
+	}
+	return out // want orderflow
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -116,7 +117,8 @@ func (m *memo) snapshot() Stats {
 }
 
 // telemetryCells returns every completed cell that recorded a collector,
-// labeled for the deterministic merge.
+// labeled and sorted by label so the result is independent of map
+// iteration order and completion schedule.
 func (m *memo) telemetryCells() []telemetry.LabeledCollector {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -130,6 +132,7 @@ func (m *memo) telemetryCells() []telemetry.LabeledCollector {
 		default:
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
 	return out
 }
 

@@ -147,6 +147,7 @@ func (e *Engine) PredictAll(g Grid) ([]Prediction, error) {
 	var wg sync.WaitGroup
 	for i := range cells {
 		wg.Add(1)
+		//skelvet:ignore nondeterminism bounded worker pool; each goroutine writes only its own index and Wait joins them all before any read
 		go func(i int) {
 			defer wg.Done()
 			preds[i], errs[i] = e.predict(cells[i], g.MeasureApp)

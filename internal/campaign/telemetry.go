@@ -9,9 +9,9 @@ import (
 
 // TelemetryCells returns the per-cell collectors recorded so far (only
 // when the engine was built with Config.Telemetry), labeled with each
-// cell's canonical cache label. The slice order is unspecified; the
-// exporters below sort by label, which is what makes their output
-// independent of worker count and completion schedule.
+// cell's canonical cache label and sorted by it, so the result — and
+// the merged exports below — are independent of worker count and
+// completion schedule.
 func (e *Engine) TelemetryCells() []telemetry.LabeledCollector {
 	return e.memo.telemetryCells()
 }

@@ -136,28 +136,32 @@ func Run(cfg Config) (*Results, error) {
 	}
 
 	type outcome struct {
-		bd  *BenchData
-		err error
+		name string
+		bd   *BenchData
+		err  error
 	}
 	results := make(chan outcome, len(cfg.Benchmarks))
 	for _, name := range cfg.Benchmarks {
+		//skelvet:ignore nondeterminism per-benchmark worker pool; outcomes are keyed by name and the error below is chosen in request order
 		go func(name string) {
 			bd, err := runBenchmark(cfg, eng, scs, name, progress)
-			results <- outcome{bd, err}
+			results <- outcome{name, bd, err}
 		}(name)
 	}
-	var firstErr error
+	errs := make(map[string]error, len(cfg.Benchmarks))
 	for range cfg.Benchmarks {
 		o := <-results
-		if o.err != nil && firstErr == nil {
-			firstErr = o.err
-		}
+		errs[o.name] = o.err
 		if o.bd != nil {
 			res.Benches[o.bd.Name] = o.bd
 		}
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	// Report the first failing benchmark in request order, not in
+	// completion order, so the returned error is deterministic.
+	for _, name := range cfg.Benchmarks {
+		if err := errs[name]; err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }

@@ -12,6 +12,7 @@ package predict
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"perfskel/internal/stats"
 )
@@ -46,8 +47,16 @@ func ErrorPct(predicted, actual float64) float64 {
 // and in-scenario execution times; the result maps program name to its
 // predicted time.
 func AverageBaseline(dedicated, actual map[string]float64) map[string]float64 {
+	// The float sum inside Mean is not associative: fold the slowdowns
+	// in sorted name order so the mean is byte-identical across runs.
+	names := make([]string, 0, len(dedicated))
+	for name := range dedicated {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var slowdowns []float64
-	for name, d := range dedicated {
+	for _, name := range names {
+		d := dedicated[name]
 		a, ok := actual[name]
 		if !ok || d <= 0 {
 			continue

@@ -33,26 +33,33 @@ END {
 echo "==> wrote $out"
 cat "$out"
 
-# Static-analysis extraction: the same 200-iteration ring exchange as
-# unrolled straight-line code and as a counted loop the symbolic
-# executor folds. Writes BENCH_analysis.json.
+# Static analysis: the same 200-iteration ring exchange as unrolled
+# straight-line code and as a counted loop the symbolic executor folds,
+# plus the orderflow dataflow engine — cold-cache summary construction
+# over internal/telemetry and the whole-module `skelvet -self` pass.
+# Writes BENCH_analysis.json.
 out=BENCH_analysis.json
 
-echo "==> go test -bench AnalysisLoopFree/Symexec (count=$count)"
-go test -run xxx -bench 'BenchmarkAnalysis(LoopFree|Symexec)$' -benchmem -count "$count" "$@" ./internal/analysis/ | tee /tmp/bench_analysis.txt
+echo "==> go test -bench AnalysisLoopFree/Symexec + Orderflow (count=$count)"
+go test -run xxx -bench 'BenchmarkAnalysis(LoopFree|Symexec)$|BenchmarkOrderflow(Summaries|SelfModule)$' \
+    -benchmem -count "$count" "$@" ./internal/analysis/ | tee /tmp/bench_analysis.txt
 
 awk '
-/^BenchmarkAnalysisLoopFree/ { flat += $3; nflat++ }
-/^BenchmarkAnalysisSymexec/  { sym  += $3; nsym++  }
+/^BenchmarkAnalysisLoopFree/     { flat += $3; nflat++ }
+/^BenchmarkAnalysisSymexec/      { sym  += $3; nsym++  }
+/^BenchmarkOrderflowSummaries/   { osum += $3; nosum++ }
+/^BenchmarkOrderflowSelfModule/  { omod += $3; nomod++ }
 END {
-    if (nflat == 0 || nsym == 0) { print "no benchmark output" > "/dev/stderr"; exit 1 }
+    if (nflat == 0 || nsym == 0 || nosum == 0 || nomod == 0) { print "no benchmark output" > "/dev/stderr"; exit 1 }
     mflat = flat / nflat; msym = sym / nsym
     printf "{\n"
     printf "  \"benchmark\": \"commgraph extract+match, 200-iteration ring, 4 ranks\",\n"
     printf "  \"runs\": %d,\n", nflat
     printf "  \"loop_free_ns_op\": %.0f,\n", mflat
     printf "  \"symexec_ns_op\": %.0f,\n", msym
-    printf "  \"fold_speedup\": %.2f\n", mflat / msym
+    printf "  \"fold_speedup\": %.2f,\n", mflat / msym
+    printf "  \"orderflow_summaries_ns_op\": %.0f,\n", osum / nosum
+    printf "  \"orderflow_self_module_ns_op\": %.0f\n", omod / nomod
     printf "}\n"
 }' /tmp/bench_analysis.txt > "$out"
 

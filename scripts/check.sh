@@ -20,8 +20,8 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> skelvet ./..."
-go run ./cmd/skelvet ./...
+echo "==> skelvet -self"
+go run ./cmd/skelvet -self
 
 echo "==> go test -race ./..."
 go test -race ./...
