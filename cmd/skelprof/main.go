@@ -22,26 +22,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"perfskel/internal/campaign"
 	"perfskel/internal/cluster"
 	"perfskel/internal/nas"
 	"perfskel/internal/predict"
 	"perfskel/internal/telemetry"
+	"perfskel/internal/telemetry/critpath"
 )
 
 // report is the machine-readable form of one skelprof run.
 type report struct {
-	Bench         string                `json:"bench"`
-	Class         string                `json:"class"`
-	Ranks         int                   `json:"ranks"`
-	K             int                   `json:"k"`
-	Scenario      string                `json:"scenario"`
-	AppDedicated  float64               `json:"app_dedicated_s"`
-	SkelDedicated float64               `json:"skel_dedicated_s"`
-	Diff          *telemetry.DiffReport `json:"diff"`
-	App           *telemetry.Profile    `json:"app_profile"`
-	Skel          *telemetry.Profile    `json:"skel_profile"`
+	Bench          string                 `json:"bench"`
+	Class          string                 `json:"class"`
+	Ranks          int                    `json:"ranks"`
+	K              int                    `json:"k"`
+	Scenario       string                 `json:"scenario"`
+	AppDedicated   float64                `json:"app_dedicated_s"`
+	SkelDedicated  float64                `json:"skel_dedicated_s"`
+	Diff           *telemetry.DiffReport  `json:"diff"`
+	App            *telemetry.Profile     `json:"app_profile"`
+	Skel           *telemetry.Profile     `json:"skel_profile"`
+	CritApp        *critpath.Analysis     `json:"critpath_app,omitempty"`
+	CritSkel       *critpath.Analysis     `json:"critpath_skel,omitempty"`
+	PathDivergence *float64               `json:"path_divergence,omitempty"`
+	WhatIf         []critpath.Sensitivity `json:"whatif,omitempty"`
 }
 
 func main() {
@@ -55,7 +61,34 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print the full report as JSON")
 	traceApp := flag.String("trace-app", "", "write the application run's Perfetto trace")
 	traceSkel := flag.String("trace-skel", "", "write the skeleton run's Perfetto trace")
+	critPath := flag.Bool("critpath", false,
+		"add a causal critical-path analysis of both scenario runs")
+	whatIf := flag.String("whatif", "",
+		"comma-separated what-if selectors class[@factor] applied to the application's\n"+
+			"scenario run (requires -critpath; empty with -critpath runs a default sweep)")
+	top := flag.Int("top", 20, "rows per critical-path table")
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		usageFail("unexpected argument %q", flag.Arg(0))
+	}
+	if *whatIf != "" && !*critPath {
+		usageFail("-whatif requires -critpath")
+	}
+	if *top < 1 {
+		usageFail("-top must be at least 1 (got %d)", *top)
+	}
+	var specs []critpath.WhatIfSpec
+	for _, s := range strings.Split(*whatIf, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		spec, err := critpath.ParseSpec(s)
+		if err != nil {
+			usageFail("bad -whatif selector: %v", err)
+		}
+		specs = append(specs, spec)
+	}
 
 	app, err := campaign.NASApp(*bench, nas.Class(*class))
 	if err != nil {
@@ -103,8 +136,29 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	writeTrace(*traceApp, appRes.Telemetry)
-	writeTrace(*traceSkel, skelRes.Telemetry)
+
+	// Optional step: causal critical-path analysis of both scenario runs,
+	// the path-divergence score, and the what-if sensitivity table (the
+	// selectors apply to the application's run).
+	var appAn, skelAn *critpath.Analysis
+	var sens []critpath.Sensitivity
+	if *critPath {
+		appG, err := critpath.Build(appRes.Telemetry)
+		if err != nil {
+			fail(err)
+		}
+		skelG, err := critpath.Build(skelRes.Telemetry)
+		if err != nil {
+			fail(err)
+		}
+		appAn, skelAn = appG.Analyze(), skelG.Analyze()
+		if len(specs) == 0 {
+			specs = appG.DefaultSpecs(0.5)
+		}
+		sens = appG.Sensitivities(specs)
+	}
+	writeTrace(*traceApp, appRes.Telemetry, appAn)
+	writeTrace(*traceSkel, skelRes.Telemetry, skelAn)
 
 	// Step 4: align the phase profiles and attribute the error.
 	appProf, skelProf := appRes.Telemetry.Profile(), skelRes.Telemetry.Profile()
@@ -115,6 +169,11 @@ func main() {
 			Bench: *bench, Class: *class, Ranks: n, K: prog.K, Scenario: sc.Name,
 			AppDedicated: appDedRes.Time, SkelDedicated: skelDedRes.Time,
 			Diff: diff, App: appProf, Skel: skelProf,
+			CritApp: appAn, CritSkel: skelAn, WhatIf: sens,
+		}
+		if appAn != nil {
+			d := predict.PathDivergence(appAn, skelAn)
+			r.PathDivergence = &d
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -127,10 +186,21 @@ func main() {
 		*bench, *class, n, prog.K, sc.Name)
 	fmt.Printf("dedicated: application %.4f s, skeleton %.4f s\n\n", appDedRes.Time, skelDedRes.Time)
 	fmt.Print(diff.Render())
+	if appAn != nil {
+		fmt.Printf("\n== application critical path (scenario %s) ==\n", sc.Name)
+		fmt.Print(appAn.Render(*top))
+		fmt.Printf("\n== skeleton critical path (scenario %s) ==\n", sc.Name)
+		fmt.Print(skelAn.Render(*top))
+		fmt.Printf("\npath divergence (0 aligned .. 1 disjoint): %.3f\n\n",
+			predict.PathDivergence(appAn, skelAn))
+		fmt.Print(critpath.RenderSensitivities(sens))
+	}
 }
 
-// writeTrace dumps a collector's Perfetto trace to path, when set.
-func writeTrace(path string, col *telemetry.Collector) {
+// writeTrace dumps a collector's Perfetto trace to path, when set. With
+// a critical-path analysis at hand the trace marks path spans with the
+// "critical" category so the viewer can highlight them.
+func writeTrace(path string, col *telemetry.Collector, an *critpath.Analysis) {
 	if path == "" {
 		return
 	}
@@ -141,9 +211,15 @@ func writeTrace(path string, col *telemetry.Collector) {
 	if err != nil {
 		fail(err)
 	}
-	if err := col.WritePerfetto(f); err != nil {
+	var werr error
+	if an != nil {
+		werr = col.WritePerfettoCritical(f, an.CriticalMask(col.Spans()))
+	} else {
+		werr = col.WritePerfetto(f)
+	}
+	if werr != nil {
 		f.Close()
-		fail(err)
+		fail(werr)
 	}
 	if err := f.Close(); err != nil {
 		fail(err)
@@ -153,4 +229,13 @@ func writeTrace(path string, col *telemetry.Collector) {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "skelprof:", err)
 	os.Exit(1)
+}
+
+// usageFail reports a command-line usage error — an invalid flag
+// combination or a malformed selector — and exits with status 2,
+// distinguishing operator mistakes (2) from run failures (1).
+func usageFail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "skelprof: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run 'skelprof -h' for usage")
+	os.Exit(2)
 }

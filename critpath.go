@@ -1,0 +1,65 @@
+package perfskel
+
+import (
+	"perfskel/internal/predict"
+	"perfskel/internal/telemetry/critpath"
+)
+
+// Causal critical-path profiling. A telemetry collector attached to a
+// run (Env.Observe) records, besides spans and metrics, the causal
+// message and wait events the activity graph is built from; BuildCritPath
+// turns one collector into that graph, AnalyzeCritPath walks its
+// critical path, and CritPathGraph.WhatIf answers causal-profiling
+// questions ("what if this link were 10x faster?") without
+// re-simulating.
+
+// CritPathGraph is the causal activity graph of one observed run.
+type CritPathGraph = critpath.Graph
+
+// CritPathAnalysis is a critical-path summary: the path's steps, its
+// attribution by kind, rank and phase, and the least-slack op spans.
+type CritPathAnalysis = critpath.Analysis
+
+// WhatIfClass selects a span class for a virtual speedup; see
+// ParseWhatIfClass for the selector grammar.
+type WhatIfClass = critpath.Class
+
+// WhatIfSpec pairs a class with a scaling factor.
+type WhatIfSpec = critpath.WhatIfSpec
+
+// Sensitivity is one row of a what-if table.
+type Sensitivity = critpath.Sensitivity
+
+// BuildCritPath constructs the causal activity graph of the run the
+// collector observed. The graph's critical path provably spans exactly
+// [0, makespan]: its length equals the simulated execution time
+// bit-for-bit.
+func BuildCritPath(c *Telemetry) (*CritPathGraph, error) { return critpath.Build(c) }
+
+// AnalyzeCritPath builds the graph and walks its critical path in one
+// step.
+func AnalyzeCritPath(c *Telemetry) (*CritPathAnalysis, error) {
+	g, err := critpath.Build(c)
+	if err != nil {
+		return nil, err
+	}
+	return g.Analyze(), nil
+}
+
+// ParseWhatIfClass parses a span-class selector of the grammar
+// kind[:key=value[,key=value...]] with kinds compute, transfer and
+// blocked — e.g. "transfer:node=0" or "compute:rank=1,phase=3".
+func ParseWhatIfClass(s string) (WhatIfClass, error) { return critpath.ParseClass(s) }
+
+// ParseWhatIfSpec parses "class" or "class@factor" (default factor
+// 0.5, a 2x virtual speedup).
+func ParseWhatIfSpec(s string) (WhatIfSpec, error) { return critpath.ParseSpec(s) }
+
+// PathDivergence scores, in [0, 1], how differently a skeleton's
+// critical path is composed from its application's: 0 for identical
+// kind and phase composition (up to the K scaling), 1 for disjoint. A
+// skeleton can predict the makespan well while bottlenecking on the
+// wrong resource; this score catches that.
+func PathDivergence(app, skel *CritPathAnalysis) float64 {
+	return predict.PathDivergence(app, skel)
+}

@@ -1,0 +1,54 @@
+package perfskel_test
+
+import (
+	"testing"
+
+	"perfskel"
+)
+
+func TestCritPathFacade(t *testing.T) {
+	env := perfskel.NewTestbed(2, perfskel.Dedicated())
+	env.Observe = perfskel.NewTelemetry()
+	dur, err := env.Run(2, func(c *perfskel.Comm) {
+		peer := 1 - c.Rank()
+		for i := 0; i < 5; i++ {
+			c.Compute(0.02)
+			sr := c.Isend(peer, 1, 64*1024)
+			rr := c.Irecv(peer, 1)
+			c.Wait(rr)
+			c.Wait(sr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := perfskel.BuildCritPath(env.Observe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.Analyze()
+	if a.PathLen != dur {
+		t.Fatalf("critical path %.17g != run time %.17g", a.PathLen, dur)
+	}
+	if a2, err := perfskel.AnalyzeCritPath(env.Observe); err != nil || a2.PathLen != a.PathLen {
+		t.Fatalf("AnalyzeCritPath: %v, pathlen %g vs %g", err, a2.PathLen, a.PathLen)
+	}
+
+	spec, err := perfskel.ParseWhatIfSpec("compute@0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := g.WhatIf(spec.Class, spec.Factor)
+	if pred <= 0 || pred > a.PathLen {
+		t.Fatalf("what-if compute@0.5 predicts %g outside (0, %g]", pred, a.PathLen)
+	}
+	if _, err := perfskel.ParseWhatIfClass("transfer:node=0"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A path compared with itself is perfectly aligned.
+	if d := perfskel.PathDivergence(a, a); d != 0 {
+		t.Fatalf("self path divergence = %g, want 0", d)
+	}
+}

@@ -1,0 +1,60 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"perfskel/internal/telemetry/critpath"
+)
+
+// PathSummary condenses one cell's critical-path analysis for the
+// campaign-level export: the headline numbers plus the kind attribution,
+// without the full step list.
+type PathSummary struct {
+	Makespan float64              `json:"makespan"`
+	PathLen  float64              `json:"pathlen"`
+	NSteps   int                  `json:"nsteps"`
+	ByKind   []critpath.KindShare `json:"bykind"`
+	ByRank   []float64            `json:"byrank"`
+	TopSpans []critpath.SpanSlack `json:"tightspans,omitempty"`
+}
+
+// CritPaths builds the critical-path summary of every executed cell,
+// keyed by canonical cell label. A cell whose records cannot form a
+// valid causal graph (e.g. a world that deadlocked) reports an error
+// instead of a summary; the map shape itself stays deterministic.
+func (e *Engine) CritPaths() (map[string]PathSummary, error) {
+	cells := e.TelemetryCells()
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("campaign: no telemetry recorded (was Config.Telemetry set?)")
+	}
+	out := make(map[string]PathSummary, len(cells))
+	for _, lc := range cells {
+		g, err := critpath.Build(lc.C)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: cell %s: %w", lc.Label, err)
+		}
+		a := g.Analyze()
+		out[lc.Label] = PathSummary{
+			Makespan: a.Makespan, PathLen: a.PathLen, NSteps: a.NSteps,
+			ByKind: a.ByKind, ByRank: a.ByRank, TopSpans: a.TightSpans,
+		}
+	}
+	return out, nil
+}
+
+// WriteCritPaths writes the merged per-cell critical-path summaries as
+// indented JSON keyed by cell label. Like the metrics and Perfetto
+// merges, the bytes depend only on the executed cell set, never on
+// worker count or completion order (cells are label-sorted and JSON map
+// keys marshal sorted).
+func (e *Engine) WriteCritPaths(w io.Writer) error {
+	m, err := e.CritPaths()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,60 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+)
+
+// critpathArtifact runs the test grid and returns the merged per-cell
+// critical-path summary JSON.
+func critpathArtifact(t *testing.T, workers int) []byte {
+	t.Helper()
+	eng := New(Config{Workers: workers, Telemetry: true})
+	if _, err := eng.PredictAll(testGrid(true)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.WriteCritPaths(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The critical-path summaries are merged like the other telemetry
+// artefacts: byte-identical at any worker count.
+func TestCritPathsDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := critpathArtifact(t, 1)
+	for _, workers := range []int{4, 16} {
+		if got := critpathArtifact(t, workers); !bytes.Equal(got, base) {
+			t.Errorf("critical-path summaries differ between 1 and %d workers", workers)
+		}
+	}
+}
+
+// Every executed cell's summary upholds the structural guarantee: the
+// path length equals that cell's makespan exactly.
+func TestCritPathsMatchCellMakespans(t *testing.T) {
+	eng := New(Config{Workers: 4, Telemetry: true})
+	if _, err := eng.PredictAll(testGrid(true)); err != nil {
+		t.Fatal(err)
+	}
+	sums, err := eng.CritPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) == 0 {
+		t.Fatal("no cell summaries")
+	}
+	for _, lc := range eng.TelemetryCells() {
+		s, ok := sums[lc.Label]
+		if !ok {
+			t.Fatalf("cell %s missing from summaries", lc.Label)
+		}
+		if s.PathLen != s.Makespan {
+			t.Fatalf("cell %s: path length %.17g != makespan %.17g", lc.Label, s.PathLen, s.Makespan)
+		}
+		if s.Makespan != lc.C.Duration() {
+			t.Fatalf("cell %s: makespan %.17g != collector duration %.17g", lc.Label, s.Makespan, lc.C.Duration())
+		}
+	}
+}

@@ -140,6 +140,7 @@ type Cluster struct {
 	up       []*sim.Resource // node -> switch
 	down     []*sim.Resource // switch -> node
 	worlds   int             // worlds launched, for deterministic world naming
+	msgs     int64           // messages started, for causal-probe identity
 }
 
 // NextWorldID numbers the worlds co-scheduled on this cluster, starting
@@ -149,6 +150,14 @@ type Cluster struct {
 func (c *Cluster) NextWorldID() int {
 	c.worlds++
 	return c.worlds
+}
+
+// NextMsgID numbers the messages transferred on this cluster, starting
+// at 1. Cluster-wide (not per-world) numbering keeps the ids unique when
+// several worlds are co-scheduled and share one telemetry sink.
+func (c *Cluster) NextMsgID() int64 {
+	c.msgs++
+	return c.msgs
 }
 
 // loadChunk is the compute granularity of competing load processes. Its

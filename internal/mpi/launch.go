@@ -5,6 +5,7 @@ import (
 
 	"perfskel/internal/cluster"
 	"perfskel/internal/sim"
+	"perfskel/internal/telemetry"
 )
 
 // Launch registers app's ranks on the cluster without driving the engine,
@@ -27,6 +28,9 @@ func Launch(cl *cluster.Cluster, nranks int, cfg Config, mon Monitor, app App) (
 		return nil, fmt.Errorf("mpi: placement has %d entries for %d ranks", len(cfg.Placement), nranks)
 	}
 	w := &World{cl: cl, cfg: cfg, mon: mon}
+	if cp, ok := cfg.Probe.(telemetry.CausalProbe); ok {
+		w.cp = cp
+	}
 	wid := cl.NextWorldID()
 	for r := 0; r < nranks; r++ {
 		node := r % cl.Nodes()

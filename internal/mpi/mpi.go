@@ -81,6 +81,7 @@ type World struct {
 	cl     *cluster.Cluster
 	cfg    Config
 	mon    Monitor
+	cp     telemetry.CausalProbe // Probe's causal extension, when implemented
 	ranks  []*rankState
 	finish float64 // virtual time the last rank finished
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"perfskel/internal/sim"
+	"perfskel/internal/telemetry"
 )
 
 // Wildcards for Recv/Irecv matching.
@@ -47,6 +48,10 @@ type message struct {
 	sreq          *Request // sender's request
 	rreq          *Request // matched receive, nil until matched
 
+	// id identifies the message to the causal probe; assigned when the
+	// transfer starts, zero before.
+	id int64
+
 	// Transfer window for telemetry: the virtual interval the payload
 	// was in motion (latency plus flow). xferEnd stays zero until
 	// delivery.
@@ -59,8 +64,11 @@ func match(req *Request, m *message) bool {
 }
 
 // startTransfer begins the payload movement of m: one-way latency followed
-// by a bandwidth-shared flow across the crossbar path.
-func (w *World) startTransfer(m *message) {
+// by a bandwidth-shared flow across the crossbar path. by is the rank
+// whose call triggered the transfer (the sender for eager messages, the
+// rank that completed the rendezvous match otherwise); the causal probe
+// needs it to anchor the transfer edge on the right rank's timeline.
+func (w *World) startTransfer(m *message, by int) {
 	src, dst := w.ranks[m.src].node, w.ranks[m.dst].node
 	path := w.cl.Path(src, dst)
 	lat := w.cl.PathLatency(src, dst)
@@ -69,6 +77,11 @@ func (w *World) startTransfer(m *message) {
 	}
 	eng := w.cl.Engine
 	m.xferStart = eng.Now()
+	if w.cp != nil {
+		m.id = w.cl.NextMsgID()
+		w.cp.MsgStart(m.id, m.src, m.dst, src, dst, m.tag, m.bytes,
+			w.msgPath(m), m.tag >= collTagBase, by, m.xferStart)
+	}
 	eng.After(lat, func() {
 		if len(path) == 0 {
 			w.delivered(m)
@@ -78,10 +91,21 @@ func (w *World) startTransfer(m *message) {
 	})
 }
 
+// msgPath labels a message's protocol path for the causal probe.
+func (w *World) msgPath(m *message) string {
+	if m.eager {
+		return telemetry.PathEager
+	}
+	return telemetry.PathRendezvous
+}
+
 // delivered runs when the last payload byte reaches the destination.
 func (w *World) delivered(m *message) {
 	m.arrived = true
 	m.xferEnd = w.cl.Engine.Now()
+	if w.cp != nil {
+		w.cp.MsgDeliver(m.id, m.xferEnd)
+	}
 	if !m.eager {
 		// Rendezvous send completes only when the payload is delivered.
 		m.sreq.done.Fire()
@@ -91,13 +115,14 @@ func (w *World) delivered(m *message) {
 	}
 }
 
-// bind matches message m to receive request rreq.
-func (w *World) bind(m *message, rreq *Request) {
+// bind matches message m to receive request rreq; by is the rank whose
+// call performed the match.
+func (w *World) bind(m *message, rreq *Request, by int) {
 	m.rreq = rreq
 	rreq.m = m
 	if !m.eager && !m.arrived {
 		// Rendezvous: the transfer starts once the receive is posted.
-		w.startTransfer(m)
+		w.startTransfer(m, by)
 	}
 	if m.arrived {
 		w.completeRecv(m)
@@ -130,14 +155,14 @@ func (c *Comm) isendRaw(dst, tag int, bytes int64) *Request {
 	if m.eager {
 		// Eager: payload leaves immediately, the send buffer is considered
 		// consumed, and the sender proceeds.
-		w.startTransfer(m)
+		w.startTransfer(m, c.rank)
 		req.done.Fire()
 	}
 	dstState := w.ranks[dst]
 	for i, rr := range dstState.posted {
 		if match(rr, m) {
 			dstState.posted = append(dstState.posted[:i], dstState.posted[i+1:]...)
-			w.bind(m, rr)
+			w.bind(m, rr, c.rank)
 			return req
 		}
 	}
@@ -157,7 +182,7 @@ func (c *Comm) irecvRaw(src, tag int) *Request {
 	for i, m := range st.pending {
 		if match(req, m) {
 			st.pending = append(st.pending[:i], st.pending[i+1:]...)
-			w.bind(m, req)
+			w.bind(m, req, c.rank)
 			return req
 		}
 	}
@@ -189,6 +214,16 @@ func (c *Comm) waitRaw(req *Request) Status {
 			}
 			st.split.Transfer += xfer
 			st.split.Blocked += waited - xfer
+			// A wait that actually parked was released by its matched
+			// message's delivery: the wake time equals the delivery time
+			// exactly, which is what makes the causal DAG tight.
+			if w := c.w; w.cp != nil && req.m != nil && req.m.id != 0 {
+				kind := telemetry.WaitRecv
+				if req.op == OpIsend {
+					kind = telemetry.WaitSend
+				}
+				w.cp.WaitEnd(c.rank, req.m.id, kind, t0, t1)
+			}
 		}
 	}
 	if req.op == OpIrecv {

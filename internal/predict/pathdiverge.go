@@ -1,0 +1,88 @@
+package predict
+
+import (
+	"math"
+
+	"perfskel/internal/telemetry/critpath"
+)
+
+// PathDivergence scores how differently a skeleton's critical path is
+// composed from its application's, in [0, 1]: 0 when both paths spend
+// identical shares of their length on the same activity kinds in the
+// same (normalised) phase regions, 1 when the compositions are
+// disjoint. A faithful skeleton should keep the application's path
+// structure — the same bottlenecks in the same places — even though its
+// absolute length is scaled by K; a skeleton that passes the makespan
+// check but diverges here is right for the wrong reasons.
+//
+// The score is the mean of two total-variation distances: between the
+// per-kind shares of path time, and between the shares over normalised
+// phase position (each run's phases mapped onto [0,1) and resampled
+// into pathDivergenceBuckets segments, mirroring the phase-profile
+// alignment).
+func PathDivergence(app, skel *critpath.Analysis) float64 {
+	return (kindDistance(app, skel) + phaseDistance(app, skel)) / 2
+}
+
+const pathDivergenceBuckets = 10
+
+// kindDistance is the total-variation distance between the two path's
+// per-kind time shares.
+func kindDistance(app, skel *critpath.Analysis) float64 {
+	shares := func(a *critpath.Analysis) map[string]float64 {
+		out := make(map[string]float64, len(a.ByKind))
+		if a.PathLen <= 0 {
+			return out
+		}
+		for _, ks := range a.ByKind {
+			out[ks.Kind] = ks.Seconds / a.PathLen
+		}
+		return out
+	}
+	as, ss := shares(app), shares(skel)
+	tv := 0.0
+	for k, v := range as {
+		tv += math.Abs(v - ss[k])
+	}
+	for k, v := range ss {
+		if _, ok := as[k]; !ok {
+			tv += v
+		}
+	}
+	return tv / 2
+}
+
+// phaseDistance is the total-variation distance between the paths'
+// time shares over normalised phase position.
+func phaseDistance(app, skel *critpath.Analysis) float64 {
+	as := phaseShares(app)
+	ss := phaseShares(skel)
+	tv := 0.0
+	for i := range as {
+		tv += math.Abs(as[i] - ss[i])
+	}
+	return tv / 2
+}
+
+// phaseShares resamples the per-phase path attribution onto the
+// normalised [0,1) axis in pathDivergenceBuckets buckets and returns
+// each bucket's share of the path length.
+func phaseShares(a *critpath.Analysis) []float64 {
+	out := make([]float64, pathDivergenceBuckets)
+	n := len(a.ByPhase)
+	if n == 0 || a.PathLen <= 0 {
+		return out
+	}
+	nb := float64(pathDivergenceBuckets)
+	for i, v := range a.ByPhase {
+		lo := float64(i) / float64(n) * nb
+		hi := float64(i+1) / float64(n) * nb
+		for b := int(lo); b < pathDivergenceBuckets && float64(b) < hi; b++ {
+			overlap := math.Min(hi, float64(b+1)) - math.Max(lo, float64(b))
+			if overlap > 0 {
+				out[b] += v / a.PathLen * overlap / (hi - lo)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package predict
+
+import (
+	"testing"
+
+	"perfskel/internal/telemetry/critpath"
+)
+
+func analysisOf(kinds map[string]float64, byPhase []float64, total float64) *critpath.Analysis {
+	a := &critpath.Analysis{Makespan: total, PathLen: total, ByPhase: byPhase}
+	for k, v := range kinds {
+		a.ByKind = append(a.ByKind, critpath.KindShare{Kind: k, Seconds: v})
+	}
+	return a
+}
+
+func TestPathDivergenceIdentical(t *testing.T) {
+	a := analysisOf(map[string]float64{"compute": 6, "transfer": 4}, []float64{5, 5}, 10)
+	// A path with the same composition at a different scale (the
+	// skeleton runs 1/K as long) must score zero.
+	b := analysisOf(map[string]float64{"compute": 3, "transfer": 2}, []float64{2.5, 2.5}, 5)
+	if d := PathDivergence(a, b); d > 1e-12 {
+		t.Fatalf("identical compositions diverge by %g", d)
+	}
+}
+
+func TestPathDivergenceDisjoint(t *testing.T) {
+	a := analysisOf(map[string]float64{"compute": 10}, []float64{10, 0}, 10)
+	b := analysisOf(map[string]float64{"transfer": 10}, []float64{0, 10}, 10)
+	if d := PathDivergence(a, b); d < 0.99 || d > 1.0+1e-12 {
+		t.Fatalf("disjoint compositions diverge by %g, want ~1", d)
+	}
+}
+
+func TestPathDivergencePartial(t *testing.T) {
+	a := analysisOf(map[string]float64{"compute": 5, "transfer": 5}, []float64{10}, 10)
+	b := analysisOf(map[string]float64{"compute": 10}, []float64{10}, 10)
+	d := PathDivergence(a, b)
+	// Kind distance 0.5, phase distance 0 -> 0.25.
+	if d < 0.24 || d > 0.26 {
+		t.Fatalf("partial divergence = %g, want 0.25", d)
+	}
+	if d2 := PathDivergence(b, a); d2 != d {
+		t.Fatalf("divergence is not symmetric: %g vs %g", d, d2)
+	}
+}

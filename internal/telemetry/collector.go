@@ -23,6 +23,36 @@ type BlockSpan struct {
 	Start, End float64
 }
 
+// MsgRec is one message transfer window: the virtual interval a payload
+// was in motion, with enough identity to pair it with the waits it
+// released. Seq orders causal records in emission order, which within
+// one rank is program order.
+type MsgRec struct {
+	ID         int64
+	Src, Dst   int // ranks
+	SrcNode    int
+	DstNode    int
+	Tag        int
+	Bytes      int64
+	Path       string // PathEager or PathRendezvous
+	Collective bool   // collective-internal traffic
+	By         int    // rank whose call started the transfer
+	Start      float64
+	End        float64 // negative while still in flight
+	Seq        int
+}
+
+// WaitRec is one blocking wait released by a message event: the rank
+// parked at Start and woke at End, which equals the named message's
+// delivery time exactly.
+type WaitRec struct {
+	Rank       int
+	MsgID      int64
+	Op         string // WaitSend or WaitRecv
+	Start, End float64
+	Seq        int
+}
+
 // CounterSample is one point of a utilisation time series (CPU runnable
 // count or link rate).
 type CounterSample struct {
@@ -56,6 +86,10 @@ type Collector struct {
 	openBlock  map[int]int // proc id -> index into blocks of the open span
 	blocks     []BlockSpan
 	spans      []OpSpanRec
+	msgs       []MsgRec
+	msgIdx     map[int64]int // message id -> index into msgs
+	waits      []WaitRec
+	causalSeq  int
 	rankNode   map[int]int
 	rankFinish map[int]float64
 	cpuSeries  map[string][]CounterSample
@@ -69,6 +103,7 @@ func NewCollector() *Collector {
 	return &Collector{
 		Metrics:    NewRegistry(),
 		openBlock:  make(map[int]int),
+		msgIdx:     make(map[int64]int),
 		rankNode:   make(map[int]int),
 		rankFinish: make(map[int]float64),
 		cpuSeries:  make(map[string][]CounterSample),
@@ -198,6 +233,47 @@ func (c *Collector) OpSpan(rank int, op string, collective bool, peer int, bytes
 	}
 }
 
+// MsgStart implements CausalProbe.
+func (c *Collector) MsgStart(id int64, src, dst, srcNode, dstNode, tag int, bytes int64, path string, collective bool, by int, t float64) {
+	c.see(t)
+	c.causalSeq++
+	c.msgIdx[id] = len(c.msgs)
+	c.msgs = append(c.msgs, MsgRec{
+		ID: id, Src: src, Dst: dst, SrcNode: srcNode, DstNode: dstNode,
+		Tag: tag, Bytes: bytes, Path: path, Collective: collective,
+		By: by, Start: t, End: -1, Seq: c.causalSeq,
+	})
+}
+
+// MsgDeliver implements CausalProbe.
+func (c *Collector) MsgDeliver(id int64, t float64) {
+	c.see(t)
+	if i, ok := c.msgIdx[id]; ok {
+		c.msgs[i].End = t
+	}
+}
+
+// WaitEnd implements CausalProbe.
+func (c *Collector) WaitEnd(rank int, msgID int64, op string, start, end float64) {
+	c.see(end)
+	c.causalSeq++
+	c.waits = append(c.waits, WaitRec{Rank: rank, MsgID: msgID, Op: op, Start: start, End: end, Seq: c.causalSeq})
+}
+
+// Messages returns the recorded transfer windows in start order.
+func (c *Collector) Messages() []MsgRec { return c.msgs }
+
+// Waits returns the recorded blocking waits in completion order.
+func (c *Collector) Waits() []WaitRec { return c.waits }
+
+// Message returns the transfer window of message id.
+func (c *Collector) Message(id int64) (MsgRec, bool) {
+	if i, ok := c.msgIdx[id]; ok {
+		return c.msgs[i], true
+	}
+	return MsgRec{}, false
+}
+
 // RankFinish implements MPIProbe.
 func (c *Collector) RankFinish(rank int, t float64) {
 	c.see(t)
@@ -207,6 +283,12 @@ func (c *Collector) RankFinish(rank int, t float64) {
 
 // NRanks returns the number of ranks observed.
 func (c *Collector) NRanks() int { return len(c.rankNode) }
+
+// RankFinishTime returns rank's recorded finish time.
+func (c *Collector) RankFinishTime(rank int) (float64, bool) {
+	t, ok := c.rankFinish[rank]
+	return t, ok
+}
 
 // rankSpans groups the op spans per rank, preserving time order within
 // each rank (spans arrive globally time-ordered, so per-rank order is

@@ -1,0 +1,281 @@
+package critpath
+
+import (
+	"fmt"
+	"sort"
+
+	"perfskel/internal/telemetry"
+)
+
+// Step is one interval of the critical path, in time order. Steps tile
+// [0, makespan] exactly: each step's Start equals the previous step's
+// End bit-for-bit, because consecutive path edges share node times.
+type Step struct {
+	Rank   int     `json:"rank"` // executing rank; transfers carry the source rank
+	Kind   string  `json:"kind"` // "compute", an op name, "transfer" or "align"
+	Phase  int     `json:"phase"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Detail string  `json:"detail,omitempty"` // transfers: "r0->r1 65536B eager"
+}
+
+// Dur returns the step's duration.
+func (s Step) Dur() float64 { return s.End - s.Start }
+
+// KindShare is one attribution row of the path summary.
+type KindShare struct {
+	Kind    string  `json:"kind"`
+	Seconds float64 `json:"seconds"`
+	Pct     float64 `json:"pct"`
+}
+
+// SpanSlack is one op span's scheduling slack: how much the span could
+// stretch without moving the makespan (zero for spans on the path).
+type SpanSlack struct {
+	Rank  int     `json:"rank"`
+	Op    string  `json:"op"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Slack float64 `json:"slack"`
+}
+
+// Analysis is the critical-path summary of one run.
+type Analysis struct {
+	Makespan float64 `json:"makespan"`
+	// PathLen is the critical path's length. It is reported structurally
+	// as the sink's distance from the start — the path's steps tile
+	// [0, makespan] with shared endpoints — so it equals Makespan
+	// bit-for-bit rather than up to float summation error.
+	PathLen float64     `json:"pathlen"`
+	NSteps  int         `json:"nsteps"`
+	Steps   []Step      `json:"steps"`
+	ByKind  []KindShare `json:"bykind"`  // sorted by seconds desc, then kind
+	ByRank  []float64   `json:"byrank"`  // path seconds attributed per rank
+	ByPhase []float64   `json:"byphase"` // path seconds per inter-collective phase
+	// TightSpans lists the least-slack op spans (at most slackTop),
+	// sorted by slack then rank then start.
+	TightSpans []SpanSlack `json:"tightspans,omitempty"`
+
+	critical map[int][]ivl // per rank: merged critical intervals, for span marking
+}
+
+// ivl is a half-open time interval.
+type ivl struct{ a, b float64 }
+
+// slackTop bounds the TightSpans list.
+const slackTop = 20
+
+// Analyze walks the graph's critical path and attributes it per kind,
+// rank and phase, and computes per-span slack.
+func (g *Graph) Analyze() *Analysis {
+	a := &Analysis{
+		Makespan: g.makespan,
+		PathLen:  g.nodes[g.sink].T - g.nodes[g.source].T,
+		ByRank:   make([]float64, g.nranks),
+		critical: make(map[int][]ivl),
+	}
+
+	// The sink's cause: the slowest rank's finish edge (smallest rank on
+	// a bitwise tie, for determinism).
+	cur := -1
+	for _, ei := range g.in[g.sink] {
+		from := g.edges[ei].From
+		if g.nodes[from].T == g.makespan {
+			cur = from
+			break // in[] is built in edge order, which is rank order
+		}
+	}
+	var pathEdges []int
+	for cur >= 0 && cur != g.source {
+		ci := g.cause[cur]
+		pathEdges = append(pathEdges, ci)
+		cur = g.edges[ci].From
+	}
+	// Reverse into chronological order and expand into steps.
+	byKind := map[string]float64{}
+	maxPhase := 0
+	note := func(s Step) {
+		if s.End <= s.Start {
+			return
+		}
+		a.Steps = append(a.Steps, s)
+		byKind[s.Kind] += s.Dur()
+		if s.Rank >= 0 && s.Rank < g.nranks {
+			a.ByRank[s.Rank] += s.Dur()
+		}
+		if s.Phase > maxPhase {
+			maxPhase = s.Phase
+		}
+		a.critical[s.Rank] = append(a.critical[s.Rank], ivl{s.Start, s.End})
+	}
+	for i := len(pathEdges) - 1; i >= 0; i-- {
+		e := g.edges[pathEdges[i]]
+		switch e.Kind {
+		case EdgeLocal:
+			for _, p := range e.Parts {
+				note(Step{Rank: g.nodes[e.To].Rank, Kind: p.Kind, Phase: p.Phase, Start: p.Start, End: p.End})
+			}
+		case EdgeTransfer:
+			m := g.msgs[e.Msg]
+			kind := "transfer"
+			if m.Collective {
+				kind = "align"
+			}
+			note(Step{
+				Rank: m.Src, Kind: kind, Phase: g.phaseAt(m.Src, m.Start),
+				Start: m.Start, End: m.End,
+				Detail: fmt.Sprintf("r%d->r%d %dB %s", m.Src, m.Dst, m.Bytes, m.Path),
+			})
+		case EdgeWake:
+			// Zero duration, but the wait it released was the conduit the
+			// path flowed through: mark its interval critical on the
+			// blocked rank so trace highlighting shows the stall.
+			w := g.waits[e.Wait]
+			a.critical[w.Rank] = append(a.critical[w.Rank], ivl{w.Start, w.End})
+		}
+	}
+	a.NSteps = len(a.Steps)
+
+	for k, v := range byKind {
+		pct := 0.0
+		if a.Makespan > 0 {
+			pct = 100 * v / a.Makespan
+		}
+		a.ByKind = append(a.ByKind, KindShare{Kind: k, Seconds: v, Pct: pct})
+	}
+	sort.Slice(a.ByKind, func(i, j int) bool {
+		if a.ByKind[i].Seconds != a.ByKind[j].Seconds {
+			return a.ByKind[i].Seconds > a.ByKind[j].Seconds
+		}
+		return a.ByKind[i].Kind < a.ByKind[j].Kind
+	})
+	a.ByPhase = make([]float64, maxPhase+1)
+	for _, s := range a.Steps {
+		a.ByPhase[s.Phase] += s.Dur()
+	}
+	for r := range a.critical {
+		a.critical[r] = mergeIvls(a.critical[r])
+	}
+	a.TightSpans = g.spanSlacks()
+	return a
+}
+
+// spanSlacks computes each op span's slack from the node-level backward
+// pass and returns the tightest slackTop spans.
+func (g *Graph) spanSlacks() []SpanSlack {
+	latest := g.latest()
+	// Per rank, chain node ids in time order (they are created in time
+	// order with ascending ids).
+	chain := make([][]int, g.nranks)
+	for _, nd := range g.nodes {
+		if nd.Rank >= 0 {
+			chain[nd.Rank] = append(chain[nd.Rank], nd.ID)
+		}
+	}
+	var out []SpanSlack
+	for _, s := range g.spans {
+		if s.Rank < 0 || s.Rank >= g.nranks {
+			continue
+		}
+		// A span's slack: the minimum node slack over the rank's chain
+		// nodes inside the span window, falling back to the last chain
+		// node at or before the span start.
+		nodes := chain[s.Rank]
+		lo := sort.Search(len(nodes), func(i int) bool { return g.nodes[nodes[i]].T >= s.Start })
+		sl := -1.0
+		probe := func(id int) {
+			v := latest[id] - g.nodes[id].T
+			if v < 0 {
+				v = 0
+			}
+			if sl < 0 || v < sl {
+				sl = v
+			}
+		}
+		for i := lo; i < len(nodes) && g.nodes[nodes[i]].T <= s.End; i++ {
+			probe(nodes[i])
+		}
+		if sl < 0 && lo > 0 {
+			probe(nodes[lo-1])
+		}
+		if sl < 0 {
+			continue
+		}
+		out = append(out, SpanSlack{Rank: s.Rank, Op: s.Op, Start: s.Start, End: s.End, Slack: sl})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Slack != b.Slack {
+			return a.Slack < b.Slack
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Op < b.Op
+	})
+	if len(out) > slackTop {
+		out = out[:slackTop]
+	}
+	return out
+}
+
+// latest computes each node's latest completion time that keeps the
+// makespan, by a backward pass in reverse topological order. Nodes that
+// cannot reach the sink may be delayed until the end of the run.
+func (g *Graph) latest() []float64 {
+	latest := make([]float64, len(g.nodes))
+	for i := range latest {
+		latest[i] = g.makespan
+	}
+	for i := len(g.topo) - 1; i >= 0; i-- {
+		v := g.topo[i]
+		for _, ei := range g.out[v] {
+			e := g.edges[ei]
+			if l := latest[e.To] - e.Dur; l < latest[v] {
+				latest[v] = l
+			}
+		}
+	}
+	return latest
+}
+
+// mergeIvls sorts and coalesces overlapping intervals.
+func mergeIvls(iv []ivl) []ivl {
+	sort.Slice(iv, func(i, j int) bool {
+		if iv[i].a != iv[j].a {
+			return iv[i].a < iv[j].a
+		}
+		return iv[i].b < iv[j].b
+	})
+	out := iv[:0]
+	for _, x := range iv {
+		if n := len(out); n > 0 && x.a <= out[n-1].b {
+			if x.b > out[n-1].b {
+				out[n-1].b = x.b
+			}
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// CriticalMask reports, for each span of spans (the collector's span
+// list, in order), whether it overlaps the critical path on its own
+// rank — the mask the Perfetto exporter uses to give path spans a
+// distinct category.
+func (a *Analysis) CriticalMask(spans []telemetry.OpSpanRec) []bool {
+	mask := make([]bool, len(spans))
+	for i, s := range spans {
+		for _, iv := range a.critical[s.Rank] {
+			if iv.a < s.End && iv.b > s.Start {
+				mask[i] = true
+				break
+			}
+		}
+	}
+	return mask
+}

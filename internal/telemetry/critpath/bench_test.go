@@ -1,0 +1,77 @@
+package critpath_test
+
+import (
+	"sync"
+	"testing"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/nas"
+	"perfskel/internal/telemetry"
+	"perfskel/internal/telemetry/critpath"
+)
+
+// The benchmarks measure the analysis pipeline on a real workload: one
+// instrumented CG class B 4-rank run under the combined scenario,
+// simulated once per process.
+var (
+	cgOnce sync.Once
+	cgCol  *telemetry.Collector
+)
+
+func cgClassB(b *testing.B) *telemetry.Collector {
+	cgOnce.Do(func() {
+		app, err := nas.App("CG", nas.ClassB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col := telemetry.NewCollector()
+		cl := cluster.BuildProbed(cluster.Testbed(4), cluster.Combined(), col)
+		if _, err := mpi.Run(cl, 4, mpi.Config{Probe: col}, nil, app); err != nil {
+			b.Fatal(err)
+		}
+		cgCol = col
+	})
+	if cgCol == nil {
+		b.Fatal("CG class B simulation failed earlier")
+	}
+	return cgCol
+}
+
+func BenchmarkCritpathBuild(b *testing.B) {
+	col := cgClassB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := critpath.Build(col); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCritpathAnalyze(b *testing.B) {
+	col := cgClassB(b)
+	g, err := critpath.Build(col)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Analyze()
+	}
+}
+
+func BenchmarkCritpathWhatIf(b *testing.B) {
+	col := cgClassB(b)
+	g, err := critpath.Build(col)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := critpath.ParseClass("transfer:node=0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.WhatIf(cl, 0.5)
+	}
+}

@@ -1,0 +1,478 @@
+// Package critpath builds the causal activity graph of one simulated
+// run from the telemetry collector's records and computes its critical
+// path, per-span slack, and what-if virtual speedups in the style of
+// causal profiling.
+//
+// The graph is the classic program activity graph of a message-passing
+// execution: per-rank program-order chains, cross-rank transfer edges
+// from the recorded message windows, and wake edges from each delivery
+// to the blocking waits it released. The runtime guarantees a blocked
+// wait wakes at exactly its message's delivery time (the engine does
+// not advance virtual time while woken processes are runnable), so
+// every node in the graph has an incoming edge that is tight by
+// construction — the longest start-to-finish path spans exactly
+// [0, makespan] with no floating-point accumulation, and the reported
+// path length equals the simulated makespan bit-for-bit.
+package critpath
+
+import (
+	"fmt"
+	"sort"
+
+	"perfskel/internal/telemetry"
+)
+
+// NodeKind classifies a graph node.
+type NodeKind int
+
+// Node kinds, in the order node ids are assigned along a rank chain.
+const (
+	NodeSource NodeKind = iota
+	NodeRankStart
+	NodeMsgStart  // a rank's call started a message transfer
+	NodeWaitStart // a rank parked in a blocking wait
+	NodeWaitEnd   // the wait woke (at its message's delivery time)
+	NodeRankFinish
+	NodeDeliver // a message's last payload byte arrived
+	NodeSink
+)
+
+// Node is one event of the causal graph.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	Rank int     // owning rank; -1 for source, sink and deliver nodes
+	T    float64 // virtual time of the event
+	Msg  int     // index into the message records, or -1
+	Wait int     // index into the wait records, or -1
+}
+
+// EdgeKind classifies a graph edge.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	EdgeStart    EdgeKind = iota // source -> rank start, weight 0
+	EdgeLocal                    // consecutive same-rank events: local progress
+	EdgeOrder                    // wait start -> wait end, program order, weight 0
+	EdgeWake                     // delivery -> wait end, weight 0, the causal release
+	EdgeTransfer                 // message start -> delivery, the transfer window
+	EdgeFinish                   // rank finish -> sink, weight 0
+)
+
+// Part attributes one sub-interval of a local edge: time inside an MPI
+// call carries the operation name, gaps between calls are "compute".
+type Part struct {
+	Kind       string
+	Phase      int
+	Start, End float64
+}
+
+// Dur returns the part's duration.
+func (p Part) Dur() float64 { return p.End - p.Start }
+
+// Edge is one causal dependency. Dur is the baseline weight; Order,
+// Wake, Start and Finish edges have weight zero (an Order edge's
+// blocked duration lives in its wait record and only gains weight
+// under a blocked-class what-if).
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+	Dur      float64
+	Msg      int    // transfer/wake: message record index, else -1
+	Wait     int    // order/wake: wait record index, else -1
+	Parts    []Part // local edges: exact attribution tiling [From.T, To.T]
+}
+
+// Graph is the causal activity graph of one run.
+type Graph struct {
+	nodes []Node
+	edges []Edge
+	out   [][]int // node -> outgoing edge indices
+	in    [][]int // node -> incoming edge indices
+	topo  []int   // deterministic topological order of node ids
+
+	source, sink int
+	makespan     float64
+	nranks       int
+
+	msgs     []telemetry.MsgRec
+	waits    []telemetry.WaitRec
+	spans    []telemetry.OpSpanRec
+	collEnds [][]float64 // per rank: sorted collective span end times
+
+	// cause designates each node's tight incoming edge (the structural
+	// critical-path predecessor); -1 for the source and for the sink,
+	// whose cause is resolved against the slowest rank at walk time.
+	cause []int
+}
+
+// Makespan returns the run's parallel execution time: the latest rank
+// finish, which the engine guarantees equals the simulated run time.
+func (g *Graph) Makespan() float64 { return g.makespan }
+
+// NRanks returns the number of ranks in the graph.
+func (g *Graph) NRanks() int { return g.nranks }
+
+// NNodes returns the node count.
+func (g *Graph) NNodes() int { return len(g.nodes) }
+
+// NEdges returns the edge count.
+func (g *Graph) NEdges() int { return len(g.edges) }
+
+// Nodes returns the graph's nodes in id order.
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Edges returns the graph's edges.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// chain event: one causal record anchored on a rank's timeline.
+type chainEv struct {
+	seq  int
+	wait int // wait record index, or -1
+	msg  int // message record index, or -1
+}
+
+// Build constructs the causal graph from one collector's records and
+// validates its tightness invariants. The collector must have observed
+// exactly one world (one mpi.Run or Launch); co-scheduled worlds share
+// rank numbers and would interleave on the per-rank chains.
+func Build(c *telemetry.Collector) (*Graph, error) {
+	g := &Graph{
+		msgs:  c.Messages(),
+		waits: c.Waits(),
+		spans: c.Spans(),
+	}
+	g.nranks = c.NRanks()
+	for _, w := range g.waits {
+		if w.Rank >= g.nranks {
+			g.nranks = w.Rank + 1
+		}
+	}
+	if g.nranks == 0 {
+		return nil, fmt.Errorf("critpath: collector observed no ranks")
+	}
+	finish := make([]float64, g.nranks)
+	for r := 0; r < g.nranks; r++ {
+		t, ok := c.RankFinishTime(r)
+		if !ok {
+			return nil, fmt.Errorf("critpath: rank %d never finished", r)
+		}
+		finish[r] = t
+		if t > g.makespan {
+			g.makespan = t
+		}
+	}
+
+	// Per-rank causal events in emission order, which within one rank is
+	// program order (ranks are single-threaded coroutines).
+	events := make([][]chainEv, g.nranks)
+	for i, m := range g.msgs {
+		if m.By < 0 || m.By >= g.nranks {
+			return nil, fmt.Errorf("critpath: message %d started by invalid rank %d", m.ID, m.By)
+		}
+		events[m.By] = append(events[m.By], chainEv{seq: m.Seq, wait: -1, msg: i})
+	}
+	for i, w := range g.waits {
+		events[w.Rank] = append(events[w.Rank], chainEv{seq: w.Seq, wait: i, msg: -1})
+	}
+	for r := range events {
+		evs := events[r]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].seq < evs[j].seq })
+	}
+	g.buildPhases()
+
+	rankSpans := make([][]telemetry.OpSpanRec, g.nranks)
+	for _, s := range g.spans {
+		if s.Rank >= 0 && s.Rank < g.nranks {
+			rankSpans[s.Rank] = append(rankSpans[s.Rank], s)
+		}
+	}
+
+	addNode := func(kind NodeKind, rank int, t float64, msg, wait int) int {
+		id := len(g.nodes)
+		g.nodes = append(g.nodes, Node{ID: id, Kind: kind, Rank: rank, T: t, Msg: msg, Wait: wait})
+		return id
+	}
+	addEdge := func(from, to int, kind EdgeKind, dur float64, msg, wait int) int {
+		ei := len(g.edges)
+		g.edges = append(g.edges, Edge{From: from, To: to, Kind: kind, Dur: dur, Msg: msg, Wait: wait})
+		return ei
+	}
+
+	g.source = addNode(NodeSource, -1, 0, -1, -1)
+	msgStartNode := make([]int, len(g.msgs)) // message index -> its start anchor
+	waitEndNode := make([]int, len(g.waits)) // wait index -> its wake node
+	type pendingCause struct{ node, edge int }
+	var causes []pendingCause // (node, cause edge) pairs, resolved after sizing
+
+	for r := 0; r < g.nranks; r++ {
+		prev := addNode(NodeRankStart, r, 0, -1, -1)
+		prevT := 0.0
+		causes = append(causes, pendingCause{prev, addEdge(g.source, prev, EdgeStart, 0, -1, -1)})
+		emitLocal := func(to int, t float64) error {
+			if t < prevT {
+				return fmt.Errorf("critpath: rank %d chain time goes backwards (%.9g after %.9g)", r, t, prevT)
+			}
+			ei := addEdge(prev, to, EdgeLocal, t-prevT, -1, -1)
+			g.edges[ei].Parts = g.localParts(r, prevT, t, rankSpans[r])
+			causes = append(causes, pendingCause{to, ei})
+			prev, prevT = to, t
+			return nil
+		}
+		for _, ev := range events[r] {
+			if ev.msg >= 0 {
+				m := g.msgs[ev.msg]
+				n := addNode(NodeMsgStart, r, m.Start, ev.msg, -1)
+				if err := emitLocal(n, m.Start); err != nil {
+					return nil, err
+				}
+				msgStartNode[ev.msg] = n
+				continue
+			}
+			w := g.waits[ev.wait]
+			ws := addNode(NodeWaitStart, r, w.Start, -1, ev.wait)
+			if err := emitLocal(ws, w.Start); err != nil {
+				return nil, err
+			}
+			we := addNode(NodeWaitEnd, r, w.End, -1, ev.wait)
+			if w.End < w.Start {
+				return nil, fmt.Errorf("critpath: rank %d wait ends before it starts", r)
+			}
+			addEdge(ws, we, EdgeOrder, 0, -1, ev.wait)
+			waitEndNode[ev.wait] = we
+			prev, prevT = we, w.End
+		}
+		fin := addNode(NodeRankFinish, r, finish[r], -1, -1)
+		if err := emitLocal(fin, finish[r]); err != nil {
+			return nil, err
+		}
+		addEdge(fin, g.sinkPlaceholder(), EdgeFinish, 0, -1, -1)
+	}
+
+	// Deliver nodes and transfer edges, in message id order. A message
+	// still in flight at run end (sent but never received before every
+	// rank returned) gets no deliver node.
+	deliverNode := make(map[int64]int, len(g.msgs))
+	msgIdx := make(map[int64]int, len(g.msgs))
+	for i, m := range g.msgs {
+		msgIdx[m.ID] = i
+		if m.End < 0 {
+			continue
+		}
+		if m.End < m.Start {
+			return nil, fmt.Errorf("critpath: message %d delivered before it started", m.ID)
+		}
+		n := addNode(NodeDeliver, -1, m.End, i, -1)
+		causes = append(causes, pendingCause{n, addEdge(msgStartNode[i], n, EdgeTransfer, m.End-m.Start, i, -1)})
+		deliverNode[m.ID] = n
+	}
+	// Wake edges: the delivery releases the waits blocked on the message.
+	for i, w := range g.waits {
+		dn, ok := deliverNode[w.MsgID]
+		if !ok {
+			return nil, fmt.Errorf("critpath: rank %d wait woken by unknown or undelivered message %d", w.Rank, w.MsgID)
+		}
+		if m := g.nodes[dn]; m.T != w.End {
+			return nil, fmt.Errorf("critpath: rank %d wake at %.12g but message %d delivered at %.12g",
+				w.Rank, w.End, w.MsgID, m.T)
+		}
+		causes = append(causes, pendingCause{waitEndNode[i], addEdge(dn, waitEndNode[i], EdgeWake, 0, msgIdx[w.MsgID], i)})
+	}
+	g.sink = addNode(NodeSink, -1, g.makespan, -1, -1)
+	for ei := range g.edges {
+		if g.edges[ei].Kind == EdgeFinish {
+			g.edges[ei].To = g.sink
+		}
+	}
+
+	g.cause = make([]int, len(g.nodes))
+	for i := range g.cause {
+		g.cause[i] = -1
+	}
+	for _, pc := range causes {
+		g.cause[pc.node] = pc.edge
+	}
+
+	g.index()
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// sinkPlaceholder returns a provisional sink id; finish edges are
+// re-targeted once the real sink node exists.
+func (g *Graph) sinkPlaceholder() int { return -1 }
+
+// buildPhases records, per rank, the sorted end times of its collective
+// spans: the phase of time t is the number of collective ends <= t,
+// matching the inter-collective phase segmentation of the profiles.
+func (g *Graph) buildPhases() {
+	g.collEnds = make([][]float64, g.nranks)
+	for _, s := range g.spans {
+		if s.Collective && s.Rank >= 0 && s.Rank < g.nranks {
+			g.collEnds[s.Rank] = append(g.collEnds[s.Rank], s.End)
+		}
+	}
+	for r := range g.collEnds {
+		sort.Float64s(g.collEnds[r])
+	}
+}
+
+// phaseAt returns the phase index of time t on rank r: the number of
+// the rank's collective ends at or before t.
+func (g *Graph) phaseAt(r int, t float64) int {
+	if r < 0 || r >= g.nranks {
+		return 0
+	}
+	ends := g.collEnds[r]
+	return sort.Search(len(ends), func(i int) bool { return ends[i] > t })
+}
+
+// localParts tiles a local edge's interval [t0, t1] on rank r into
+// attribution parts: the overlap with each op span carries the op name,
+// uncovered gaps are "compute". spans is the rank's span list in time
+// order; parts tile the interval exactly (shared float endpoints).
+func (g *Graph) localParts(r int, t0, t1 float64, spans []telemetry.OpSpanRec) []Part {
+	if t1 <= t0 {
+		return nil
+	}
+	var parts []Part
+	emit := func(kind string, a, b float64) {
+		if b > a {
+			parts = append(parts, Part{Kind: kind, Phase: g.phaseAt(r, a), Start: a, End: b})
+		}
+	}
+	cur := t0
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].End > t0 })
+	for ; i < len(spans) && spans[i].Start < t1; i++ {
+		s := spans[i]
+		a, b := s.Start, s.End
+		if a < cur {
+			a = cur
+		}
+		if b > t1 {
+			b = t1
+		}
+		emit("compute", cur, a)
+		emit(s.Op, a, b)
+		if b > cur {
+			cur = b
+		}
+	}
+	emit("compute", cur, t1)
+	return parts
+}
+
+// index builds adjacency lists and a deterministic topological order
+// (Kahn's algorithm with a min-heap on node id: ids are assigned in a
+// canonical order, so equal-indegree fronts resolve identically on
+// every run).
+func (g *Graph) index() {
+	n := len(g.nodes)
+	g.out = make([][]int, n)
+	g.in = make([][]int, n)
+	indeg := make([]int, n)
+	for ei, e := range g.edges {
+		g.out[e.From] = append(g.out[e.From], ei)
+		g.in[e.To] = append(g.in[e.To], ei)
+		indeg[e.To]++
+	}
+	h := &intHeap{}
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			h.push(v)
+		}
+	}
+	g.topo = make([]int, 0, n)
+	for h.len() > 0 {
+		v := h.pop()
+		g.topo = append(g.topo, v)
+		for _, ei := range g.out[v] {
+			to := g.edges[ei].To
+			if indeg[to]--; indeg[to] == 0 {
+				h.push(to)
+			}
+		}
+	}
+}
+
+// validate checks the structural tightness invariants Build relies on:
+// the graph is acyclic, no event lies past the makespan, and every
+// non-source node has a designated cause edge whose endpoints carry
+// equal distance-from-start (bit-for-bit, because local and transfer
+// cause edges span real elapsed time and wake edges join equal times).
+func (g *Graph) validate() error {
+	if len(g.topo) != len(g.nodes) {
+		return fmt.Errorf("critpath: causal graph has a cycle (%d of %d nodes ordered)", len(g.topo), len(g.nodes))
+	}
+	for _, nd := range g.nodes {
+		if nd.T > g.makespan {
+			return fmt.Errorf("critpath: node %d at %.12g past makespan %.12g", nd.ID, nd.T, g.makespan)
+		}
+		if nd.ID == g.source || nd.ID == g.sink {
+			continue
+		}
+		ci := g.cause[nd.ID]
+		if ci < 0 {
+			return fmt.Errorf("critpath: node %d (kind %d) has no cause edge", nd.ID, nd.Kind)
+		}
+		e := g.edges[ci]
+		switch e.Kind {
+		case EdgeWake, EdgeStart:
+			if g.nodes[e.From].T != nd.T {
+				return fmt.Errorf("critpath: zero-weight cause edge into node %d joins unequal times", nd.ID)
+			}
+		case EdgeLocal, EdgeTransfer:
+			if g.nodes[e.From].T > nd.T {
+				return fmt.Errorf("critpath: cause edge into node %d goes backwards in time", nd.ID)
+			}
+		default:
+			return fmt.Errorf("critpath: node %d caused by non-tight edge kind %d", nd.ID, e.Kind)
+		}
+	}
+	return nil
+}
+
+// intHeap is a small min-heap of node ids.
+type intHeap struct{ v []int }
+
+func (h *intHeap) len() int { return len(h.v) }
+
+func (h *intHeap) push(x int) {
+	h.v = append(h.v, x)
+	i := len(h.v) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.v[p] <= h.v[i] {
+			break
+		}
+		h.v[p], h.v[i] = h.v[i], h.v[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	top := h.v[0]
+	last := len(h.v) - 1
+	h.v[0] = h.v[last]
+	h.v = h.v[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.v) && h.v[l] < h.v[small] {
+			small = l
+		}
+		if r < len(h.v) && h.v[r] < h.v[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.v[i], h.v[small] = h.v[small], h.v[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,112 @@
+package critpath_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"perfskel/internal/telemetry"
+	"perfskel/internal/telemetry/critpath"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// syntheticCollector hand-feeds a two-rank execution through the probe
+// interfaces: rank 0 computes, rendezvous-sends 1 MiB to rank 1
+// (window [1.0, 2.0]), both ranks block on the delivery, rank 1
+// computes one more second. The critical path is fully known: compute
+// on rank 0, the send call, the transfer, compute on rank 1.
+func syntheticCollector() *telemetry.Collector {
+	c := telemetry.NewCollector()
+	c.ScenarioStart("synthetic", 2)
+	c.RankStart(0, 0)
+	c.RankStart(1, 1)
+	c.MsgStart(1, 0, 1, 0, 1, 5, 1<<20, telemetry.PathRendezvous, false, 0, 1.0)
+	c.MsgDeliver(1, 2.0)
+	c.WaitEnd(0, 1, telemetry.WaitSend, 1.0, 2.0)
+	c.WaitEnd(1, 1, telemetry.WaitRecv, 0.5, 2.0)
+	c.OpSpan(0, "Send", false, 1, 1<<20, 5, telemetry.PathRendezvous, 0.9, 2.0,
+		telemetry.Split{Compute: 0.1, Transfer: 1.0})
+	c.OpSpan(1, "Recv", false, 0, 1<<20, 5, telemetry.PathRendezvous, 0.4, 2.0,
+		telemetry.Split{Compute: 0.1, Blocked: 0.5, Transfer: 1.0})
+	c.RankFinish(0, 2.0)
+	c.RankFinish(1, 3.0)
+	return c
+}
+
+func TestSyntheticGolden(t *testing.T) {
+	g, err := critpath.Build(syntheticCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.Analyze()
+	if a.PathLen != 3.0 {
+		t.Fatalf("synthetic path length %.17g, want 3", a.PathLen)
+	}
+	specs := []critpath.WhatIfSpec{}
+	for _, s := range []string{"transfer@0.5", "compute:rank=1@0.5", "blocked:rank=1@0"} {
+		sp, err := critpath.ParseSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, sp)
+	}
+	got := a.Render(10) + "\n" + critpath.RenderSensitivities(g.Sensitivities(specs))
+
+	path := filepath.Join("testdata", "synthetic.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("golden mismatch (run with -update to regenerate):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestSyntheticWhatIfValues(t *testing.T) {
+	g, err := critpath.Build(syntheticCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Halving the transfer window removes 0.5 s from the 3 s path.
+	cl, _ := critpath.ParseClass("transfer")
+	if got := g.WhatIf(cl, 0.5); got != 2.5 {
+		t.Fatalf("transfer@0.5 = %.17g, want 2.5", got)
+	}
+	// Halving rank 1's compute halves its trailing second (its early
+	// compute is off-path and cannot move the makespan).
+	cl, _ = critpath.ParseClass("compute:rank=1")
+	if got := g.WhatIf(cl, 0.5); got != 2.5 {
+		t.Fatalf("compute:rank=1@0.5 = %.17g, want 2.5", got)
+	}
+	// Eliminating rank 1's blocking frees it from the delivery entirely
+	// (the causal-profiling hypothetical): rank 1 would finish at 1.5,
+	// and rank 0 — still synchronising on the real transfer — at 2.0.
+	cl, _ = critpath.ParseClass("blocked:rank=1")
+	if got := g.WhatIf(cl, 0); got != 2.0 {
+		t.Fatalf("blocked:rank=1@0 = %.17g, want 2", got)
+	}
+}
+
+func TestCriticalMask(t *testing.T) {
+	col := syntheticCollector()
+	g, err := critpath.Build(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := g.Analyze().CriticalMask(col.Spans())
+	// Both spans touch the path: rank 0's Send contains the send call
+	// and the transfer window; rank 1's Recv is the wait the path woke.
+	if len(mask) != 2 || !mask[0] || !mask[1] {
+		t.Fatalf("critical mask = %v, want both spans marked", mask)
+	}
+}

@@ -1,0 +1,89 @@
+package critpath
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"perfskel/internal/telemetry"
+)
+
+// Render returns the analysis as an aligned plain-text report: the
+// headline, attribution by kind, rank and phase, and the top path steps
+// by duration. top bounds the step table (0 picks 20); the table is
+// sorted by duration descending with time-order tie-breaks, so the
+// output is byte-deterministic.
+func (a *Analysis) Render(top int) string {
+	if top <= 0 {
+		top = 20
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path: %s makespan, %d steps (path length == makespan, structural)\n",
+		telemetry.SecondsPrec(a.Makespan, 6), a.NSteps)
+	b.WriteString("by kind:\n")
+	for _, ks := range a.ByKind {
+		fmt.Fprintf(&b, "  %-12s %s  (%6s)\n", ks.Kind, telemetry.SecondsPrec(ks.Seconds, 6), telemetry.Pct(ks.Pct))
+	}
+	b.WriteString("by rank:\n")
+	for r, v := range a.ByRank {
+		pct := 0.0
+		if a.Makespan > 0 {
+			pct = 100 * v / a.Makespan
+		}
+		fmt.Fprintf(&b, "  rank %-7d %s  (%6s)\n", r, telemetry.SecondsPrec(v, 6), telemetry.Pct(pct))
+	}
+	b.WriteString("by phase:\n")
+	for p, v := range a.ByPhase {
+		pct := 0.0
+		if a.Makespan > 0 {
+			pct = 100 * v / a.Makespan
+		}
+		fmt.Fprintf(&b, "  phase %-6d %s  (%6s)\n", p, telemetry.SecondsPrec(v, 6), telemetry.Pct(pct))
+	}
+
+	idx := make([]int, len(a.Steps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		si, sj := a.Steps[idx[i]], a.Steps[idx[j]]
+		if si.Dur() != sj.Dur() {
+			return si.Dur() > sj.Dur()
+		}
+		return idx[i] < idx[j] // time order breaks duration ties
+	})
+	if len(idx) > top {
+		idx = idx[:top]
+	}
+	fmt.Fprintf(&b, "top %d steps by duration:\n", len(idx))
+	fmt.Fprintf(&b, "  %-5s %-12s %-6s %-12s %-12s %s\n", "rank", "kind", "phase", "start", "dur", "detail")
+	for _, i := range idx {
+		s := a.Steps[i]
+		fmt.Fprintf(&b, "  %-5d %-12s %-6d %-12.6f %-12.6f %s\n",
+			s.Rank, s.Kind, s.Phase, s.Start, s.Dur(), s.Detail)
+	}
+	if len(a.TightSpans) > 0 {
+		tight := a.TightSpans
+		if len(tight) > top {
+			tight = tight[:top]
+		}
+		b.WriteString("tightest op spans (least slack):\n")
+		fmt.Fprintf(&b, "  %-5s %-12s %-12s %s\n", "rank", "op", "start", "slack")
+		for _, ss := range tight {
+			fmt.Fprintf(&b, "  %-5d %-12s %-12.6f %.9f\n", ss.Rank, ss.Op, ss.Start, ss.Slack)
+		}
+	}
+	return b.String()
+}
+
+// RenderSensitivities returns a what-if table as aligned plain text.
+func RenderSensitivities(rows []Sensitivity) string {
+	var b strings.Builder
+	b.WriteString("what-if virtual speedups (longest path over adjusted weights):\n")
+	fmt.Fprintf(&b, "  %-36s %-8s %-14s %-14s %s\n", "class", "factor", "baseline", "predicted", "delta")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-36s %-8.3f %-14.6f %-14.6f %7s\n",
+			r.Class, r.Factor, r.Baseline, r.Predicted, telemetry.SignedPct(r.DeltaPct))
+	}
+	return b.String()
+}

@@ -79,7 +79,7 @@ func TestCGPerfettoIsValidTraceEventJSON(t *testing.T) {
 	if err := json.Unmarshal(raw, &f); err != nil {
 		t.Fatalf("export is not valid trace-event JSON: %v", err)
 	}
-	spans, counters := 0, 0
+	spans, counters, flowS, flowF := 0, 0, 0, 0
 	for _, e := range f.TraceEvents {
 		switch e.Ph {
 		case "M":
@@ -87,6 +87,10 @@ func TestCGPerfettoIsValidTraceEventJSON(t *testing.T) {
 			spans++
 		case "C":
 			counters++
+		case "s":
+			flowS++
+		case "f":
+			flowF++
 		default:
 			t.Fatalf("unexpected event phase %q", e.Ph)
 		}
@@ -96,6 +100,11 @@ func TestCGPerfettoIsValidTraceEventJSON(t *testing.T) {
 	}
 	if spans == 0 || counters == 0 {
 		t.Fatalf("trace missing spans (%d) or counters (%d)", spans, counters)
+	}
+	// Flow arrows come in matched start/finish pairs, one per delivered
+	// cross-rank point-to-point message.
+	if flowS == 0 || flowS != flowF {
+		t.Fatalf("unbalanced flow events: %d starts, %d finishes", flowS, flowF)
 	}
 	// Every recorded MPI op span appears in the export.
 	if spans < len(col.Spans()) {

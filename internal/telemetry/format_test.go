@@ -1,0 +1,51 @@
+package telemetry
+
+import "testing"
+
+func TestSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{0, "0.0000 s"},
+		{1.23456789, "1.2346 s"},
+		{-0.5, "-0.5000 s"},
+	} {
+		if got := Seconds(tc.in); got != tc.want {
+			t.Errorf("Seconds(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSecondsPrec(t *testing.T) {
+	if got := SecondsPrec(1.23456789, 6); got != "1.234568 s" {
+		t.Errorf("SecondsPrec(1.23456789, 6) = %q", got)
+	}
+	if got := SecondsPrec(2, 1); got != "2.0 s" {
+		t.Errorf("SecondsPrec(2, 1) = %q", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(45.25); got != "45.2%" {
+		t.Errorf("Pct(45.25) = %q", got)
+	}
+	if got := Pct(0); got != "0.0%" {
+		t.Errorf("Pct(0) = %q", got)
+	}
+}
+
+func TestSignedPct(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{3.251, "+3.25%"},
+		{-12.5, "-12.50%"},
+		{0, "+0.00%"},
+	} {
+		if got := SignedPct(tc.in); got != tc.want {
+			t.Errorf("SignedPct(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

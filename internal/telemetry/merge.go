@@ -64,6 +64,11 @@ func WriteMergedPerfetto(w io.Writer, cells []LabeledCollector) error {
 					ev.Args = raw
 				}
 			}
+			if ev.ID != "" {
+				// Flow ids are unique per cell only; prefix with the cell
+				// index so arrows never bind across cells.
+				ev.ID = fmt.Sprintf("c%d.%s", i, ev.ID)
+			}
 			all = append(all, ev)
 		}
 	}

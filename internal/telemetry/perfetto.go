@@ -33,7 +33,10 @@ const (
 // pointers or omitempty so unused ones vanish from the output.
 type traceEvent struct {
 	Name string          `json:"name"`
+	Cat  string          `json:"cat,omitempty"`
 	Ph   string          `json:"ph"`
+	ID   string          `json:"id,omitempty"` // flow binding id
+	BP   string          `json:"bp,omitempty"` // flow binding point
 	Pid  int             `json:"pid"`
 	Tid  int             `json:"tid"`
 	Ts   float64         `json:"ts"`
@@ -76,8 +79,25 @@ func metaEvent(pid, tid int, ph, name string) traceEvent {
 	return traceEvent{Name: ph, Ph: "M", Pid: pid, Tid: tid, Args: raw}
 }
 
+type flowArgs struct {
+	Bytes int64  `json:"bytes"`
+	Path  string `json:"path,omitempty"`
+}
+
 // PerfettoEvents renders the collector's records as trace events.
 func (c *Collector) PerfettoEvents() []traceEvent {
+	return c.perfettoEvents(nil)
+}
+
+// PerfettoCriticalEvents renders the trace with the spans selected by
+// critical (a mask over Spans(), as produced by the critical-path
+// analysis) carrying the "critical" category, so the UI can highlight
+// the path.
+func (c *Collector) PerfettoCriticalEvents(critical []bool) []traceEvent {
+	return c.perfettoEvents(critical)
+}
+
+func (c *Collector) perfettoEvents(critical []bool) []traceEvent {
 	var evs []traceEvent
 
 	// Metadata: process and thread names.
@@ -99,16 +119,42 @@ func (c *Collector) PerfettoEvents() []traceEvent {
 	}
 
 	// MPI operation spans.
-	for _, s := range c.spans {
+	for i, s := range c.spans {
 		dur := usec(s.End - s.Start)
 		raw, _ := json.Marshal(spanArgs{
 			Peer: s.Peer, Bytes: s.Bytes, Tag: s.Tag, Path: s.Path,
 			Compute: s.Split.Compute, Blocked: s.Split.Blocked, Transfer: s.Split.Transfer,
 		})
+		cat := ""
+		if i < len(critical) && critical[i] {
+			cat = "critical"
+		}
 		evs = append(evs, traceEvent{
-			Name: s.Op, Ph: "X", Pid: perfettoPidRanks, Tid: s.Rank,
+			Name: s.Op, Cat: cat, Ph: "X", Pid: perfettoPidRanks, Tid: s.Rank,
 			Ts: usec(s.Start), Dur: &dur, Args: raw,
 		})
+	}
+
+	// Flow arrows for cross-rank message transfers: start on the sender's
+	// track when the payload leaves, finish on the receiver's track at
+	// delivery (bp "e" binds to the enclosing slice's end). Collective-
+	// internal traffic is skipped to keep the arrow count readable.
+	for _, m := range c.msgs {
+		if m.End < 0 || m.Src == m.Dst || m.Collective {
+			continue
+		}
+		raw, _ := json.Marshal(flowArgs{Bytes: m.Bytes, Path: m.Path})
+		id := fmt.Sprintf("m%d", m.ID)
+		evs = append(evs,
+			traceEvent{
+				Name: "msg", Cat: "msg", Ph: "s", ID: id,
+				Pid: perfettoPidRanks, Tid: m.Src, Ts: usec(m.Start), Args: raw,
+			},
+			traceEvent{
+				Name: "msg", Cat: "msg", Ph: "f", BP: "e", ID: id,
+				Pid: perfettoPidRanks, Tid: m.Dst, Ts: usec(m.End), Args: raw,
+			},
+		)
 	}
 
 	// Proc blocked intervals. Spans still open (deadlocked or daemon
@@ -159,7 +205,17 @@ func (c *Collector) PerfettoEvents() []traceEvent {
 
 // WritePerfetto writes the Chrome trace-event JSON file to w.
 func (c *Collector) WritePerfetto(w io.Writer) error {
-	f := perfettoFile{DisplayTimeUnit: "ms", TraceEvents: c.PerfettoEvents()}
+	return c.writePerfetto(w, nil)
+}
+
+// WritePerfettoCritical writes the trace with critical-path spans (per
+// the mask over Spans()) carrying the "critical" category.
+func (c *Collector) WritePerfettoCritical(w io.Writer, critical []bool) error {
+	return c.writePerfetto(w, critical)
+}
+
+func (c *Collector) writePerfetto(w io.Writer, critical []bool) error {
+	f := perfettoFile{DisplayTimeUnit: "ms", TraceEvents: c.perfettoEvents(critical)}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(f)

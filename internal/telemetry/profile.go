@@ -240,8 +240,8 @@ func distribute(phases []Phase, buckets []DiffBucket, scale float64, pred bool) 
 func (r *DiffReport) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "skeleton-vs-application profile diff (ratio %.4f)\n", r.Ratio)
-	fmt.Fprintf(&b, "predicted %.4f s (skeleton %.4f s x %.4f), actual %.4f s: error %+.2f%%\n\n",
-		r.Predicted, r.SkelTime, r.Ratio, r.AppTime, r.ErrorPct)
+	fmt.Fprintf(&b, "predicted %s (skeleton %s x %.4f), actual %s: error %s\n\n",
+		Seconds(r.Predicted), Seconds(r.SkelTime), r.Ratio, Seconds(r.AppTime), SignedPct(r.ErrorPct))
 	d := r.Total.Delta()
 	absSum := math.Abs(d.Compute) + math.Abs(d.Comm) + math.Abs(d.Blocked)
 	b.WriteString("error attribution (rank-seconds, predicted - actual):\n")
@@ -253,7 +253,7 @@ func (r *DiffReport) Render() string {
 		if absSum > 0 {
 			share = 100 * math.Abs(row.v) / absSum
 		}
-		fmt.Fprintf(&b, "  %-8s %+12.6f  (%5.1f%% of divergence)\n", row.name, row.v, share)
+		fmt.Fprintf(&b, "  %-8s %+12.6f  (%6s of divergence)\n", row.name, row.v, Pct(share))
 	}
 	fmt.Fprintf(&b, "\n%-28s %30s %30s %12s\n", "region", "app comp/comm/blk", "pred comp/comm/blk", "delta")
 	rows := append(r.Buckets, r.Total)

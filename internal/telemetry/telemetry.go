@@ -121,6 +121,42 @@ type MPIProbe interface {
 	RankFinish(rank int, t float64)
 }
 
+// CausalProbe is an optional extension of MPIProbe. A runtime that can
+// attribute message transfer windows and the causes of blocking waits
+// reports them here, giving the critical-path layer
+// (internal/telemetry/critpath) the cross-rank edges of the causal DAG.
+// The three events obey an exactness contract the critical path rests
+// on: a message's delivery time is entirely determined by its transfer
+// window (MsgDeliver.t == MsgStart.t plus latency and flow time), and a
+// blocking wait ends exactly when the message it names is delivered
+// (WaitEnd.end == that message's MsgDeliver.t). Implementations are
+// discovered by type assertion on Config.Probe, so plain MPIProbe sinks
+// keep working unchanged.
+type CausalProbe interface {
+	// MsgStart reports that message id's payload began moving at time t:
+	// src/dst are ranks, srcNode/dstNode their placements, path is
+	// PathEager or PathRendezvous, collective marks collective-internal
+	// traffic (the DAG's collective-alignment edges), and by is the rank
+	// whose call triggered the transfer (the sender for eager sends, the
+	// rank that completed the rendezvous match otherwise).
+	MsgStart(id int64, src, dst, srcNode, dstNode, tag int, bytes int64, path string, collective bool, by int, t float64)
+	// MsgDeliver reports that message id's last payload byte arrived at
+	// time t.
+	MsgDeliver(id int64, t float64)
+	// WaitEnd reports one blocking wait on rank that parked at start and
+	// woke at end because message msgID completed: op is "send" when the
+	// wait was for the rank's own rendezvous send to drain, "recv" when
+	// it was for an inbound message. Waits that never park (the request
+	// had already completed) are not reported.
+	WaitEnd(rank int, msgID int64, op string, start, end float64)
+}
+
+// Wait kinds reported by CausalProbe.WaitEnd.
+const (
+	WaitSend = "send"
+	WaitRecv = "recv"
+)
+
 // ClusterProbe observes testbed construction: the scenario applied and
 // the competing contenders (load processes, cross-traffic generators) it
 // spawns.

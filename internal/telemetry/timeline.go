@@ -29,8 +29,8 @@ func (c *Collector) RankTimeline(width int) string {
 	}
 	dt := total / float64(width)
 	var b strings.Builder
-	fmt.Fprintf(&b, "rank timeline: %.6f s total, %.6f s per column ('#' compute, 'x' transfer, 'b' blocked, '-' other MPI, '.' idle)\n",
-		total, dt)
+	fmt.Fprintf(&b, "rank timeline: %s total, %s per column ('#' compute, 'x' transfer, 'b' blocked, '-' other MPI, '.' idle)\n",
+		SecondsPrec(total, 6), SecondsPrec(dt, 6))
 	for rank, spans := range per {
 		// Four accumulators per bucket: compute, transfer, blocked, other.
 		comp := make([]float64, width)

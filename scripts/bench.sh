@@ -99,3 +99,30 @@ END {
 
 echo "==> wrote $out"
 cat "$out"
+
+# Critical-path profiler: graph construction, analysis and a what-if
+# recomputation over the CG class B 4-rank combined run (the run itself
+# is simulated once and shared). Writes BENCH_critpath.json.
+out=BENCH_critpath.json
+
+echo "==> go test -bench Critpath(Build|Analyze|WhatIf) (count=$count)"
+go test -run xxx -bench 'BenchmarkCritpath(Build|Analyze|WhatIf)$' \
+    -benchmem -count "$count" "$@" ./internal/telemetry/critpath/ | tee /tmp/bench_critpath.txt
+
+awk '
+/^BenchmarkCritpathBuild/   { bld += $3; nbld++ }
+/^BenchmarkCritpathAnalyze/ { ana += $3; nana++ }
+/^BenchmarkCritpathWhatIf/  { wi  += $3; nwi++  }
+END {
+    if (nbld == 0 || nana == 0 || nwi == 0) { print "no benchmark output" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"benchmark\": \"critical path on CG class B, 4 ranks, combined\",\n"
+    printf "  \"runs\": %d,\n", nbld
+    printf "  \"build_ns_op\": %.0f,\n", bld / nbld
+    printf "  \"analyze_ns_op\": %.0f,\n", ana / nana
+    printf "  \"whatif_ns_op\": %.0f\n", wi / nwi
+    printf "}\n"
+}' /tmp/bench_critpath.txt > "$out"
+
+echo "==> wrote $out"
+cat "$out"
