@@ -5,10 +5,17 @@
 // written as an executable JSON program and optionally as C/MPI or Go
 // source.
 //
+// With -static the trace is not needed: the signature is synthesized
+// directly from the MPI program's source (symbolic execution of its
+// constructor and per-rank body), instantiated at -n ranks and -class.
+// Compute durations in a static skeleton are model estimates until
+// calibrated against a short run.
+//
 // Usage:
 //
 //	skelgen -trace cg.trace.json -time 5 -o cg.skel.json [-c cg_skel.c] [-gosrc cg_skel.go]
 //	skelgen -trace cg.trace.json -k 50 -o cg.skel.json
+//	skelgen -static internal/nas -app CG -n 8 -class A -k 10 -o cg.skel.json
 package main
 
 import (
@@ -20,7 +27,11 @@ import (
 )
 
 func main() {
-	tracePath := flag.String("trace", "", "input execution trace (required)")
+	tracePath := flag.String("trace", "", "input execution trace")
+	staticPkg := flag.String("static", "", "synthesize the signature statically from this source package (directory or module-local import path) instead of a trace")
+	appName := flag.String("app", "", "program to synthesize with -static (registry name or constructor)")
+	nranks := flag.Int("n", 0, "rank count to instantiate at with -static")
+	class := flag.String("class", "S", "problem-size class to instantiate at with -static")
 	target := flag.Float64("time", 0, "intended skeleton execution time in seconds")
 	k := flag.Int("k", 0, "explicit scaling factor K (alternative to -time)")
 	out := flag.String("o", "skeleton.json", "output skeleton program")
@@ -29,32 +40,50 @@ func main() {
 	sigOut := flag.String("sig", "", "also write the execution signature to this file (for skelvet -verify-signature)")
 	flag.Parse()
 
-	if *tracePath == "" {
-		fail(fmt.Errorf("-trace is required"))
+	if (*tracePath == "") == (*staticPkg == "") {
+		fail(fmt.Errorf("exactly one of -trace or -static is required"))
 	}
 	if (*target <= 0) == (*k <= 0) {
 		fail(fmt.Errorf("exactly one of -time or -k is required"))
 	}
-	tr, err := perfskel.LoadTrace(*tracePath)
-	if err != nil {
-		fail(err)
-	}
-	var opt perfskel.ConstructOption
+	var opts []perfskel.ConstructOption
 	if *k > 0 {
-		opt = perfskel.WithK(*k)
+		opts = append(opts, perfskel.WithK(*k))
 	} else {
-		opt = perfskel.WithTargetTime(*target)
+		opts = append(opts, perfskel.WithTargetTime(*target))
 	}
-	prog, sig, err := perfskel.Construct(tr, opt)
+
+	var tr *perfskel.Trace
+	if *staticPkg != "" {
+		if *appName == "" || *nranks < 1 {
+			fail(fmt.Errorf("-static needs -app and -n"))
+		}
+		opts = append(opts,
+			perfskel.WithStaticSource(*staticPkg),
+			perfskel.WithStaticApp(*appName, *nranks, *class))
+	} else {
+		var err error
+		tr, err = perfskel.LoadTrace(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+	}
+	prog, sig, err := perfskel.Construct(tr, opts...)
 	if err != nil {
 		fail(err)
 	}
 	if err := prog.Save(*out); err != nil {
 		fail(err)
 	}
-	fmt.Printf("trace: %.2f s application, %d events\n", tr.AppTime, tr.Len())
-	fmt.Printf("signature: ratio %.1f at similarity threshold %.3f (target Q=%.1f met: %v)\n",
-		sig.Ratio, sig.Threshold, float64(prog.K)/2, sig.TargetMet)
+	if tr != nil {
+		fmt.Printf("trace: %.2f s application, %d events\n", tr.AppTime, tr.Len())
+		fmt.Printf("signature: ratio %.1f at similarity threshold %.3f (target Q=%.1f met: %v)\n",
+			sig.Ratio, sig.Threshold, float64(prog.K)/2, sig.TargetMet)
+	} else {
+		fmt.Printf("static: %s class %s on %d ranks, %.2f s estimated, %d ops\n",
+			*appName, *class, *nranks, sig.AppTime, sig.TraceEvents)
+		fmt.Printf("note: compute durations are model estimates; calibrate against a short run\n")
+	}
 	fmt.Printf("skeleton: K=%d, intended %.2f s, written to %s\n", prog.K, prog.TargetTime, *out)
 	fmt.Printf("smallest good skeleton for this application: %.2f s\n", prog.MinGoodTime)
 	if !prog.Good {

@@ -12,8 +12,11 @@
 // the rules run, so a program that merely formats cleanly but would not
 // compile is already a finding.
 //
-// Exit status is 1 if any diagnostic is reported, 2 on usage or load
-// errors.
+// Exit status is consistent across every mode:
+//
+//	0  clean — no findings, no divergence
+//	1  findings reported, or static/trace divergence (-static-diff)
+//	2  usage error or load failure
 //
 // Flags:
 //
@@ -29,6 +32,12 @@
 //	                      signature stored in f (JSON, signature.Save)
 //	-K n                  scaling factor for -verify-signature (default:
 //	                      parsed from the target's generated header)
+//	-static-diff          cross-validate static signature synthesis
+//	                      against the trace pipeline; targets are NAS
+//	                      model names (default: all paper benchmarks),
+//	                      instantiated at -n ranks and class -class
+//	-class c              problem-size class for -static-diff (default S)
+//	-n p                  rank count for -static-diff (default 4)
 //	-v                    also print per-target progress
 package main
 
@@ -55,10 +64,17 @@ func main() {
 	graphOut := flag.Bool("commgraph", false, "dump extracted communication machines and exit")
 	verifySig := flag.String("verify-signature", "", "verify .go targets against the signature JSON file")
 	kFlag := flag.Int("K", 0, "scaling factor for -verify-signature (default: parse the generated header)")
+	staticDiff := flag.Bool("static-diff", false, "cross-validate static signature synthesis against the trace pipeline (targets: NAS model names)")
+	sdClass := flag.String("class", "S", "problem-size class for -static-diff")
+	sdRanks := flag.Int("n", 4, "rank count for -static-diff")
 	verbose := flag.Bool("v", false, "print per-target progress")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: skelvet [flags] [package-dir | file.go | ./...] ...\n")
 		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nexit status:\n")
+		fmt.Fprintf(os.Stderr, "  0  clean: no findings, no divergence\n")
+		fmt.Fprintf(os.Stderr, "  1  findings reported, or static/trace divergence\n")
+		fmt.Fprintf(os.Stderr, "  2  usage error or load failure\n")
 	}
 	flag.Parse()
 
@@ -96,6 +112,25 @@ func main() {
 		fatal(err)
 	}
 	root := loader.ModuleRoot()
+
+	if *staticDiff {
+		if *jsonOut || *sarifOut || *self || *graphOut || *verifySig != "" {
+			fmt.Fprintln(os.Stderr, "skelvet: -static-diff does not compose with other modes")
+			os.Exit(2)
+		}
+		if *sdRanks < 2 {
+			fmt.Fprintln(os.Stderr, "skelvet: -static-diff needs -n >= 2")
+			os.Exit(2)
+		}
+		diverged, err := runStaticDiff(loader, flag.Args(), *sdClass, *sdRanks)
+		if err != nil {
+			fatal(err)
+		}
+		if diverged > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	args := flag.Args()
 	if *self {

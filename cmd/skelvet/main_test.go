@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildSkelvet compiles the command once per test binary.
+var skelvetBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "skelvet")
+	if err != nil {
+		panic(err)
+	}
+	skelvetBin = filepath.Join(dir, "skelvet")
+	out, err := exec.Command("go", "build", "-o", skelvetBin, ".").CombinedOutput()
+	if err != nil {
+		panic("build skelvet: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// run executes the built binary and returns its exit code and combined
+// output.
+func run(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	out, err := exec.Command(skelvetBin, args...).CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("skelvet %v: %v\n%s", args, err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestExitCodes pins the documented exit-status contract across modes:
+// 0 clean, 1 findings or divergence, 2 usage or load errors.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.go")
+	if err := os.WriteFile(clean, []byte("package main\n\nfunc main() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dirty := filepath.Join(dir, "dirty.go")
+	src := "package main\n\nimport (\n\t\"fmt\"\n\t\"time\"\n)\n\nfunc main() { fmt.Println(time.Now()) }\n"
+	if err := os.WriteFile(dirty, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean file", []string{clean}, 0},
+		{"finding", []string{dirty}, 1},
+		{"unknown flag", []string{"-no-such-flag"}, 2},
+		{"json and sarif", []string{"-json", "-sarif", clean}, 2},
+		{"missing target", []string{filepath.Join(dir, "absent.go")}, 2},
+		{"unknown rule", []string{"-rules", "no-such-rule", clean}, 2},
+		{"static-diff bad ranks", []string{"-static-diff", "-n", "1"}, 2},
+		{"static-diff mode clash", []string{"-static-diff", "-self"}, 2},
+		{"static-diff unknown app", []string{"-static-diff", "NoSuchModel"}, 2},
+	}
+	for _, c := range cases {
+		if got, out := run(t, c.args...); got != c.want {
+			t.Errorf("%s: exit %d, want %d\n%s", c.name, got, c.want, out)
+		}
+	}
+}
+
+// TestUsageDocumentsExitStatus pins that -h prints the exit-status
+// table, so the contract is discoverable.
+func TestUsageDocumentsExitStatus(t *testing.T) {
+	code, out := run(t, "-h")
+	if code != 0 {
+		t.Errorf("-h exited %d, want 0 (explicit help request, flag.ErrHelp)", code)
+	}
+	for _, want := range []string{"exit status", "0  clean", "1  findings", "2  usage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStaticDiffClean pins that -static-diff exits 0 when a model's
+// static synthesis matches its trace and prints the per-model report.
+func TestStaticDiffClean(t *testing.T) {
+	code, out := run(t, "-static-diff", "-n", "4", "-class", "S", "EP")
+	if code != 0 {
+		t.Fatalf("static-diff EP exited %d:\n%s", code, out)
+	}
+	for _, want := range []string{"EP class S on 4 ranks", "structure: OK", "bytes: OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("static-diff output missing %q:\n%s", want, out)
+		}
+	}
+}

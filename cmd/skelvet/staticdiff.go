@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"perfskel/internal/analysis"
+	"perfskel/internal/analysis/commgraph"
+	"perfskel/internal/analysis/staticsig"
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/nas"
+	"perfskel/internal/trace"
+)
+
+// runStaticDiff cross-validates static signature synthesis against the
+// trace pipeline for the named NAS models (all paper benchmarks when
+// none are given): each model is synthesized from source at (nranks,
+// class), executed once on a dedicated testbed to record the reference
+// trace, and the two signatures are compared — scaled communication
+// shape exactly, per-slot byte volumes within tolerance, compute
+// placeholders excluded. It returns the number of diverged models.
+func runStaticDiff(loader *analysis.Loader, apps []string, class string, nranks int) (int, error) {
+	if len(apps) == 0 {
+		apps = nas.Benchmarks()
+	}
+	pkg, err := loader.Load(loader.ModulePath() + "/internal/nas")
+	if err != nil {
+		return 0, err
+	}
+	src := commgraph.Source{Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info}
+	diverged := 0
+	for _, name := range apps {
+		d, err := staticDiffOne(src, name, class, nranks)
+		if err != nil {
+			return diverged, fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Print(d.Report())
+		if !d.Clean() {
+			diverged++
+		}
+	}
+	if diverged > 0 {
+		fmt.Fprintf(os.Stderr, "skelvet: %d model(s) diverged from the trace pipeline\n", diverged)
+	} else {
+		fmt.Fprintf(os.Stderr, "skelvet: static synthesis matches the trace pipeline for %d model(s)\n", len(apps))
+	}
+	return diverged, nil
+}
+
+// staticDiffOne synthesizes and cross-validates one model.
+func staticDiffOne(src commgraph.Source, name, class string, nranks int) (*staticsig.Divergence, error) {
+	par, err := staticsig.Extract(src, name)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := par.Instantiate(nranks, class)
+	if err != nil {
+		return nil, err
+	}
+	app, err := nas.App(name, nas.Class(class))
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder(nranks)
+	dur, err := mpi.Run(cluster.Build(cluster.Testbed(nranks), cluster.Dedicated()), nranks, mpi.Config{}, rec, app)
+	if err != nil {
+		return nil, fmt.Errorf("reference run: %w", err)
+	}
+	return inst.DiffTrace(rec.Finish(dur))
+}

@@ -2,7 +2,11 @@ package perfskel
 
 import (
 	"fmt"
+	"os"
 
+	"perfskel/internal/analysis"
+	"perfskel/internal/analysis/commgraph"
+	"perfskel/internal/analysis/staticsig"
 	"perfskel/internal/signature"
 	"perfskel/internal/skeleton"
 )
@@ -20,6 +24,11 @@ type constructConfig struct {
 	targetTime float64
 	skelOpts   SkeletonOptions
 	sigOpts    *SignatureOptions
+
+	staticPkg   string
+	staticApp   string
+	staticRanks int
+	staticClass string
 }
 
 // WithK sets the skeleton's integer scaling factor directly: the
@@ -56,6 +65,62 @@ func WithSignatureOptions(o SignatureOptions) ConstructOption {
 	return func(c *constructConfig) { c.sigOpts = &o }
 }
 
+// WithStaticSource switches Construct to trace-free static synthesis:
+// instead of compressing a recorded trace (the trace argument may then
+// be nil), the pipeline parses and type-checks the MPI program's source
+// package, symbolically executes its constructor and per-rank body, and
+// instantiates the resulting parametric signature at the rank count and
+// problem class named by WithStaticApp. pkgPath is either a directory
+// or a module-local import path (e.g. "perfskel/internal/nas").
+//
+// Compute durations in a static signature are model estimates, not
+// measurements; see internal/analysis/staticsig for calibrating them
+// against a short dedicated run.
+func WithStaticSource(pkgPath string) ConstructOption {
+	return func(c *constructConfig) { c.staticPkg = pkgPath }
+}
+
+// WithStaticApp names the program to synthesize statically (its
+// registry name or constructor function), the rank count, and the
+// problem-size class to instantiate at. Only meaningful together with
+// WithStaticSource.
+func WithStaticApp(name string, nranks int, class string) ConstructOption {
+	return func(c *constructConfig) {
+		c.staticApp, c.staticRanks, c.staticClass = name, nranks, class
+	}
+}
+
+// synthesizeStatic runs the trace-free front end: load the source
+// package, extract the app's parametric signature, instantiate it.
+func synthesizeStatic(cfg constructConfig) (*staticsig.Instance, error) {
+	if cfg.staticApp == "" || cfg.staticRanks < 1 || cfg.staticClass == "" {
+		return nil, fmt.Errorf("perfskel: WithStaticSource needs WithStaticApp(name, nranks, class)")
+	}
+	root := "."
+	isDir := false
+	if st, err := os.Stat(cfg.staticPkg); err == nil && st.IsDir() {
+		root, isDir = cfg.staticPkg, true
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	var pkg *analysis.Package
+	if isDir {
+		pkg, err = loader.LoadDir(cfg.staticPkg)
+	} else {
+		pkg, err = loader.Load(cfg.staticPkg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	par, err := staticsig.Extract(commgraph.Source{Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info}, cfg.staticApp)
+	if err != nil {
+		return nil, err
+	}
+	return par.Instantiate(cfg.staticRanks, cfg.staticClass)
+}
+
 // Construct runs the complete skeleton-construction pipeline on a trace:
 // signature compression (by default searching the similarity threshold
 // until the compression ratio reaches the paper's Q = K/2), skeleton
@@ -69,24 +134,39 @@ func WithSignatureOptions(o SignatureOptions) ConstructOption {
 //	skel, sig, err := perfskel.Construct(tr,
 //	    perfskel.WithTargetTime(5.0),
 //	    perfskel.WithMode(perfskel.TimeScale))
+//
+// With WithStaticSource the trace is not needed (pass nil): the
+// signature comes from static synthesis of the program's source, and
+// flows through the same skeleton generation and consistency check.
 func Construct(tr *Trace, opts ...ConstructOption) (*Skeleton, *Signature, error) {
 	var cfg constructConfig
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	k := cfg.k
-	if k == 0 {
-		if cfg.targetTime == 0 {
-			return nil, nil, fmt.Errorf("perfskel: Construct needs WithK or WithTargetTime")
-		}
-		var err error
-		k, err = skeleton.KForTime(tr.AppTime, cfg.targetTime)
+	if cfg.staticPkg != "" {
+		inst, err := synthesizeStatic(cfg)
 		if err != nil {
 			return nil, nil, err
 		}
+		k, err := resolveK(cfg, inst.Sig.AppTime)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog, err := skeleton.BuildOpts(inst.Sig, k, cfg.skelOpts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := prog.Consistent(); err != nil {
+			return nil, nil, err
+		}
+		return prog, inst.Sig, nil
 	}
-	if k < 1 {
-		return nil, nil, fmt.Errorf("perfskel: scaling factor must be >= 1, got %d", k)
+	if tr == nil {
+		return nil, nil, fmt.Errorf("perfskel: Construct needs a trace (or WithStaticSource)")
+	}
+	k, err := resolveK(cfg, tr.AppTime)
+	if err != nil {
+		return nil, nil, err
 	}
 	if cfg.sigOpts != nil {
 		sig, err := signature.Build(tr, *cfg.sigOpts)
@@ -103,4 +183,23 @@ func Construct(tr *Trace, opts ...ConstructOption) (*Skeleton, *Signature, error
 		return prog, sig, nil
 	}
 	return skeleton.BuildFromTrace(tr, k, cfg.skelOpts)
+}
+
+// resolveK turns WithK/WithTargetTime into the scaling factor.
+func resolveK(cfg constructConfig, appTime float64) (int, error) {
+	k := cfg.k
+	if k == 0 {
+		if cfg.targetTime == 0 {
+			return 0, fmt.Errorf("perfskel: Construct needs WithK or WithTargetTime")
+		}
+		var err error
+		k, err = skeleton.KForTime(appTime, cfg.targetTime)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("perfskel: scaling factor must be >= 1, got %d", k)
+	}
+	return k, nil
 }

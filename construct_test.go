@@ -134,3 +134,61 @@ func TestConstructWithMode(t *testing.T) {
 		t.Error("ByteScale and TimeScale skeletons ran identically; WithMode may be ignored")
 	}
 }
+
+// TestConstructWithStaticSource pins the trace-free path: Construct
+// with a nil trace synthesizes the signature from the NAS source
+// package, and the resulting skeleton runs.
+func TestConstructWithStaticSource(t *testing.T) {
+	skel, sig, err := perfskel.Construct(nil,
+		perfskel.WithStaticSource("perfskel/internal/nas"),
+		perfskel.WithStaticApp("CG", 4, "S"),
+		perfskel.WithK(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig == nil || sig.NRanks != 4 {
+		t.Fatalf("static signature: %+v", sig)
+	}
+	env := perfskel.NewTestbed(4, perfskel.Dedicated())
+	dur, err := env.RunSkeleton(skel)
+	if err != nil {
+		t.Fatalf("static skeleton does not run: %v", err)
+	}
+	if dur <= 0 {
+		t.Fatalf("static skeleton ran in %g s", dur)
+	}
+
+	// The same spelling with a directory path is equivalent.
+	skelDir, _, err := perfskel.Construct(nil,
+		perfskel.WithStaticSource("internal/nas"),
+		perfskel.WithStaticApp("CG", 4, "S"),
+		perfskel.WithK(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skelDir.K != skel.K || skelDir.Ops(0) != skel.Ops(0) {
+		t.Errorf("directory and import-path spellings built different skeletons")
+	}
+}
+
+// TestConstructStaticValidation pins the static options' contract
+// errors.
+func TestConstructStaticValidation(t *testing.T) {
+	if _, _, err := perfskel.Construct(nil, perfskel.WithK(2)); err == nil {
+		t.Error("nil trace without WithStaticSource should fail")
+	}
+	if _, _, err := perfskel.Construct(nil, perfskel.WithK(2),
+		perfskel.WithStaticSource("perfskel/internal/nas")); err == nil {
+		t.Error("WithStaticSource without WithStaticApp should fail")
+	}
+	if _, _, err := perfskel.Construct(nil, perfskel.WithK(2),
+		perfskel.WithStaticSource("perfskel/internal/nas"),
+		perfskel.WithStaticApp("CG", 4, "Z")); err == nil {
+		t.Error("unknown problem class should fail")
+	}
+	if _, _, err := perfskel.Construct(nil, perfskel.WithK(2),
+		perfskel.WithStaticSource("perfskel/internal/nas"),
+		perfskel.WithStaticApp("NoSuchApp", 4, "S")); err == nil {
+		t.Error("unknown app should fail")
+	}
+}

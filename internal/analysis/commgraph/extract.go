@@ -25,6 +25,56 @@ const (
 // Extract discovers every entry point in the package and extracts one
 // Machine per entry. Machines are returned in source order.
 func Extract(src Source) []Machine {
+	ex := newDiscovery(src)
+	var machines []Machine
+	// Pass 1: Run/Trace launch sites with a constant rank count.
+	for _, f := range src.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if m, ok := ex.launchSite(call); ok {
+				machines = append(machines, m)
+			}
+			return true
+		})
+	}
+	// Pass 2: standalone rank programs — functions taking a *Comm whose
+	// body switches exhaustively over constant ranks.
+	for _, f := range src.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || ex.used[fd] {
+				continue
+			}
+			if n := standaloneRanks(src.Info, fd); n >= 2 {
+				machines = append(machines, ex.machine(fd.Name.Name, fd.Pos(), n, fd.Body.List))
+			}
+		}
+	}
+	sort.SliceStable(machines, func(i, j int) bool { return machines[i].Pos < machines[j].Pos })
+	return machines
+}
+
+// ExtractFunc extracts a single machine from an explicit rank-program
+// body — the static-signature front-end's entry point. body is the
+// statement list of a func(c *Comm) program, nranks the specialization,
+// and prebind, when non-nil, seeds each rank's environment (class-table
+// struct-field bindings, problem-size parameters) before execution.
+func ExtractFunc(src Source, name string, pos token.Pos, body []ast.Stmt, nranks int, prebind func(*symexec.Env)) Machine {
+	if nranks > maxRanks {
+		return Machine{
+			Name: name, Pos: pos, NRanks: nranks,
+			Approx: []string{fmt.Sprintf("rank count %d exceeds extraction cap %d", nranks, maxRanks)},
+		}
+	}
+	return newDiscovery(src).machineWith(name, pos, nranks, body, prebind)
+}
+
+// newDiscovery indexes the package's resolvable callees: function
+// declarations and function literals bound to local variables.
+func newDiscovery(src Source) *discovery {
 	ex := &discovery{
 		src:   src,
 		funcs: make(map[types.Object]*ast.FuncDecl),
@@ -66,36 +116,7 @@ func Extract(src Source) []Machine {
 			return true
 		})
 	}
-
-	var machines []Machine
-	// Pass 1: Run/Trace launch sites with a constant rank count.
-	for _, f := range src.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if m, ok := ex.launchSite(call); ok {
-				machines = append(machines, m)
-			}
-			return true
-		})
-	}
-	// Pass 2: standalone rank programs — functions taking a *Comm whose
-	// body switches exhaustively over constant ranks.
-	for _, f := range src.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || ex.used[fd] {
-				continue
-			}
-			if n := standaloneRanks(src.Info, fd); n >= 2 {
-				machines = append(machines, ex.machine(fd.Name.Name, fd.Pos(), n, fd.Body.List))
-			}
-		}
-	}
-	sort.SliceStable(machines, func(i, j int) bool { return machines[i].Pos < machines[j].Pos })
-	return machines
+	return ex
 }
 
 // discovery holds the package-wide context shared by all machines.
@@ -157,12 +178,20 @@ func (ex *discovery) launchSite(call *ast.CallExpr) (Machine, bool) {
 // machine extracts one rank program per rank. The evaluator resolves
 // the communicator receiver by type, so no comm binding is needed.
 func (ex *discovery) machine(name string, pos token.Pos, nranks int, body []ast.Stmt) Machine {
+	return ex.machineWith(name, pos, nranks, body, nil)
+}
+
+func (ex *discovery) machineWith(name string, pos token.Pos, nranks int, body []ast.Stmt, prebind func(*symexec.Env)) Machine {
 	m := Machine{Name: name, Pos: pos, NRanks: nranks, Ranks: make([][]Node, nranks)}
 	notes := map[string]bool{}
 	for r := 0; r < nranks; r++ {
+		env := symexec.NewEnv(ex.src.Info, int64(r), int64(nranks))
+		if prebind != nil {
+			prebind(env)
+		}
 		x := &extractor{
 			d:       ex,
-			env:     symexec.NewEnv(ex.src.Info, int64(r), int64(nranks)),
+			env:     env,
 			approx:  notes,
 			inStack: make(map[ast.Node]bool),
 		}
@@ -224,6 +253,7 @@ func (x *extractor) stmt(st ast.Stmt) ([]Node, bool) {
 	case *ast.IncDecStmt:
 		if id, ok := ast.Unparen(s.X).(*ast.Ident); ok {
 			if obj := x.d.src.Info.Uses[id]; obj != nil {
+				x.env.UnbindFloat(obj)
 				if v, ok := x.env.Lookup(obj); ok && v.Known {
 					d := int64(1)
 					if s.Tok == token.DEC {
@@ -476,10 +506,15 @@ func (x *extractor) decl(s *ast.DeclStmt) []Node {
 			}
 			if i < len(vs.Values) && len(vs.Values) == len(vs.Names) {
 				x.env.Bind(obj, x.env.Eval(vs.Values[i]))
+				x.bindFloat(obj, vs.Values[i])
 			} else if len(vs.Values) == 0 {
 				x.env.Bind(obj, symexec.Const(0)) // zero value
+				if isFloatObj(obj) {
+					x.env.BindFloat(obj, 0)
+				}
 			} else {
 				x.env.Bind(obj, symexec.Unknown())
+				x.env.UnbindFloat(obj)
 			}
 		}
 	}
@@ -492,6 +527,18 @@ func (x *extractor) assign(s *ast.AssignStmt) []Node {
 		out = append(out, x.exprOps(r)...)
 	}
 	if len(s.Lhs) != len(s.Rhs) {
+		// Tuple assignment from a single call: a pure integer function
+		// (grid2d-style factorizations) evaluates concretely.
+		if len(s.Rhs) == 1 {
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+				if vals, ok := x.pureCall(call); ok && len(vals) == len(s.Lhs) {
+					for i, l := range s.Lhs {
+						x.bindLhs(l, symexec.Const(vals[i]))
+					}
+					return out
+				}
+			}
+		}
 		for _, l := range s.Lhs {
 			x.bindLhs(l, symexec.Unknown())
 		}
@@ -525,12 +572,73 @@ func (x *extractor) assign(s *ast.AssignStmt) []Node {
 		}
 		switch s.Tok {
 		case token.DEFINE, token.ASSIGN:
-			x.env.Bind(obj, x.env.Eval(s.Rhs[i]))
+			v := x.env.Eval(s.Rhs[i])
+			if !v.Known {
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if vals, ok := x.pureCall(call); ok && len(vals) == 1 {
+						v = symexec.Const(vals[0])
+					}
+				}
+			}
+			x.env.Bind(obj, v)
+			x.bindFloat(obj, s.Rhs[i])
 		default:
 			x.env.Bind(obj, x.opAssign(obj, s.Tok, s.Rhs[i]))
+			x.opAssignFloat(obj, s.Tok, s.Rhs[i])
 		}
 	}
 	return out
+}
+
+// bindFloat tracks plain assignments to float variables: bound when the
+// value evaluates, unbound otherwise.
+func (x *extractor) bindFloat(obj types.Object, rhs ast.Expr) {
+	if !isFloatObj(obj) {
+		return
+	}
+	if f, ok := x.env.EvalFloat(rhs); ok {
+		x.env.BindFloat(obj, f)
+	} else {
+		x.env.UnbindFloat(obj)
+	}
+}
+
+// opAssignFloat tracks compound assignments to float variables
+// (work /= 4, face *= 2).
+func (x *extractor) opAssignFloat(obj types.Object, tok token.Token, rhs ast.Expr) {
+	if !isFloatObj(obj) {
+		return
+	}
+	cur, ok := x.env.LookupFloat(obj)
+	v, vok := x.env.EvalFloat(rhs)
+	if !ok || !vok {
+		x.env.UnbindFloat(obj)
+		return
+	}
+	switch tok {
+	case token.ADD_ASSIGN:
+		x.env.BindFloat(obj, cur+v)
+	case token.SUB_ASSIGN:
+		x.env.BindFloat(obj, cur-v)
+	case token.MUL_ASSIGN:
+		x.env.BindFloat(obj, cur*v)
+	case token.QUO_ASSIGN:
+		if v != 0 {
+			x.env.BindFloat(obj, cur/v)
+		} else {
+			x.env.UnbindFloat(obj)
+		}
+	default:
+		x.env.UnbindFloat(obj)
+	}
+}
+
+func isFloatObj(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	b, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
 }
 
 // opAssign evaluates compound assignments like x += e.
@@ -587,6 +695,9 @@ func (x *extractor) bindLhs(l ast.Expr, v symexec.Value) {
 			obj = x.d.src.Info.Uses[id]
 		}
 		x.env.Bind(obj, v)
+		if !v.Known {
+			x.env.UnbindFloat(obj)
+		}
 	}
 }
 
@@ -638,7 +749,7 @@ func (x *extractor) call(call *ast.CallExpr) []Node {
 	if name, _ := symexec.CommMethod(x.d.src.Info, call); name != "" {
 		return x.commCall(name, call)
 	}
-	body, params, ok := x.callee(call)
+	body, params, fn, ok := x.callee(call)
 	if ok {
 		// Generated-code wait helpers have data-dependent bodies the
 		// interpreter cannot resolve; their effect is a single op.
@@ -646,7 +757,7 @@ func (x *extractor) call(call *ast.CallExpr) []Node {
 			x.ops++
 			return []Node{{Op: op}}
 		}
-		return x.inline(call, body, params)
+		return x.inline(call, body, params, fn)
 	}
 	// Builtin append and friends: arguments already walked.
 	if id, ok := call.Fun.(*ast.Ident); ok {
@@ -664,23 +775,25 @@ func (x *extractor) call(call *ast.CallExpr) []Node {
 }
 
 // callee resolves a call to a same-package function declaration or a
-// locally bound function literal.
-func (x *extractor) callee(call *ast.CallExpr) ([]ast.Stmt, []*ast.Ident, bool) {
+// locally bound function literal, returning its body, parameter
+// identifiers, and the callee node (its source range scopes the
+// bindings inlining may leave behind).
+func (x *extractor) callee(call *ast.CallExpr) ([]ast.Stmt, []*ast.Ident, ast.Node, bool) {
 	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
 	if !ok {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	obj := x.d.src.Info.Uses[id]
 	if obj == nil {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	if fd := x.d.funcs[obj]; fd != nil && fd.Body != nil {
-		return fd.Body.List, paramIdents(fd.Type), true
+		return fd.Body.List, paramIdents(fd.Type), fd, true
 	}
 	if lit := x.d.lits[obj]; lit != nil {
-		return lit.Body.List, paramIdents(lit.Type), true
+		return lit.Body.List, paramIdents(lit.Type), lit, true
 	}
-	return nil, nil, false
+	return nil, nil, nil, false
 }
 
 // waitHelper recognizes the codegen request-FIFO helpers:
@@ -712,8 +825,12 @@ func (x *extractor) waitHelper(call *ast.CallExpr, params []*ast.Ident) *Op {
 }
 
 // inline executes a resolvable same-package callee under the current
-// environment, binding parameter objects to evaluated arguments.
-func (x *extractor) inline(call *ast.CallExpr, body []ast.Stmt, params []*ast.Ident) []Node {
+// environment, binding parameter objects to evaluated arguments. The
+// callee's parameters and locals are rolled back afterwards — leaked
+// callee bindings would make every enclosing loop body look
+// environment-variant and defeat loop folding — while writes to
+// captured variables declared outside the callee persist.
+func (x *extractor) inline(call *ast.CallExpr, body []ast.Stmt, params []*ast.Ident, fn ast.Node) []Node {
 	key := ast.Node(call.Fun)
 	if fd, _, _ := x.calleeDecl(call); fd != nil {
 		key = fd
@@ -724,12 +841,16 @@ func (x *extractor) inline(call *ast.CallExpr, body []ast.Stmt, params []*ast.Id
 		}
 		return nil
 	}
+	snap := x.env.Snapshot()
 	for i, p := range params {
 		obj := x.d.src.Info.Defs[p]
 		if obj == nil || i >= len(call.Args) {
 			continue
 		}
 		x.env.Bind(obj, x.env.Eval(call.Args[i]))
+		if f, ok := x.env.EvalFloat(call.Args[i]); ok && isFloatObj(obj) {
+			x.env.BindFloat(obj, f)
+		}
 		if kind, ok := x.env.ReqKind(call.Args[i]); ok {
 			x.env.BindReq(obj, kind)
 		}
@@ -739,6 +860,7 @@ func (x *extractor) inline(call *ast.CallExpr, body []ast.Stmt, params []*ast.Id
 	nodes, _ := x.block(body)
 	delete(x.inStack, key)
 	x.depth--
+	x.env.ForgetScoped(snap, fn.Pos(), fn.End())
 	return nodes
 }
 
@@ -821,7 +943,9 @@ func (x *extractor) commCall(name string, call *ast.CallExpr) []Node {
 	case "Compute":
 		op.Kind = mpi.OpCompute
 		if len(call.Args) == 1 {
-			op.Work, op.HasWork = x.env.EvalFloat(call.Args[0])
+			var exact bool
+			op.Work, exact, op.HasWork = x.env.EvalWork(call.Args[0])
+			op.WorkApprox = op.HasWork && !exact
 		}
 	case "Send":
 		op.Kind = mpi.OpSend

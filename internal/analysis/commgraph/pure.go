@@ -1,0 +1,519 @@
+package commgraph
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// pureBudget bounds the total statement steps a concrete interpretation
+// may take, across nested calls.
+const pureBudget = 1 << 16
+
+// pureMaxDepth bounds nested pure-call evaluation.
+const pureMaxDepth = 4
+
+// pureCall concretely interprets a call to a pure same-package integer
+// function whose arguments are all known under the current environment.
+// This covers helper computations symexec's affine-loop recognition
+// cannot fold — the grid2d-style factorization loop
+// `for f := 1; f*f <= size; f++` — by running them to completion under
+// a bounded step budget. Anything the interpreter does not model
+// (communication, non-integer state, range loops, calls it cannot
+// resolve) makes it decline rather than approximate.
+func (x *extractor) pureCall(call *ast.CallExpr) ([]int64, bool) {
+	fd, _, params := x.calleeDecl(call)
+	if fd == nil || fd.Type.Results == nil || len(params) != len(call.Args) {
+		return nil, false
+	}
+	if hasComm(x.d.src.Info, fd.Body) {
+		return nil, false
+	}
+	budget := pureBudget
+	pi := &pureInterp{
+		info:   x.d.src.Info,
+		funcs:  x.d.funcs,
+		vars:   make(map[types.Object]int64),
+		budget: &budget,
+	}
+	for i, p := range params {
+		v, ok := x.env.EvalInt(call.Args[i])
+		if !ok {
+			return nil, false
+		}
+		obj := x.d.src.Info.Defs[p]
+		if obj == nil {
+			return nil, false
+		}
+		pi.vars[obj] = v
+	}
+	return pi.invoke(fd)
+}
+
+// pureInterp is a concrete interpreter over int64 variables.
+type pureInterp struct {
+	info   *types.Info
+	funcs  map[types.Object]*ast.FuncDecl
+	vars   map[types.Object]int64
+	budget *int
+	depth  int
+	named  []types.Object // named result objects, for bare returns
+	ret    []int64
+}
+
+// ctrl is the non-local control outcome of a statement.
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlReturn
+	ctrlBreak
+	ctrlContinue
+)
+
+// invoke runs fd's body and returns its integer results. All results
+// must be plain integers; named results start at their zero value.
+func (pi *pureInterp) invoke(fd *ast.FuncDecl) ([]int64, bool) {
+	nresults := 0
+	for _, f := range fd.Type.Results.List {
+		if !isIntType(pi.info.TypeOf(f.Type)) {
+			return nil, false
+		}
+		if len(f.Names) == 0 {
+			nresults++
+			pi.named = append(pi.named, nil)
+			continue
+		}
+		for _, name := range f.Names {
+			obj := pi.info.Defs[name]
+			if obj == nil {
+				return nil, false
+			}
+			pi.vars[obj] = 0
+			pi.named = append(pi.named, obj)
+			nresults++
+		}
+	}
+	c, ok := pi.stmts(fd.Body.List)
+	if !ok || c != ctrlReturn || len(pi.ret) != nresults {
+		return nil, false
+	}
+	return pi.ret, true
+}
+
+func (pi *pureInterp) stmts(list []ast.Stmt) (ctrl, bool) {
+	for _, st := range list {
+		c, ok := pi.stmt(st)
+		if !ok || c != ctrlNone {
+			return c, ok
+		}
+	}
+	return ctrlNone, true
+}
+
+func (pi *pureInterp) stmt(st ast.Stmt) (ctrl, bool) {
+	*pi.budget--
+	if *pi.budget < 0 {
+		return ctrlNone, false
+	}
+	switch s := st.(type) {
+	case nil, *ast.EmptyStmt:
+		return ctrlNone, true
+	case *ast.BlockStmt:
+		return pi.stmts(s.List)
+	case *ast.AssignStmt:
+		return ctrlNone, pi.assign(s)
+	case *ast.IncDecStmt:
+		obj := pi.lhsObj(s.X)
+		if obj == nil {
+			return ctrlNone, false
+		}
+		v, ok := pi.vars[obj]
+		if !ok {
+			return ctrlNone, false
+		}
+		if s.Tok == token.INC {
+			pi.vars[obj] = v + 1
+		} else {
+			pi.vars[obj] = v - 1
+		}
+		return ctrlNone, true
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return ctrlNone, false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return ctrlNone, false
+			}
+			for i, name := range vs.Names {
+				obj := pi.info.Defs[name]
+				if obj == nil || !isIntType(obj.Type()) {
+					return ctrlNone, false
+				}
+				v := int64(0)
+				if len(vs.Values) == len(vs.Names) {
+					var ok bool
+					if v, ok = pi.eval(vs.Values[i]); !ok {
+						return ctrlNone, false
+					}
+				} else if len(vs.Values) != 0 {
+					return ctrlNone, false
+				}
+				pi.vars[obj] = v
+			}
+		}
+		return ctrlNone, true
+	case *ast.ReturnStmt:
+		if len(s.Results) == 0 {
+			for _, obj := range pi.named {
+				if obj == nil {
+					return ctrlNone, false
+				}
+				pi.ret = append(pi.ret, pi.vars[obj])
+			}
+			return ctrlReturn, true
+		}
+		for _, r := range s.Results {
+			v, ok := pi.eval(r)
+			if !ok {
+				return ctrlNone, false
+			}
+			pi.ret = append(pi.ret, v)
+		}
+		return ctrlReturn, true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			if c, ok := pi.stmt(s.Init); !ok || c != ctrlNone {
+				return c, ok
+			}
+		}
+		cond, ok := pi.evalBool(s.Cond)
+		if !ok {
+			return ctrlNone, false
+		}
+		if cond {
+			return pi.stmts(s.Body.List)
+		}
+		if s.Else != nil {
+			return pi.stmt(s.Else)
+		}
+		return ctrlNone, true
+	case *ast.ForStmt:
+		if s.Init != nil {
+			if c, ok := pi.stmt(s.Init); !ok || c != ctrlNone {
+				return c, ok
+			}
+		}
+		for {
+			*pi.budget--
+			if *pi.budget < 0 {
+				return ctrlNone, false
+			}
+			if s.Cond != nil {
+				cond, ok := pi.evalBool(s.Cond)
+				if !ok {
+					return ctrlNone, false
+				}
+				if !cond {
+					return ctrlNone, true
+				}
+			}
+			c, ok := pi.stmts(s.Body.List)
+			if !ok {
+				return ctrlNone, false
+			}
+			switch c {
+			case ctrlReturn:
+				return ctrlReturn, true
+			case ctrlBreak:
+				return ctrlNone, true
+			}
+			if s.Post != nil {
+				if c, ok := pi.stmt(s.Post); !ok || c != ctrlNone {
+					return c, ok
+				}
+			}
+		}
+	case *ast.BranchStmt:
+		if s.Label != nil {
+			return ctrlNone, false
+		}
+		switch s.Tok {
+		case token.BREAK:
+			return ctrlBreak, true
+		case token.CONTINUE:
+			return ctrlContinue, true
+		}
+		return ctrlNone, false
+	}
+	return ctrlNone, false
+}
+
+func (pi *pureInterp) assign(s *ast.AssignStmt) bool {
+	if len(s.Lhs) != len(s.Rhs) {
+		return false
+	}
+	// Evaluate all right-hand sides before binding (tuple semantics).
+	vals := make([]int64, len(s.Rhs))
+	for i, r := range s.Rhs {
+		v, ok := pi.eval(r)
+		if !ok {
+			return false
+		}
+		vals[i] = v
+	}
+	for i, l := range s.Lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		obj := pi.lhsObj(l)
+		if obj == nil || !isIntType(obj.Type()) {
+			return false
+		}
+		switch s.Tok {
+		case token.DEFINE, token.ASSIGN:
+			pi.vars[obj] = vals[i]
+		default:
+			cur, ok := pi.vars[obj]
+			if !ok {
+				return false
+			}
+			nv, ok := intBinop(compoundOp(s.Tok), cur, vals[i])
+			if !ok {
+				return false
+			}
+			pi.vars[obj] = nv
+		}
+	}
+	return true
+}
+
+func (pi *pureInterp) lhsObj(l ast.Expr) types.Object {
+	id, ok := ast.Unparen(l).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pi.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pi.info.Uses[id]
+}
+
+func (pi *pureInterp) eval(x ast.Expr) (int64, bool) {
+	if tv, ok := pi.info.Types[x]; ok && tv.Value != nil {
+		if v := constant.ToInt(tv.Value); v.Kind() == constant.Int {
+			if n, exact := constant.Int64Val(v); exact {
+				return n, true
+			}
+		}
+		return 0, false
+	}
+	switch s := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		if obj := pi.info.Uses[s]; obj != nil {
+			if v, ok := pi.vars[obj]; ok {
+				return v, true
+			}
+		}
+	case *ast.BinaryExpr:
+		xv, xok := pi.eval(s.X)
+		yv, yok := pi.eval(s.Y)
+		if xok && yok {
+			return intBinop(s.Op, xv, yv)
+		}
+	case *ast.UnaryExpr:
+		if v, ok := pi.eval(s.X); ok {
+			switch s.Op {
+			case token.SUB:
+				return -v, true
+			case token.ADD:
+				return v, true
+			case token.XOR:
+				return ^v, true
+			}
+		}
+	case *ast.CallExpr:
+		// Integer conversions are transparent.
+		if len(s.Args) == 1 {
+			if tv, ok := pi.info.Types[s.Fun]; ok && tv.IsType() {
+				return pi.eval(s.Args[0])
+			}
+		}
+		// Nested single-result pure calls, depth-bounded.
+		if pi.depth >= pureMaxDepth {
+			return 0, false
+		}
+		id, ok := ast.Unparen(s.Fun).(*ast.Ident)
+		if !ok {
+			return 0, false
+		}
+		fd := pi.funcs[pi.info.Uses[id]]
+		if fd == nil || fd.Body == nil || fd.Type.Results == nil {
+			return 0, false
+		}
+		params := paramIdents(fd.Type)
+		if len(params) != len(s.Args) {
+			return 0, false
+		}
+		child := &pureInterp{
+			info:   pi.info,
+			funcs:  pi.funcs,
+			vars:   make(map[types.Object]int64),
+			budget: pi.budget,
+			depth:  pi.depth + 1,
+		}
+		for i, p := range params {
+			v, ok := pi.eval(s.Args[i])
+			if !ok {
+				return 0, false
+			}
+			obj := pi.info.Defs[p]
+			if obj == nil {
+				return 0, false
+			}
+			child.vars[obj] = v
+		}
+		res, ok := child.invoke(fd)
+		if !ok || len(res) != 1 {
+			return 0, false
+		}
+		return res[0], true
+	}
+	return 0, false
+}
+
+func (pi *pureInterp) evalBool(x ast.Expr) (bool, bool) {
+	if tv, ok := pi.info.Types[x]; ok && tv.Value != nil && tv.Value.Kind() == constant.Bool {
+		return constant.BoolVal(tv.Value), true
+	}
+	switch s := ast.Unparen(x).(type) {
+	case *ast.UnaryExpr:
+		if s.Op == token.NOT {
+			v, ok := pi.evalBool(s.X)
+			return !v, ok
+		}
+	case *ast.BinaryExpr:
+		switch s.Op {
+		case token.LAND:
+			l, ok := pi.evalBool(s.X)
+			if !ok {
+				return false, false
+			}
+			if !l {
+				return false, true
+			}
+			return pi.evalBool(s.Y)
+		case token.LOR:
+			l, ok := pi.evalBool(s.X)
+			if !ok {
+				return false, false
+			}
+			if l {
+				return true, true
+			}
+			return pi.evalBool(s.Y)
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			xv, xok := pi.eval(s.X)
+			yv, yok := pi.eval(s.Y)
+			if !xok || !yok {
+				return false, false
+			}
+			switch s.Op {
+			case token.EQL:
+				return xv == yv, true
+			case token.NEQ:
+				return xv != yv, true
+			case token.LSS:
+				return xv < yv, true
+			case token.LEQ:
+				return xv <= yv, true
+			case token.GTR:
+				return xv > yv, true
+			default:
+				return xv >= yv, true
+			}
+		}
+	}
+	return false, false
+}
+
+// compoundOp maps a compound-assignment token to its binary operator.
+func compoundOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return token.ILLEGAL
+}
+
+func intBinop(op token.Token, x, y int64) (int64, bool) {
+	switch op {
+	case token.ADD:
+		return x + y, true
+	case token.SUB:
+		return x - y, true
+	case token.MUL:
+		return x * y, true
+	case token.QUO:
+		if y == 0 {
+			return 0, false
+		}
+		return x / y, true
+	case token.REM:
+		if y == 0 {
+			return 0, false
+		}
+		return x % y, true
+	case token.AND:
+		return x & y, true
+	case token.OR:
+		return x | y, true
+	case token.XOR:
+		return x ^ y, true
+	case token.AND_NOT:
+		return x &^ y, true
+	case token.SHL:
+		if y < 0 || y > 62 {
+			return 0, false
+		}
+		return x << uint(y), true
+	case token.SHR:
+		if y < 0 || y > 62 {
+			return 0, false
+		}
+		return x >> uint(y), true
+	}
+	return 0, false
+}
+
+func isIntType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

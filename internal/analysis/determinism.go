@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
 )
 
@@ -19,6 +20,11 @@ import (
 //   - environment reads (os.Getenv / LookupEnv / Environ): the
 //     environment differs between hosts and runs, so configuration
 //     must arrive through explicit parameters;
+//   - host-shape reads (runtime.NumCPU, runtime.NumGoroutine, and the
+//     read form runtime.GOMAXPROCS(0)): processor counts and live
+//     goroutine counts differ between machines and moments, so sizing
+//     decisions must be explicit parameters too (setting a constant
+//     parallelism via GOMAXPROCS(n) is not flagged);
 //   - go statements, which escape the cooperative scheduler.
 //
 // Map-iteration-order dependence, which this rule used to flag
@@ -61,6 +67,13 @@ var envFuncs = map[string]bool{
 	"Getenv": true, "LookupEnv": true, "Environ": true,
 }
 
+// hostShapeFuncs are the runtime functions that observe the host's
+// processor or scheduler shape. GOMAXPROCS is handled separately: only
+// the argument-0 read form observes the host.
+var hostShapeFuncs = map[string]bool{
+	"NumCPU": true, "NumGoroutine": true,
+}
+
 func runNondeterminism(pass *Pass) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -79,11 +92,29 @@ func runNondeterminism(pass *Pass) {
 					pass.Reportf(s.Pos(), "os.%s reads the process environment, which varies between hosts and runs; pass configuration explicitly", fn)
 				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[fn]:
 					pass.Reportf(s.Pos(), "rand.%s draws from the ambient global source; use an explicitly seeded, injectable *rand.Rand", fn)
+				case pkgPath == "runtime" && hostShapeFuncs[fn]:
+					pass.Reportf(s.Pos(), "runtime.%s observes the host's processor/scheduler shape, which varies between machines; pass the sizing explicitly", fn)
+				case pkgPath == "runtime" && fn == "GOMAXPROCS" && isConstZeroArg(pass.Info, s):
+					pass.Reportf(s.Pos(), "runtime.GOMAXPROCS(0) reads the host's processor parallelism, which varies between machines; pass the sizing explicitly")
 				}
 			}
 			return true
 		})
 	}
+}
+
+// isConstZeroArg reports whether the call's single argument is the
+// constant 0 — the read form of runtime.GOMAXPROCS.
+func isConstZeroArg(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	n, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return exact && n == 0
 }
 
 // pkgLevelCall resolves a call of the form pkg.Fn and returns the

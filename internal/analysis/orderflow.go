@@ -48,7 +48,10 @@ var orderflowStrict = map[string]bool{
 	"perfskel/internal/trace":     true,
 	"perfskel/internal/signature": true,
 	"perfskel/internal/skeleton":  true,
-	"main":                        true,
+	// Static synthesis must be byte-deterministic for its instances to
+	// be content-addressable (same source, same key, same signature).
+	"perfskel/internal/analysis/staticsig": true,
+	"main":                                 true,
 }
 
 func runOrderFlow(pass *Pass) {

@@ -1,0 +1,44 @@
+package staticsig
+
+import (
+	"testing"
+)
+
+// BenchmarkStaticExtractCold measures the full cold path per model:
+// index the already-type-checked source, interpret the constructor,
+// symbolically execute the per-rank body, and convert to a signature.
+// Parsing and type-checking are excluded — they are the loader's cost,
+// shared with every other analysis.
+func BenchmarkStaticExtractCold(b *testing.B) {
+	src := nasSource(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := Extract(src, "CG")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Instantiate(4, "S"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStaticInstantiateMemoized measures the warm path: repeated
+// instantiation at the same (ranks, class) hits the Parametric's memo,
+// which is what campaign sweeps see after the first cell.
+func BenchmarkStaticInstantiateMemoized(b *testing.B) {
+	src := nasSource(b)
+	p, err := Extract(src, "CG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Instantiate(4, "S"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Instantiate(4, "S"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

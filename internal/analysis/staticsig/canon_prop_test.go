@@ -1,0 +1,64 @@
+package staticsig
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"perfskel/internal/nas"
+	"perfskel/internal/signature"
+)
+
+// TestCanonicalFormProperties is the determinism property test: every
+// NAS model, instantiated at P ∈ {4, 8, 16}, must canonicalize to a
+// byte-deterministic form — two independent extractions of the same
+// source encode to identical bytes — and that form must round-trip
+// through the canonical JSON codec without drift.
+func TestCanonicalFormProperties(t *testing.T) {
+	src := nasSource(t)
+	for _, name := range nas.AllBenchmarks() {
+		for _, p := range []int{4, 8, 16} {
+			name, p := name, p
+			t.Run(fmt.Sprintf("%s/p%d", name, p), func(t *testing.T) {
+				// A fresh Parametric per encoding: determinism must hold
+				// across independent extractions, not just memo hits.
+				enc := func() (*signature.CanonSignature, []byte) {
+					par, err := Extract(src, name)
+					if err != nil {
+						t.Fatalf("Extract: %v", err)
+					}
+					inst, err := par.Instantiate(p, string(nas.ClassS))
+					if err != nil {
+						t.Fatalf("Instantiate(%d, S): %v", p, err)
+					}
+					cs := signature.Canon(inst.Sig)
+					data, err := cs.EncodeJSON()
+					if err != nil {
+						t.Fatalf("EncodeJSON: %v", err)
+					}
+					return cs, data
+				}
+				canon, a := enc()
+				_, b := enc()
+				if !bytes.Equal(a, b) {
+					t.Fatalf("canonical encoding is not byte-deterministic across extractions (%d vs %d bytes)", len(a), len(b))
+				}
+
+				dec, err := signature.DecodeCanonJSON(a)
+				if err != nil {
+					t.Fatalf("DecodeCanonJSON: %v", err)
+				}
+				if d := canon.Diff(dec); d != "" {
+					t.Fatalf("decoded form differs from the original: %s", d)
+				}
+				re, err := dec.EncodeJSON()
+				if err != nil {
+					t.Fatalf("re-encode: %v", err)
+				}
+				if !bytes.Equal(a, re) {
+					t.Fatalf("canonical JSON round-trip drifted (%d vs %d bytes)", len(a), len(re))
+				}
+			})
+		}
+	}
+}

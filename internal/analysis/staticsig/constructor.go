@@ -1,0 +1,393 @@
+package staticsig
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// The constructor interpreter resolves the `func(class) (app, error)`
+// convention: a constructor looks its class up in a parameter table
+// (`p, ok := table[class]`), errors on unknown classes, and returns a
+// closure over the matched parameter struct. Interpretation binds every
+// field of the matched struct literal to its constant value — those
+// field objects are exactly what the closure body's selectors
+// (`p.outer`) resolve to under symexec — and hands back the closure
+// body for rank-level extraction. Constructors may delegate
+// (`return adiApp(btTable, c)`); class strings and table references
+// propagate through the call.
+
+// ctorMaxDepth bounds constructor-to-constructor delegation.
+const ctorMaxDepth = 4
+
+// appBody is a resolved per-rank program: the returned closure's body
+// plus the parameter bindings it closes over.
+type appBody struct {
+	pos    token.Pos
+	body   []ast.Stmt
+	binds  []fieldBind
+	params []string // "field=value" renderings, table field order
+}
+
+// fieldBind binds one numeric parameter object (a struct field the
+// closure selects, or a forwarded scalar) to its constant value.
+type fieldBind struct {
+	obj     types.Object
+	isFloat bool
+	n       int64
+	f       float64
+}
+
+// ctorVal is a constructor argument the interpreter understands: a
+// problem-class string or a parameter-table composite literal.
+type ctorVal struct {
+	str   string
+	isStr bool
+	table *ast.CompositeLit
+}
+
+// ctorScope holds one invocation's parameter bindings.
+type ctorScope struct {
+	strings map[types.Object]string
+	tables  map[types.Object]*ast.CompositeLit
+}
+
+// findApp resolves the registered constructor of an app name.
+func (p *Parametric) findApp(app string) (ast.Node, error) {
+	// Registry map literals: a constant string key naming the app.
+	for _, lit := range p.tablesInOrder() {
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := p.constString(kv.Key)
+			if !ok || key != app {
+				continue
+			}
+			switch v := ast.Unparen(kv.Value).(type) {
+			case *ast.FuncLit:
+				return v, nil
+			case *ast.Ident:
+				if fd := p.funcs[p.info.Uses[v]]; fd != nil && fd.Body != nil {
+					return fd, nil
+				}
+			}
+		}
+	}
+	// Fallback: a function declaration named like the app.
+	for _, f := range p.src.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == app && fd.Body != nil {
+				return fd, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("staticsig: no constructor for app %q (no registry entry or declaration)", app)
+}
+
+// tablesInOrder returns the package-level composite literals in source
+// order, so registry resolution is deterministic.
+func (p *Parametric) tablesInOrder() []*ast.CompositeLit {
+	out := make([]*ast.CompositeLit, 0, len(p.tables))
+	for _, lit := range p.tables {
+		out = append(out, lit)
+	}
+	sortByPos(out)
+	return out
+}
+
+func sortByPos(lits []*ast.CompositeLit) {
+	for i := 1; i < len(lits); i++ {
+		for j := i; j > 0 && lits[j].Pos() < lits[j-1].Pos(); j-- {
+			lits[j], lits[j-1] = lits[j-1], lits[j]
+		}
+	}
+}
+
+// interpret runs a constructor for one class and returns the per-rank
+// program it constructs. args carries delegated-call arguments (nil at
+// the entry point); any string-typed parameter without an argument is
+// bound to the class.
+func (p *Parametric) interpret(fn ast.Node, args []ctorVal, class string, depth int) (*appBody, error) {
+	if depth > ctorMaxDepth {
+		return nil, fmt.Errorf("constructor delegation deeper than %d", ctorMaxDepth)
+	}
+	var params []*ast.Ident
+	var body []ast.Stmt
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		params = fieldIdents(f.Type)
+		body = f.Body.List
+	case *ast.FuncLit:
+		params = fieldIdents(f.Type)
+		body = f.Body.List
+	default:
+		return nil, fmt.Errorf("constructor is not a function")
+	}
+	sc := &ctorScope{strings: map[types.Object]string{}, tables: map[types.Object]*ast.CompositeLit{}}
+	for i, id := range params {
+		obj := p.info.Defs[id]
+		if obj == nil {
+			continue
+		}
+		switch {
+		case i < len(args) && args[i].isStr:
+			sc.strings[obj] = args[i].str
+		case i < len(args) && args[i].table != nil:
+			sc.tables[obj] = args[i].table
+		case isStringObj(obj):
+			sc.strings[obj] = class
+		}
+	}
+	var binds []fieldBind
+	var rendered []string
+	for _, st := range body {
+		switch s := st.(type) {
+		case *ast.AssignStmt:
+			if err := p.ctorAssign(s, sc, &binds, &rendered); err != nil {
+				return nil, err
+			}
+		case *ast.ReturnStmt:
+			if len(s.Results) == 0 {
+				continue
+			}
+			switch r := ast.Unparen(s.Results[0]).(type) {
+			case *ast.FuncLit:
+				return &appBody{pos: r.Pos(), body: r.Body.List, binds: binds, params: rendered}, nil
+			case *ast.Ident:
+				if fd := p.funcs[p.info.Uses[r]]; fd != nil && fd.Body != nil {
+					return &appBody{pos: fd.Pos(), body: fd.Body.List, binds: binds, params: rendered}, nil
+				}
+			case *ast.CallExpr:
+				sub, err := p.delegate(r, sc, class, depth)
+				if err != nil {
+					return nil, err
+				}
+				sub.binds = append(binds, sub.binds...)
+				sub.params = append(rendered, sub.params...)
+				return sub, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("constructor returns no per-rank program")
+}
+
+// delegate interprets a `return otherCtor(args...)` result.
+func (p *Parametric) delegate(call *ast.CallExpr, sc *ctorScope, class string, depth int) (*appBody, error) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil, fmt.Errorf("constructor delegates to an unresolvable callee at %s", p.pos(call.Pos()))
+	}
+	fd := p.funcs[p.info.Uses[id]]
+	if fd == nil || fd.Body == nil {
+		return nil, fmt.Errorf("constructor delegates to %s, which is not declared in the package", id.Name)
+	}
+	args := make([]ctorVal, len(call.Args))
+	for i, a := range call.Args {
+		if str, ok := p.resolveString(sc, a); ok {
+			args[i] = ctorVal{str: str, isStr: true}
+			continue
+		}
+		if lit := p.resolveTable(sc, a); lit != nil {
+			args[i] = ctorVal{table: lit}
+			continue
+		}
+		// Arguments the interpreter cannot model stay unbound; the
+		// callee's string-typed parameters still default to the class.
+	}
+	return p.interpret(fd, args, class, depth+1)
+}
+
+// ctorAssign interprets one constructor statement. Class-table lookups
+// (`param, ok := table[class]`) bind the matched entry's fields; plain
+// definitions forward class strings and table references.
+func (p *Parametric) ctorAssign(s *ast.AssignStmt, sc *ctorScope, binds *[]fieldBind, rendered *[]string) error {
+	if len(s.Rhs) != 1 {
+		return nil
+	}
+	rhs := ast.Unparen(s.Rhs[0])
+	if ix, ok := rhs.(*ast.IndexExpr); ok {
+		lit := p.resolveTable(sc, ix.X)
+		if lit == nil {
+			return nil
+		}
+		key, ok := p.resolveString(sc, ix.Index)
+		if !ok {
+			return fmt.Errorf("parameter-table lookup at %s has an unresolvable key", p.pos(ix.Pos()))
+		}
+		entry := p.mapEntry(lit, key)
+		if entry == nil {
+			return fmt.Errorf("class %q not in parameter table at %s", key, p.pos(lit.Pos()))
+		}
+		return p.bindStruct(entry, binds, rendered)
+	}
+	if len(s.Lhs) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := p.info.Defs[id]
+	if obj == nil {
+		obj = p.info.Uses[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	if str, ok := p.resolveString(sc, rhs); ok {
+		sc.strings[obj] = str
+	} else if lit := p.resolveTable(sc, rhs); lit != nil {
+		sc.tables[obj] = lit
+	}
+	return nil
+}
+
+// bindStruct binds every numeric field of a parameter-struct literal:
+// listed fields to their constant values, unlisted fields to zero.
+func (p *Parametric) bindStruct(lit *ast.CompositeLit, binds *[]fieldBind, rendered *[]string) error {
+	tv, ok := p.info.Types[lit]
+	if !ok || tv.Type == nil {
+		return fmt.Errorf("parameter struct at %s has no type", p.pos(lit.Pos()))
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return fmt.Errorf("parameter-table entry at %s is not a struct", p.pos(lit.Pos()))
+	}
+	values := map[types.Object]constant.Value{}
+	for i, el := range lit.Elts {
+		var fieldObj types.Object
+		var valExpr ast.Expr
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			keyID, ok := ast.Unparen(kv.Key).(*ast.Ident)
+			if !ok {
+				return fmt.Errorf("parameter struct at %s has a non-identifier field key", p.pos(kv.Pos()))
+			}
+			fieldObj = p.info.Uses[keyID]
+			valExpr = kv.Value
+		} else {
+			if i >= st.NumFields() {
+				return fmt.Errorf("parameter struct at %s has too many values", p.pos(lit.Pos()))
+			}
+			fieldObj = st.Field(i)
+			valExpr = el
+		}
+		cv := p.constOf(valExpr)
+		if cv == nil {
+			return fmt.Errorf("parameter %s at %s is not a constant", fieldObj.Name(), p.pos(valExpr.Pos()))
+		}
+		values[fieldObj] = cv
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		basic, ok := fld.Type().Underlying().(*types.Basic)
+		if !ok {
+			continue
+		}
+		cv := values[fld]
+		switch {
+		case basic.Info()&types.IsFloat != 0:
+			f := 0.0
+			if cv != nil {
+				f, _ = constant.Float64Val(constant.ToFloat(cv))
+			}
+			*binds = append(*binds, fieldBind{obj: fld, isFloat: true, f: f})
+			*rendered = append(*rendered, fmt.Sprintf("%s=%g", fld.Name(), f))
+		case basic.Info()&types.IsInteger != 0:
+			var n int64
+			if cv != nil {
+				var exact bool
+				n, exact = constant.Int64Val(constant.ToInt(cv))
+				if !exact {
+					return fmt.Errorf("parameter %s at %s overflows int64", fld.Name(), p.pos(lit.Pos()))
+				}
+			}
+			*binds = append(*binds, fieldBind{obj: fld, n: n})
+			*rendered = append(*rendered, fmt.Sprintf("%s=%d", fld.Name(), n))
+		}
+	}
+	return nil
+}
+
+// mapEntry finds the composite-literal value keyed by a constant string.
+func (p *Parametric) mapEntry(lit *ast.CompositeLit, key string) *ast.CompositeLit {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		k, ok := p.constString(kv.Key)
+		if !ok || k != key {
+			continue
+		}
+		if entry, ok := ast.Unparen(kv.Value).(*ast.CompositeLit); ok {
+			return entry
+		}
+	}
+	return nil
+}
+
+func (p *Parametric) resolveString(sc *ctorScope, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.info.Uses[id]; obj != nil {
+			if s, ok := sc.strings[obj]; ok {
+				return s, true
+			}
+		}
+	}
+	return p.constString(e)
+}
+
+func (p *Parametric) resolveTable(sc *ctorScope, e ast.Expr) *ast.CompositeLit {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := p.info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	if lit, ok := sc.tables[obj]; ok {
+		return lit
+	}
+	return p.tables[obj]
+}
+
+func (p *Parametric) constString(e ast.Expr) (string, bool) {
+	cv := p.constOf(e)
+	if cv == nil || cv.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(cv), true
+}
+
+func (p *Parametric) constOf(e ast.Expr) constant.Value {
+	if tv, ok := p.info.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+func (p *Parametric) pos(pos token.Pos) token.Position {
+	return p.src.Fset.Position(pos)
+}
+
+func isStringObj(obj types.Object) bool {
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func fieldIdents(ft *ast.FuncType) []*ast.Ident {
+	var out []*ast.Ident
+	if ft.Params == nil {
+		return out
+	}
+	for _, f := range ft.Params.List {
+		out = append(out, f.Names...)
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package staticsig
+
+import (
+	"fmt"
+	"go/token"
+	"math"
+	"sort"
+
+	"perfskel/internal/analysis/commgraph"
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/signature"
+)
+
+// convert lowers an extracted communication automaton to an execution
+// signature. Clustering is exact: every distinct operation identity
+// (kind, peers, tag, bytes, work) becomes one cluster, numbered in
+// first-encounter order (rank 0 first, depth-first), so the result is
+// byte-deterministic for a given machine.
+//
+// Durations are the one place the static path estimates rather than
+// derives: compute clusters carry the model's work value (a
+// dominant-factor estimate where the source perturbs it), and
+// communication clusters carry latency + bytes/bandwidth under the
+// testbed's dedicated link. Those estimates feed only coarse time
+// accounting — AppTime, MinGoodTime, K-for-target-time — never the
+// structure the skeleton is generated from.
+
+type clusterKey struct {
+	kind, sub        mpi.Op
+	peer, peer2, tag int
+	bytes            int64
+	hasBytes         bool
+	work             uint64 // Float64bits of the compute work
+	approx           bool
+}
+
+type converted struct {
+	sig                 *signature.Signature
+	placeholders        []string
+	placeholderKeys     map[string]bool
+	computePlaceholders []int
+}
+
+func convert(m *commgraph.Machine, fset *token.FileSet) (*converted, error) {
+	index := map[clusterKey]*signature.Cluster{}
+	noted := map[clusterKey]bool{}
+	c := &converted{placeholderKeys: map[string]bool{}}
+	var clusters []*signature.Cluster
+	events := int64(0)
+
+	lookup := func(op *commgraph.Op) *signature.Cluster {
+		key := clusterKey{
+			kind: op.Kind, sub: op.Sub, peer: op.Peer, peer2: op.Peer2, tag: op.Tag,
+			bytes: op.Bytes, hasBytes: op.HasBytes,
+			work: math.Float64bits(op.Work), approx: op.WorkApprox,
+		}
+		if cl, ok := index[key]; ok {
+			return cl
+		}
+		cl := &signature.Cluster{
+			ID: len(clusters), Op: op.Kind, Sub: op.Sub,
+			Peer: op.Peer, Peer2: op.Peer2, Tag: op.Tag,
+			Duration: opDuration(op),
+		}
+		if op.HasBytes {
+			cl.Bytes = float64(op.Bytes)
+			if op.Kind == mpi.OpSendrecv {
+				// The interpreter evaluates the symmetric exchange size; the
+				// models send and receive equal faces.
+				cl.Byte2 = cl.Bytes
+			}
+		}
+		index[key] = cl
+		clusters = append(clusters, cl)
+		if !noted[key] {
+			noted[key] = true
+			c.note(op, cl, fset)
+		}
+		return cl
+	}
+
+	var seq func(nodes []commgraph.Node, mult int64) ([]signature.Node, error)
+	seq = func(nodes []commgraph.Node, mult int64) ([]signature.Node, error) {
+		var out []signature.Node
+		for _, nd := range nodes {
+			if nd.Op != nil {
+				cl := lookup(nd.Op)
+				cl.Count += int(mult)
+				events += mult
+				out = append(out, signature.Leaf{C: cl})
+				continue
+			}
+			if nd.Count <= 0 {
+				continue
+			}
+			body, err := seq(nd.Body, mult*nd.Count)
+			if err != nil {
+				return nil, err
+			}
+			if len(body) == 0 {
+				continue
+			}
+			if nd.Count > int64(maxLoopCount) {
+				return nil, fmt.Errorf("loop count %d exceeds signature bound %d", nd.Count, maxLoopCount)
+			}
+			out = append(out, signature.NewLoop(int(nd.Count), body))
+		}
+		return out, nil
+	}
+
+	sig := &signature.Signature{NRanks: m.NRanks, Threshold: 0, TargetMet: true}
+	for _, rank := range m.Ranks {
+		nodes, err := seq(rank, 1)
+		if err != nil {
+			return nil, err
+		}
+		sig.PerRank = append(sig.PerRank, nodes)
+	}
+	sig.Clusters = clusters
+	sig.TraceEvents = int(events)
+	sig.AppTime = maxRankTime(sig)
+	if n := sig.Len(); n > 0 {
+		sig.Ratio = float64(sig.TraceEvents) / float64(n)
+	}
+	if sig.TraceEvents == 0 {
+		return nil, fmt.Errorf("program performs no operations")
+	}
+	c.sig = sig
+	sort.Strings(c.placeholders)
+	sort.Ints(c.computePlaceholders)
+	return c, nil
+}
+
+// maxLoopCount bounds folded loop counts at the int range signature
+// loops use, far above any model's iteration count.
+const maxLoopCount = 1 << 30
+
+// note records what stays a placeholder in cluster cl.
+func (c *converted) note(op *commgraph.Op, cl *signature.Cluster, fset *token.FileSet) {
+	switch {
+	case op.Kind == mpi.OpCompute && !op.HasWork:
+		c.placeholders = append(c.placeholders,
+			fmt.Sprintf("compute at %s: work unresolved, placeholder 0 (calibratable)", fset.Position(op.Pos)))
+		c.computePlaceholders = append(c.computePlaceholders, cl.ID)
+	case op.Kind == mpi.OpCompute && op.WorkApprox:
+		c.placeholders = append(c.placeholders,
+			fmt.Sprintf("compute at %s: work %.3g is a dominant-factor estimate (mean-one perturbation dropped; calibratable)",
+				fset.Position(op.Pos), op.Work))
+		c.computePlaceholders = append(c.computePlaceholders, cl.ID)
+	case op.Kind != mpi.OpCompute && !op.HasBytes && kindCarriesBytes(op.Kind):
+		key := signature.CanonKey(signature.NormalizeOp(canonOp(op)))
+		c.placeholderKeys[key] = true
+		c.placeholders = append(c.placeholders,
+			fmt.Sprintf("%v at %s: message volume unresolved; bytes excluded from cross-validation",
+				op.Kind, fset.Position(op.Pos)))
+	}
+}
+
+// kindCarriesBytes reports whether the canonical form retains a byte
+// volume for this op kind (receives drop theirs, waits and barriers
+// have none).
+func kindCarriesBytes(k mpi.Op) bool {
+	switch k {
+	case mpi.OpSend, mpi.OpIsend, mpi.OpSendrecv, mpi.OpBcast, mpi.OpReduce,
+		mpi.OpGather, mpi.OpScatter, mpi.OpAllreduce, mpi.OpAllgather,
+		mpi.OpAlltoall, mpi.OpAlltoallv:
+		return true
+	}
+	return false
+}
+
+func canonOp(op *commgraph.Op) signature.CanonOp {
+	return signature.CanonOp{
+		Kind: op.Kind, Sub: op.Sub, Peer: op.Peer, Peer2: op.Peer2, Tag: op.Tag,
+		Bytes: op.Bytes, Work: op.Work,
+	}
+}
+
+// opDuration estimates one operation's dedicated duration: compute ops
+// carry the model's work, communication a latency + bytes/bandwidth
+// term under the testbed's Gigabit link.
+func opDuration(op *commgraph.Op) float64 {
+	if op.Kind == mpi.OpCompute {
+		return op.Work
+	}
+	d := cluster.DefaultLatency
+	if op.HasBytes {
+		d += float64(op.Bytes) / cluster.GigabitBandwidth
+	}
+	return d
+}

@@ -1,0 +1,57 @@
+package staticsig
+
+import (
+	"testing"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/nas"
+	"perfskel/internal/trace"
+)
+
+// traceApp records a dedicated class-S run of a NAS model.
+func traceApp(t *testing.T, name string, class nas.Class, nranks int) *trace.Trace {
+	t.Helper()
+	app, err := nas.App(name, class)
+	if err != nil {
+		t.Fatalf("nas.App(%s, %s): %v", name, class, err)
+	}
+	rec := trace.NewRecorder(nranks)
+	dur, err := mpi.Run(cluster.Build(cluster.Testbed(nranks), cluster.Dedicated()), nranks, mpi.Config{}, rec, app)
+	if err != nil {
+		t.Fatalf("run %s: %v", name, err)
+	}
+	return rec.Finish(dur)
+}
+
+// TestStaticMatchesTraced is the acceptance gate: for every NAS model
+// the paper evaluates, the statically synthesized signature at class S
+// on 4 ranks must agree with the traced pipeline — zero per-phase
+// op-structure divergence and no non-placeholder byte drift.
+func TestStaticMatchesTraced(t *testing.T) {
+	src := nasSource(t)
+	for _, name := range nas.Benchmarks() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := Extract(src, name)
+			if err != nil {
+				t.Fatalf("Extract: %v", err)
+			}
+			inst, err := p.Instantiate(4, string(nas.ClassS))
+			if err != nil {
+				t.Fatalf("Instantiate: %v", err)
+			}
+			d, err := inst.DiffTrace(traceApp(t, name, nas.ClassS, 4))
+			if err != nil {
+				t.Fatalf("DiffTrace: %v", err)
+			}
+			if d.Structure != "" {
+				t.Errorf("structure diverged:\n%s", d.Structure)
+			}
+			if len(d.Bytes) != 0 {
+				t.Errorf("byte volumes diverged: %+v", d.Bytes)
+			}
+			t.Logf("\n%s", d.Report())
+		})
+	}
+}

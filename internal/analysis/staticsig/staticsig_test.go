@@ -1,0 +1,43 @@
+package staticsig
+
+import (
+	"testing"
+
+	"perfskel/internal/analysis"
+	"perfskel/internal/analysis/commgraph"
+	"perfskel/internal/nas"
+)
+
+// nasSource loads the NAS models package once per test binary.
+func nasSource(t testing.TB) commgraph.Source {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.Load("perfskel/internal/nas")
+	if err != nil {
+		t.Fatalf("load nas: %v", err)
+	}
+	return commgraph.Source{Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info}
+}
+
+func TestExtractAllBenchmarks(t *testing.T) {
+	src := nasSource(t)
+	for _, name := range nas.AllBenchmarks() {
+		p, err := Extract(src, name)
+		if err != nil {
+			t.Fatalf("Extract(%s): %v", name, err)
+		}
+		inst, err := p.Instantiate(4, string(nas.ClassS))
+		if err != nil {
+			t.Fatalf("Instantiate(%s, 4, S): %v", name, err)
+		}
+		if inst.Sig.NRanks != 4 || inst.Sig.TraceEvents == 0 {
+			t.Fatalf("%s: bad signature: %d ranks, %d events", name, inst.Sig.NRanks, inst.Sig.TraceEvents)
+		}
+		t.Logf("%s: %d events, %d clusters, %d leaves, apptime %.3fs, params %v, placeholders %d",
+			name, inst.Sig.TraceEvents, len(inst.Sig.Clusters), inst.Sig.Len(), inst.Sig.AppTime,
+			inst.Params, len(inst.Placeholders))
+	}
+}

@@ -16,18 +16,20 @@ type Env struct {
 	Size int64
 	Info *types.Info
 
-	vars map[types.Object]Value
-	reqs map[types.Object]int64
+	vars  map[types.Object]Value
+	fvars map[types.Object]float64
+	reqs  map[types.Object]int64
 }
 
 // NewEnv returns an environment specialized to one rank of a size-P run.
 func NewEnv(info *types.Info, rank, size int64) *Env {
 	return &Env{
-		Rank: rank,
-		Size: size,
-		Info: info,
-		vars: make(map[types.Object]Value),
-		reqs: make(map[types.Object]int64),
+		Rank:  rank,
+		Size:  size,
+		Info:  info,
+		vars:  make(map[types.Object]Value),
+		fvars: make(map[types.Object]float64),
+		reqs:  make(map[types.Object]int64),
 	}
 }
 
@@ -42,6 +44,41 @@ func (e *Env) Bind(obj types.Object, v Value) {
 func (e *Env) Lookup(obj types.Object) (Value, bool) {
 	v, ok := e.vars[obj]
 	return v, ok
+}
+
+// BindFloat records a float binding (compute-work parameters). Float
+// bindings are a separate namespace from integer bindings: there is no
+// "known unknown" float state, a float variable is either bound to a
+// concrete value or absent.
+func (e *Env) BindFloat(obj types.Object, f float64) {
+	if obj != nil {
+		e.fvars[obj] = f
+	}
+}
+
+// UnbindFloat removes a float binding (the variable became unknown).
+func (e *Env) UnbindFloat(obj types.Object) {
+	if obj != nil {
+		delete(e.fvars, obj)
+	}
+}
+
+// LookupFloat returns the float binding for obj.
+func (e *Env) LookupFloat(obj types.Object) (float64, bool) {
+	f, ok := e.fvars[obj]
+	return f, ok
+}
+
+// selectedObj resolves a selector expression to the object it selects: a
+// struct field for field accesses, the package-level object for
+// qualified identifiers. Field bindings are keyed by the field object,
+// which is shared across all values of the struct type, so callers bind
+// at most one instance of a given struct type at a time.
+func (e *Env) selectedObj(s *ast.SelectorExpr) types.Object {
+	if sel, ok := e.Info.Selections[s]; ok {
+		return sel.Obj()
+	}
+	return e.Info.Uses[s.Sel]
 }
 
 // BindReq records that obj holds a request produced by an operation of
@@ -68,20 +105,86 @@ func (e *Env) ReqKind(x ast.Expr) (int64, bool) {
 	return k, ok
 }
 
-// Snapshot copies the current variable bindings.
-func (e *Env) Snapshot() map[types.Object]Value {
-	m := make(map[types.Object]Value, len(e.vars))
-	for k, v := range e.vars {
-		m[k] = v
-	}
-	return m
+// Snap is a copy of an environment's mutable state: integer bindings,
+// float bindings, and request kinds.
+type Snap struct {
+	vars  map[types.Object]Value
+	fvars map[types.Object]float64
+	reqs  map[types.Object]int64
 }
 
-// Restore replaces the variable bindings with a snapshot.
-func (e *Env) Restore(snap map[types.Object]Value) {
-	e.vars = make(map[types.Object]Value, len(snap))
-	for k, v := range snap {
+// Snapshot copies the current bindings.
+func (e *Env) Snapshot() *Snap {
+	s := &Snap{
+		vars:  make(map[types.Object]Value, len(e.vars)),
+		fvars: make(map[types.Object]float64, len(e.fvars)),
+		reqs:  make(map[types.Object]int64, len(e.reqs)),
+	}
+	for k, v := range e.vars {
+		s.vars[k] = v
+	}
+	for k, v := range e.fvars {
+		s.fvars[k] = v
+	}
+	for k, v := range e.reqs {
+		s.reqs[k] = v
+	}
+	return s
+}
+
+// Restore replaces the bindings with a snapshot's.
+func (e *Env) Restore(snap *Snap) {
+	e.vars = make(map[types.Object]Value, len(snap.vars))
+	for k, v := range snap.vars {
 		e.vars[k] = v
+	}
+	e.fvars = make(map[types.Object]float64, len(snap.fvars))
+	for k, v := range snap.fvars {
+		e.fvars[k] = v
+	}
+	e.reqs = make(map[types.Object]int64, len(snap.reqs))
+	for k, v := range snap.reqs {
+		e.reqs[k] = v
+	}
+}
+
+// ForgetScoped rolls back the bindings of every object declared within
+// [lo, hi) to their snapshot state, leaving other bindings untouched.
+// Used after inlining a callee: its parameters and locals must not leak
+// into the caller's environment (a leaked binding defeats the
+// loop-fold invariance check), while writes to captured variables
+// declared outside the callee are real effects and persist.
+func (e *Env) ForgetScoped(snap *Snap, lo, hi token.Pos) {
+	scoped := func(obj types.Object) bool {
+		p := obj.Pos()
+		return p >= lo && p < hi
+	}
+	for k := range e.vars {
+		if scoped(k) {
+			if v, ok := snap.vars[k]; ok {
+				e.vars[k] = v
+			} else {
+				delete(e.vars, k)
+			}
+		}
+	}
+	for k := range e.fvars {
+		if scoped(k) {
+			if v, ok := snap.fvars[k]; ok {
+				e.fvars[k] = v
+			} else {
+				delete(e.fvars, k)
+			}
+		}
+	}
+	for k := range e.reqs {
+		if scoped(k) {
+			if v, ok := snap.reqs[k]; ok {
+				e.reqs[k] = v
+			} else {
+				delete(e.reqs, k)
+			}
+		}
 	}
 }
 
@@ -92,13 +195,14 @@ func (e *Env) Restore(snap map[types.Object]Value) {
 // scoping makes those invisible to later iterations' surroundings. A
 // binding absent from one side is equal to an unknown value on the
 // other — an unbound variable already evaluates to Unknown, so binding
-// it to an unknown value changes nothing observable.
-func (e *Env) SameExcept(snap map[types.Object]Value, ignore func(types.Object) bool) bool {
+// it to an unknown value changes nothing observable. Float bindings
+// have no unknown state, so for those absence must match absence.
+func (e *Env) SameExcept(snap *Snap, ignore func(types.Object) bool) bool {
 	for k, v := range e.vars {
 		if ignore(k) {
 			continue
 		}
-		w, ok := snap[k]
+		w, ok := snap.vars[k]
 		if !ok {
 			if v.Known {
 				return false
@@ -109,11 +213,27 @@ func (e *Env) SameExcept(snap map[types.Object]Value, ignore func(types.Object) 
 			return false
 		}
 	}
-	for k, w := range snap {
+	for k, w := range snap.vars {
 		if ignore(k) {
 			continue
 		}
 		if _, ok := e.vars[k]; !ok && w.Known {
+			return false
+		}
+	}
+	for k, f := range e.fvars {
+		if ignore(k) {
+			continue
+		}
+		if w, ok := snap.fvars[k]; !ok || w != f {
+			return false
+		}
+	}
+	for k := range snap.fvars {
+		if ignore(k) {
+			continue
+		}
+		if _, ok := e.fvars[k]; !ok {
 			return false
 		}
 	}
@@ -137,6 +257,15 @@ func (e *Env) Eval(x ast.Expr) Value {
 		return e.Eval(s.X)
 	case *ast.Ident:
 		if obj := e.Info.Uses[s]; obj != nil {
+			if v, ok := e.vars[obj]; ok {
+				return v
+			}
+		}
+		return Unknown()
+	case *ast.SelectorExpr:
+		// Struct-field reads (p.outer) resolve through a field binding;
+		// qualified package identifiers resolve like plain identifiers.
+		if obj := e.selectedObj(s); obj != nil {
 			if v, ok := e.vars[obj]; ok {
 				return v
 			}
@@ -229,7 +358,10 @@ func (e *Env) EvalInt(x ast.Expr) (int64, bool) {
 	return v.N, v.Known
 }
 
-// EvalFloat evaluates x as a float64 (compute-work arguments).
+// EvalFloat evaluates x as a float64 (compute-work arguments):
+// compile-time constants, bound float variables and struct fields,
+// float arithmetic over those, conversions, and finally any expression
+// that evaluates as a known integer.
 func (e *Env) EvalFloat(x ast.Expr) (float64, bool) {
 	if tv, ok := e.Info.Types[x]; ok && tv.Value != nil {
 		if v := constant.ToFloat(tv.Value); v.Kind() == constant.Float || v.Kind() == constant.Int {
@@ -238,13 +370,113 @@ func (e *Env) EvalFloat(x ast.Expr) (float64, bool) {
 		}
 		return 0, false
 	}
-	if p, ok := unparen(x).(*ast.ParenExpr); ok {
-		return e.EvalFloat(p.X)
+	switch s := unparen(x).(type) {
+	case *ast.Ident:
+		if obj := e.Info.Uses[s]; obj != nil {
+			if f, ok := e.fvars[obj]; ok {
+				return f, true
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := e.selectedObj(s); obj != nil {
+			if f, ok := e.fvars[obj]; ok {
+				return f, true
+			}
+		}
+	case *ast.CallExpr:
+		// Conversions like float64(n) are transparent.
+		if len(s.Args) == 1 {
+			if tv, ok := e.Info.Types[s.Fun]; ok && tv.IsType() {
+				return e.EvalFloat(s.Args[0])
+			}
+		}
+	case *ast.UnaryExpr:
+		switch s.Op {
+		case token.SUB:
+			if f, ok := e.EvalFloat(s.X); ok {
+				return -f, true
+			}
+		case token.ADD:
+			return e.EvalFloat(s.X)
+		}
+	case *ast.BinaryExpr:
+		xf, xok := e.EvalFloat(s.X)
+		yf, yok := e.EvalFloat(s.Y)
+		if xok && yok {
+			switch s.Op {
+			case token.ADD:
+				return xf + yf, true
+			case token.SUB:
+				return xf - yf, true
+			case token.MUL:
+				return xf * yf, true
+			case token.QUO:
+				// Note: this is float division even when both operands
+				// came from integers, so callers must only use EvalFloat
+				// on float-typed expressions (compute-work arguments).
+				if isFloat(e.Info.TypeOf(x)) && yf != 0 {
+					return xf / yf, true
+				}
+			}
+		}
 	}
 	if n, ok := e.EvalInt(x); ok {
 		return float64(n), true
 	}
 	return 0, false
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// EvalWork evaluates a compute-work expression as a sum of factor
+// products, treating multiplicative factors it cannot resolve — calls
+// to jitter-style perturbation helpers whose mean is ~1 — as 1.0. It
+// returns the dominant-factor estimate, whether the evaluation was
+// exact (no factor was approximated away), and whether a usable
+// estimate exists at all. An unresolvable divisor or additive term
+// defeats the estimate: replacing those by a neutral element is not
+// mean-preserving.
+func (e *Env) EvalWork(x ast.Expr) (w float64, exact, ok bool) {
+	if f, ok := e.EvalFloat(x); ok {
+		return f, true, true
+	}
+	switch s := unparen(x).(type) {
+	case *ast.BinaryExpr:
+		switch s.Op {
+		case token.MUL:
+			xw, xe, xok := e.EvalWork(s.X)
+			yw, ye, yok := e.EvalWork(s.Y)
+			if xok && yok {
+				return xw * yw, xe && ye, true
+			}
+		case token.QUO:
+			yf, yok := e.EvalFloat(s.Y)
+			if yok && yf != 0 && isFloat(e.Info.TypeOf(x)) {
+				if xw, xe, xok := e.EvalWork(s.X); xok {
+					return xw / yf, xe, true
+				}
+			}
+		case token.ADD, token.SUB:
+			xw, xe, xok := e.EvalWork(s.X)
+			yw, ye, yok := e.EvalWork(s.Y)
+			if xok && yok {
+				if s.Op == token.SUB {
+					yw = -yw
+				}
+				return xw + yw, xe && ye, true
+			}
+		}
+	case *ast.CallExpr:
+		// An unresolvable call in factor position is treated as a
+		// mean-one perturbation factor.
+		if isFloat(e.Info.TypeOf(x)) {
+			return 1, false, true
+		}
+	}
+	return 0, false, false
 }
 
 // EvalBool evaluates a boolean condition under this environment.

@@ -9,16 +9,23 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 )
 
 func main() {
-	go tick()                      // want nondeterminism
-	start := time.Now()            // want nondeterminism
-	fmt.Println(time.Since(start)) // want nondeterminism
-	fmt.Println(os.Getenv("SEED")) // want nondeterminism
-	fmt.Println(rand.Intn(4))      // want nondeterminism
+	go tick()                              // want nondeterminism
+	start := time.Now()                    // want nondeterminism
+	fmt.Println(time.Since(start))         // want nondeterminism
+	fmt.Println(os.Getenv("SEED"))         // want nondeterminism
+	fmt.Println(rand.Intn(4))              // want nondeterminism
+	workers := runtime.NumCPU()            // want nondeterminism
+	fmt.Println(runtime.NumGoroutine())    // want nondeterminism
+	fmt.Println(runtime.GOMAXPROCS(0))     // want nondeterminism
+	fmt.Println(runtime.GOMAXPROCS(2))     // set form with explicit parallelism: clean
+	fmt.Println(runtime.GOMAXPROCS(1 - 1)) // want nondeterminism
+	fmt.Println(workers)
 	counts := map[string]int{"a": 1, "b": 2}
 	total := 0
 	for _, v := range counts { // map iteration alone: clean (orderflow's business)

@@ -43,6 +43,33 @@ type App struct {
 	ID string
 	// Fn is the per-rank program body.
 	Fn mpi.App
+	// Static, when set, is a statically synthesized execution signature
+	// skeleton cells build from instead of tracing Fn. A static cell
+	// with a nil Fn never simulates the application at all.
+	Static *StaticSig
+}
+
+// StaticSig is a statically synthesized execution signature plus the
+// content key that addresses it. The key must change whenever the
+// signature does — internal/analysis/staticsig derives it from the app
+// name, problem class, rank count and a hash of the analyzed source, so
+// editing the program invalidates the cache entry.
+type StaticSig struct {
+	// Key content-addresses the signature, e.g.
+	// "static|app=CG|class=S|p=4|src=1a2b…".
+	Key string
+	// Sig is the synthesized signature skeletons are built from.
+	Sig *signature.Signature
+}
+
+// StaticApp wraps a statically synthesized signature as a campaign app.
+// Skeleton cells (K >= 1) build directly from the signature with no
+// trace dependency; application cells (K == 0) are rejected because a
+// static app carries no program body to simulate. Attach Fn afterwards
+// to mix static skeleton cells with traced app-run cells of the same
+// program.
+func StaticApp(s *StaticSig) App {
+	return App{ID: "static:" + s.Key, Static: s}
 }
 
 // NASApp returns the named NAS benchmark as a campaign app with the
@@ -125,6 +152,7 @@ type Engine struct {
 // New returns an engine with the given configuration.
 func New(cfg Config) *Engine {
 	if cfg.Workers <= 0 {
+		//skelvet:ignore nondeterminism default pool size only; cell values are byte-identical at any worker count
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
@@ -153,8 +181,14 @@ var dedicatedCanon = func() string {
 
 // norm validates a cell and fills defaults.
 func (e *Engine) norm(c Cell) (Cell, error) {
-	if c.App.Fn == nil {
+	if c.App.Fn == nil && c.App.Static == nil {
 		return c, fmt.Errorf("campaign: cell has no app (App.Fn nil)")
+	}
+	if c.App.Fn == nil && c.K == 0 {
+		return c, fmt.Errorf("campaign: static app %s has no program body; app-run cells need K >= 1", c.App.ID)
+	}
+	if c.App.Static != nil && (c.App.Static.Key == "" || c.App.Static.Sig == nil) {
+		return c, fmt.Errorf("campaign: static app needs both a content key and a signature")
 	}
 	if c.App.ID == "" {
 		return c, fmt.Errorf("campaign: app has no identity (App.ID empty)")
@@ -300,9 +334,26 @@ func (e *Engine) ensureTrace(c Cell) (*trace.Trace, float64, error) {
 	return v.trace, v.time, nil
 }
 
-// build memoizes one skeleton construction.
+// build memoizes one skeleton construction. Static cells build from
+// their synthesized signature and never touch the trace path; their
+// label carries the static content key through App.ID, so a source edit
+// (which changes the hash inside the key) misses the cache.
 func (e *Engine) build(c Cell, l labels) (cellValue, error) {
 	opts := e.skelOpts(c)
+	if c.App.Static != nil {
+		return e.memo.do(buildLabel(c, l, opts), true, !e.cfg.Telemetry, func() (cellValue, error) {
+			e.acquire()
+			prog, err := skeleton.BuildOpts(c.App.Static.Sig, c.K, opts)
+			e.release()
+			if err != nil {
+				return cellValue{}, fmt.Errorf("campaign: static skeleton K=%d of %s: %w", c.K, c.App.ID, err)
+			}
+			if err := prog.Consistent(); err != nil {
+				return cellValue{}, fmt.Errorf("campaign: static skeleton K=%d of %s: %w", c.K, c.App.ID, err)
+			}
+			return cellValue{prog: prog, sig: c.App.Static.Sig}, nil
+		})
+	}
 	return e.memo.do(buildLabel(c, l, opts), true, !e.cfg.Telemetry, func() (cellValue, error) {
 		tr, _, err := e.ensureTrace(c)
 		if err != nil {

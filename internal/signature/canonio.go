@@ -1,0 +1,91 @@
+package signature
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonCanonNode is the serialised form of a CanonNode: exactly one of
+// Op or Loop is set.
+type jsonCanonNode struct {
+	Op   *CanonOp       `json:"op,omitempty"`
+	Loop *jsonCanonLoop `json:"loop,omitempty"`
+}
+
+type jsonCanonLoop struct {
+	Count int64           `json:"count"`
+	Body  []jsonCanonNode `json:"body"`
+}
+
+type jsonCanonSignature struct {
+	NRanks  int               `json:"nranks"`
+	PerRank [][]jsonCanonNode `json:"perrank"`
+}
+
+func encodeCanonSeq(seq []CanonNode) []jsonCanonNode {
+	out := make([]jsonCanonNode, 0, len(seq))
+	for _, nd := range seq {
+		if nd.Op != nil {
+			op := *nd.Op
+			out = append(out, jsonCanonNode{Op: &op})
+			continue
+		}
+		out = append(out, jsonCanonNode{Loop: &jsonCanonLoop{Count: nd.Count, Body: encodeCanonSeq(nd.Body)}})
+	}
+	return out
+}
+
+func decodeCanonSeq(seq []jsonCanonNode) ([]CanonNode, error) {
+	out := make([]CanonNode, 0, len(seq))
+	for i, jn := range seq {
+		switch {
+		case jn.Op != nil && jn.Loop == nil:
+			op := *jn.Op
+			out = append(out, CanonNode{Op: &op})
+		case jn.Loop != nil && jn.Op == nil:
+			if jn.Loop.Count < 0 {
+				return nil, fmt.Errorf("signature: negative canonical loop count %d", jn.Loop.Count)
+			}
+			body, err := decodeCanonSeq(jn.Loop.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, CanonNode{Count: jn.Loop.Count, Body: body})
+		default:
+			return nil, fmt.Errorf("signature: canonical node %d is neither op nor loop", i)
+		}
+	}
+	return out, nil
+}
+
+// EncodeJSON serialises the canonical signature. The encoding is
+// byte-deterministic: struct fields marshal in declaration order and
+// the canonical form contains no maps.
+func (cs *CanonSignature) EncodeJSON() ([]byte, error) {
+	js := jsonCanonSignature{NRanks: cs.NRanks}
+	for _, seq := range cs.PerRank {
+		js.PerRank = append(js.PerRank, encodeCanonSeq(seq))
+	}
+	return json.Marshal(js)
+}
+
+// DecodeCanonJSON deserialises a canonical signature written by
+// EncodeJSON.
+func DecodeCanonJSON(data []byte) (*CanonSignature, error) {
+	var js jsonCanonSignature
+	if err := json.Unmarshal(data, &js); err != nil {
+		return nil, fmt.Errorf("signature: decode canonical: %w", err)
+	}
+	if js.NRanks <= 0 || len(js.PerRank) != js.NRanks {
+		return nil, fmt.Errorf("signature: canonical form has %d ranks with %d sequences", js.NRanks, len(js.PerRank))
+	}
+	cs := &CanonSignature{NRanks: js.NRanks}
+	for _, seq := range js.PerRank {
+		dec, err := decodeCanonSeq(seq)
+		if err != nil {
+			return nil, err
+		}
+		cs.PerRank = append(cs.PerRank, dec)
+	}
+	return cs, nil
+}

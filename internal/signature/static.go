@@ -272,13 +272,22 @@ func commKeys(seq []CanonNode) []string {
 			out = append(out, collapseRepeats(commKeys(nd.Body))...)
 			continue
 		}
-		o := nd.Op
-		if o.Kind == mpi.OpCompute {
+		if nd.Op.Kind == mpi.OpCompute {
 			continue
 		}
-		out = append(out, fmt.Sprintf("%v/%d/%d/%d/%d", o.Kind, int(o.Sub), o.Peer, o.Peer2, o.Tag))
+		out = append(out, CanonKey(*nd.Op))
 	}
 	return out
+}
+
+// CanonKey renders the scale-invariant communication identity of a
+// canonical op — kind, wait selector, peers and tag, excluding message
+// size and compute work — exactly as the scaled-shape comparison keys
+// it. Producers that need to refer to "the same communication slot"
+// across signatures (static byte cross-validation, placeholder
+// exclusion lists) share this format.
+func CanonKey(o CanonOp) string {
+	return fmt.Sprintf("%v/%d/%d/%d/%d", o.Kind, int(o.Sub), o.Peer, o.Peer2, o.Tag)
 }
 
 func collapseRepeats(seq []string) []string {

@@ -126,3 +126,31 @@ END {
 
 echo "==> wrote $out"
 cat "$out"
+
+# Static signature synthesis: the cold path (constructor interpretation
+# + symbolic execution + signature conversion for CG at class S on 4
+# ranks) against the memoized warm path campaign sweeps see after the
+# first cell. Writes BENCH_staticsig.json.
+out=BENCH_staticsig.json
+
+echo "==> go test -bench StaticExtractCold/StaticInstantiateMemoized (count=$count)"
+go test -run xxx -bench 'BenchmarkStatic(ExtractCold|InstantiateMemoized)$' \
+    -benchmem -count "$count" "$@" ./internal/analysis/staticsig/ | tee /tmp/bench_staticsig.txt
+
+awk '
+/^BenchmarkStaticExtractCold/         { cold += $3; ncold++ }
+/^BenchmarkStaticInstantiateMemoized/ { warm += $3; nwarm++ }
+END {
+    if (ncold == 0 || nwarm == 0) { print "no benchmark output" > "/dev/stderr"; exit 1 }
+    mcold = cold / ncold; mwarm = warm / nwarm
+    printf "{\n"
+    printf "  \"benchmark\": \"static synthesis of CG class S, 4 ranks\",\n"
+    printf "  \"runs\": %d,\n", ncold
+    printf "  \"extract_cold_ns_op\": %.0f,\n", mcold
+    printf "  \"instantiate_memoized_ns_op\": %.0f,\n", mwarm
+    printf "  \"memo_speedup\": %.1f\n", mcold / mwarm
+    printf "}\n"
+}' /tmp/bench_staticsig.txt > "$out"
+
+echo "==> wrote $out"
+cat "$out"

@@ -1,0 +1,88 @@
+package perfskel_test
+
+import (
+	"math"
+	"testing"
+
+	"perfskel"
+	"perfskel/internal/nas"
+)
+
+// TestStaticPredictionAccuracy is the tentpole acceptance gate: a
+// skeleton synthesized statically from source (no trace) must predict
+// the application's contended execution time almost as well as the
+// trace-derived skeleton — within 2× of its prediction error (plus two
+// percentage points of slack for scenarios where the traced error is
+// essentially zero) — on CG and MG under the paper's sharing scenarios.
+func TestStaticPredictionAccuracy(t *testing.T) {
+	const (
+		nranks = 4
+		k      = 4
+	)
+	for _, name := range []string{"CG", "MG"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			app, err := nas.App(name, nas.ClassS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			envDed := perfskel.NewTestbed(nranks, perfskel.Dedicated())
+			tr, appDed, err := envDed.Trace(nranks, app)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			traced, _, err := perfskel.Construct(tr, perfskel.WithK(k))
+			if err != nil {
+				t.Fatalf("traced skeleton: %v", err)
+			}
+			static, _, err := perfskel.Construct(nil,
+				perfskel.WithStaticSource("perfskel/internal/nas"),
+				perfskel.WithStaticApp(name, nranks, "S"),
+				perfskel.WithK(k))
+			if err != nil {
+				t.Fatalf("static skeleton: %v", err)
+			}
+
+			tracedDed, err := envDed.RunSkeleton(traced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			staticDed, err := envDed.RunSkeleton(static)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, sc := range perfskel.PaperScenarios(nranks) {
+				sc := sc
+				t.Run(sc.Name, func(t *testing.T) {
+					env := perfskel.NewTestbed(nranks, sc)
+					actual, err := env.Run(nranks, app)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tracedSc, err := env.RunSkeleton(traced)
+					if err != nil {
+						t.Fatal(err)
+					}
+					staticSc, err := env.RunSkeleton(static)
+					if err != nil {
+						t.Fatal(err)
+					}
+					errTraced := relErr(perfskel.PredictTime(appDed, tracedDed, tracedSc), actual)
+					errStatic := relErr(perfskel.PredictTime(appDed, staticDed, staticSc), actual)
+					t.Logf("%s under %s: actual %.3fs, traced err %.2f%%, static err %.2f%%",
+						name, sc.Name, actual, 100*errTraced, 100*errStatic)
+					if errStatic > 2*errTraced+0.02 {
+						t.Errorf("static prediction error %.2f%% exceeds 2x traced error %.2f%% (+2pp slack)",
+							100*errStatic, 100*errTraced)
+					}
+				})
+			}
+		})
+	}
+}
+
+func relErr(predicted, actual float64) float64 {
+	return math.Abs(predicted-actual) / actual
+}
