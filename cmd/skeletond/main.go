@@ -1,0 +1,82 @@
+// Command skeletond serves the perfskel pipeline over HTTP: POST a
+// prediction request to /predict and get back the predicted execution
+// time, the per-phase profile, and cache metadata. The service keeps
+// one campaign engine for its whole lifetime, so identical requests —
+// concurrent or repeated — share one underlying simulation.
+//
+// Endpoints:
+//
+//	POST /predict   run (or recall) a prediction
+//	GET  /healthz   liveness (always 200 while the process runs)
+//	GET  /readyz    readiness (503 once draining)
+//	GET  /metrics   plain-text counters, latency histogram, cache ratio
+//
+// SIGTERM or SIGINT starts a graceful drain: /readyz flips to 503, new
+// predictions are refused, in-flight ones finish (bounded by -drain).
+//
+// Usage:
+//
+//	skeletond [-addr :8080] [-workers 4] [-queue 16] [-cache DIR]
+//	          [-timeout 30s] [-max-timeout 5m] [-drain 30s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"perfskel/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = 2)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+	cacheDir := flag.String("cache", "", "content-addressed simulation cache directory (empty = memory only)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request processing timeout")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
+	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM/SIGINT")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheDir:       *cacheDir,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	//skelvet:ignore nondeterminism serving goroutine; the HTTP layer is the module's concurrency boundary
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "skeletond: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		//skelvet:ignore orderflow fatal listener error on stderr; operator diagnostics, not pipeline output
+		fmt.Fprintf(os.Stderr, "skeletond: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "skeletond: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "skeletond: drain incomplete: %v\n", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "skeletond: listener shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "skeletond: drained")
+}

@@ -1,6 +1,7 @@
 package perfskel
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -139,17 +140,34 @@ func synthesizeStatic(cfg constructConfig) (*staticsig.Instance, error) {
 // signature comes from static synthesis of the program's source, and
 // flows through the same skeleton generation and consistency check.
 func Construct(tr *Trace, opts ...ConstructOption) (*Skeleton, *Signature, error) {
+	return ConstructContext(context.Background(), tr, opts...)
+}
+
+// ConstructContext is Construct with a cancellation context, checked
+// between the pipeline's stages (static synthesis, signature
+// compression, skeleton generation, consistency verification) so an
+// abandoned construction stops before starting its next stage. The
+// companion execution entry points (Env.RunContext,
+// Campaign.PredictAllContext) additionally check their context at
+// simulation-event granularity.
+func ConstructContext(ctx context.Context, tr *Trace, opts ...ConstructOption) (*Skeleton, *Signature, error) {
 	var cfg constructConfig
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 	if cfg.staticPkg != "" {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		inst, err := synthesizeStatic(cfg)
 		if err != nil {
 			return nil, nil, err
 		}
 		k, err := resolveK(cfg, inst.Sig.AppTime)
 		if err != nil {
+			return nil, nil, err
+		}
+		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
 		prog, err := skeleton.BuildOpts(inst.Sig, k, cfg.skelOpts)
@@ -168,9 +186,15 @@ func Construct(tr *Trace, opts ...ConstructOption) (*Skeleton, *Signature, error
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if cfg.sigOpts != nil {
 		sig, err := signature.Build(tr, *cfg.sigOpts)
 		if err != nil {
+			return nil, nil, err
+		}
+		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
 		prog, err := skeleton.BuildOpts(sig, k, cfg.skelOpts)
@@ -190,7 +214,7 @@ func resolveK(cfg constructConfig, appTime float64) (int, error) {
 	k := cfg.k
 	if k == 0 {
 		if cfg.targetTime == 0 {
-			return 0, fmt.Errorf("perfskel: Construct needs WithK or WithTargetTime")
+			return 0, fmt.Errorf("perfskel: Construct needs WithK or WithTargetTime: %w", ErrBadK)
 		}
 		var err error
 		k, err = skeleton.KForTime(appTime, cfg.targetTime)
@@ -199,7 +223,7 @@ func resolveK(cfg constructConfig, appTime float64) (int, error) {
 		}
 	}
 	if k < 1 {
-		return 0, fmt.Errorf("perfskel: scaling factor must be >= 1, got %d", k)
+		return 0, fmt.Errorf("perfskel: scaling factor must be >= 1, got %d: %w", k, ErrBadK)
 	}
 	return k, nil
 }

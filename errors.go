@@ -1,0 +1,31 @@
+package perfskel
+
+import (
+	"perfskel/internal/cluster"
+	"perfskel/internal/nas"
+	"perfskel/internal/signature"
+	"perfskel/internal/skeleton"
+)
+
+// The package's error taxonomy. Failures across the pipeline wrap one
+// of these sentinels (via %w), so callers distinguish bad requests from
+// internal faults with errors.Is instead of string matching — the
+// skeletond prediction service maps every sentinel below to a 400 and
+// everything else to a 500.
+var (
+	// ErrEmptyTrace: the trace has no events, so there is nothing to
+	// compress into a signature.
+	ErrEmptyTrace = signature.ErrEmptyTrace
+	// ErrBadK: the skeleton scaling factor is below 1, or the target
+	// time it would be derived from is not positive.
+	ErrBadK = skeleton.ErrBadK
+	// ErrUnknownScenario: ScenarioByName got a name it does not know.
+	// The message enumerates the valid names, sorted.
+	ErrUnknownScenario = cluster.ErrUnknownScenario
+	// ErrUnknownApp: NASApp got a benchmark name it does not know. The
+	// message enumerates the valid names, sorted.
+	ErrUnknownApp = nas.ErrUnknownApp
+)
+
+// ScenarioNames returns every name ScenarioByName accepts, sorted.
+func ScenarioNames() []string { return cluster.ScenarioNames() }

@@ -2,7 +2,9 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"sort"
@@ -70,40 +72,75 @@ func newMemo(dir string) *memo {
 	return &memo{entries: make(map[string]*entry), dir: dir}
 }
 
+// isCtxErr reports whether err is a cancellation or deadline failure —
+// the one class of error that is a property of the requesting context,
+// not of the cell, and so must never be cached.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // do returns the cell's value, computing it with compute on first
-// request. persist marks the cell disk-cacheable; diskRead additionally
-// allows satisfying it from disk (an engine collecting telemetry always
-// simulates, so it passes diskRead=false while still writing). Errors are
-// cached too: the computation is deterministic, so retrying cannot
-// succeed.
-func (m *memo) do(label string, persist, diskRead bool, compute func() (cellValue, error)) (cellValue, error) {
-	m.mu.Lock()
-	if e, ok := m.entries[label]; ok {
+// request; later requests for an in-flight cell wait on it
+// (singleflight), so a cell is computed at most once per engine no
+// matter how many workers request it. persist marks the cell
+// disk-cacheable; diskRead additionally allows satisfying it from disk
+// (an engine collecting telemetry always simulates, so it passes
+// diskRead=false while still writing). Deterministic errors are cached
+// too — retrying cannot succeed. Cancellation errors are NOT: they
+// describe the requesting context, not the cell, so a canceled
+// computation's entry is removed and the next request (including a
+// waiter that inherited the abandonment) computes the cell afresh under
+// its own context.
+func (m *memo) do(ctx context.Context, label string, persist, diskRead bool, compute func(ctx context.Context) (cellValue, error)) (cellValue, error) {
+	for {
+		m.mu.Lock()
+		if e, ok := m.entries[label]; ok {
+			m.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				// The waiter's own deadline fired first; the in-flight
+				// computation keeps running for whoever still wants it.
+				return cellValue{}, ctx.Err()
+			}
+			if e.err != nil && isCtxErr(e.err) {
+				// The computing request was abandoned mid-simulation and
+				// its entry removed; take over and compute the cell under
+				// this request's context.
+				continue
+			}
+			m.stats.hits.Add(1)
+			return e.val, e.err
+		}
+		e := &entry{done: make(chan struct{})}
+		m.entries[label] = e
 		m.mu.Unlock()
-		<-e.done
-		m.stats.hits.Add(1)
+
+		if m.dir != "" && persist && diskRead {
+			if v, ok := m.loadDisk(label); ok {
+				m.stats.diskHits.Add(1)
+				e.val = v
+				close(e.done)
+				return e.val, nil
+			}
+		}
+		m.stats.misses.Add(1)
+		e.val, e.err = compute(ctx)
+		if e.err == nil && m.dir != "" && persist {
+			// Best effort: a cache-write failure (full disk, permissions)
+			// only costs a future recompute.
+			_ = m.saveDisk(label, e.val)
+		}
+		if e.err != nil && isCtxErr(e.err) {
+			// Remove the poisoned entry before releasing waiters, so a
+			// retrying waiter finds the slot free.
+			m.mu.Lock()
+			delete(m.entries, label)
+			m.mu.Unlock()
+		}
+		close(e.done)
 		return e.val, e.err
 	}
-	e := &entry{done: make(chan struct{})}
-	m.entries[label] = e
-	m.mu.Unlock()
-	defer close(e.done)
-
-	if m.dir != "" && persist && diskRead {
-		if v, ok := m.loadDisk(label); ok {
-			m.stats.diskHits.Add(1)
-			e.val = v
-			return e.val, nil
-		}
-	}
-	m.stats.misses.Add(1)
-	e.val, e.err = compute()
-	if e.err == nil && m.dir != "" && persist {
-		// Best effort: a cache-write failure (full disk, permissions) only
-		// costs a future recompute.
-		_ = m.saveDisk(label, e.val)
-	}
-	return e.val, e.err
 }
 
 // snapshot returns the cache counters.

@@ -23,6 +23,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -162,10 +163,19 @@ func New(cfg Config) *Engine {
 	}
 }
 
-// acquire takes a worker slot. Compute functions hold a slot only around
-// actual simulation or construction work, never while waiting on another
-// cell, so the pool cannot deadlock on dependencies.
-func (e *Engine) acquire() { e.sem <- struct{}{} }
+// acquire takes a worker slot, or gives up when ctx is done first — a
+// canceled request must not go on to burn a simulation slot. Compute
+// functions hold a slot only around actual simulation or construction
+// work, never while waiting on another cell, so the pool cannot
+// deadlock on dependencies.
+func (e *Engine) acquire(ctx context.Context) error {
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 func (e *Engine) release() { <-e.sem }
 
 // dedicatedCanon is the canonical form of the unshared baseline scenario;
@@ -197,7 +207,7 @@ func (e *Engine) norm(c Cell) (Cell, error) {
 		return c, fmt.Errorf("campaign: cell needs at least 1 rank, got %d", c.NRanks)
 	}
 	if c.K < 0 {
-		return c, fmt.Errorf("campaign: negative scaling factor %d", c.K)
+		return c, fmt.Errorf("campaign: negative scaling factor %d: %w", c.K, skeleton.ErrBadK)
 	}
 	if len(c.Topo.Nodes) == 0 {
 		c.Topo = cluster.Testbed(c.NRanks)
@@ -218,6 +228,15 @@ func (e *Engine) skelOpts(c Cell) skeleton.Options {
 // otherwise — returning its execution time and statistics. Identical
 // cells are simulated once per engine (and once per cache directory).
 func (e *Engine) Run(c Cell) (RunResult, error) {
+	return e.RunContext(context.Background(), c)
+}
+
+// RunContext is Run with a cancellation context: the context is checked
+// while waiting for a worker slot and at simulation-event granularity
+// inside the run itself, so an abandoned request stops almost
+// immediately. A cancellation never poisons the cache — the cell is
+// recomputed by the next request that wants it.
+func (e *Engine) RunContext(ctx context.Context, c Cell) (RunResult, error) {
 	c, err := e.norm(c)
 	if err != nil {
 		return RunResult{}, err
@@ -228,9 +247,9 @@ func (e *Engine) Run(c Cell) (RunResult, error) {
 	}
 	var v cellValue
 	if c.K == 0 {
-		v, err = e.appRun(c, l)
+		v, err = e.appRun(ctx, c, l)
 	} else {
-		v, err = e.skelRun(c, l)
+		v, err = e.skelRun(ctx, c, l)
 	}
 	if err != nil {
 		return RunResult{}, err
@@ -242,18 +261,24 @@ func (e *Engine) Run(c Cell) (RunResult, error) {
 // execution signature. The trace behind it is the application's
 // dedicated run on the cell's topology.
 func (e *Engine) Construct(c Cell) (*skeleton.Program, *signature.Signature, error) {
+	return e.ConstructContext(context.Background(), c)
+}
+
+// ConstructContext is Construct with a cancellation context (see
+// RunContext).
+func (e *Engine) ConstructContext(ctx context.Context, c Cell) (*skeleton.Program, *signature.Signature, error) {
 	c, err := e.norm(c)
 	if err != nil {
 		return nil, nil, err
 	}
 	if c.K < 1 {
-		return nil, nil, fmt.Errorf("campaign: Construct needs K >= 1, got %d", c.K)
+		return nil, nil, fmt.Errorf("campaign: Construct needs K >= 1, got %d: %w", c.K, skeleton.ErrBadK)
 	}
 	l, err := e.labelsFor(c)
 	if err != nil {
 		return nil, nil, err
 	}
-	v, err := e.build(c, l)
+	v, err := e.build(ctx, c, l)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -276,14 +301,16 @@ func (e *Engine) newProbe() (*telemetry.Collector, telemetry.Sink, mpi.Config) {
 
 // appRun memoizes one application execution. Dedicated runs keep their
 // trace in memory so skeleton builds can reuse it without re-simulating.
-func (e *Engine) appRun(c Cell, l labels) (cellValue, error) {
-	return e.memo.do(appRunLabel(c, l), true, !e.cfg.Telemetry, func() (cellValue, error) {
+func (e *Engine) appRun(ctx context.Context, c Cell, l labels) (cellValue, error) {
+	return e.memo.do(ctx, appRunLabel(c, l), true, !e.cfg.Telemetry, func(ctx context.Context) (cellValue, error) {
 		col, sink, cfg := e.newProbe()
 		cl := cluster.BuildProbed(c.Topo, c.Scenario, sink)
 		rec := trace.NewRecorder(c.NRanks)
-		e.acquire()
+		if err := e.acquire(ctx); err != nil {
+			return cellValue{}, err
+		}
 		e.memo.stats.sims.Add(1)
-		dur, err := mpi.Run(cl, c.NRanks, cfg, rec, c.App.Fn)
+		dur, err := mpi.RunContext(ctx, cl, c.NRanks, cfg, rec, c.App.Fn)
 		e.release()
 		if err != nil {
 			return cellValue{}, fmt.Errorf("campaign: %s under %s: %w", c.App.ID, c.Scenario.Name, err)
@@ -301,7 +328,7 @@ func (e *Engine) appRun(c Cell, l labels) (cellValue, error) {
 // ensureTrace returns the application's dedicated execution trace on the
 // cell's topology, re-simulating (memory-memoized) when the run cell was
 // satisfied from disk and so carries no trace.
-func (e *Engine) ensureTrace(c Cell) (*trace.Trace, float64, error) {
+func (e *Engine) ensureTrace(ctx context.Context, c Cell) (*trace.Trace, float64, error) {
 	d := c
 	d.K = 0
 	d.Scenario = cluster.Dedicated()
@@ -309,19 +336,21 @@ func (e *Engine) ensureTrace(c Cell) (*trace.Trace, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	v, err := e.appRun(d, l)
+	v, err := e.appRun(ctx, d, l)
 	if err != nil {
 		return nil, 0, err
 	}
 	if v.trace != nil {
 		return v.trace, v.time, nil
 	}
-	v, err = e.memo.do(traceLabel(d, l), false, false, func() (cellValue, error) {
+	v, err = e.memo.do(ctx, traceLabel(d, l), false, false, func(ctx context.Context) (cellValue, error) {
 		cl := cluster.Build(d.Topo, d.Scenario)
 		rec := trace.NewRecorder(d.NRanks)
-		e.acquire()
+		if err := e.acquire(ctx); err != nil {
+			return cellValue{}, err
+		}
 		e.memo.stats.sims.Add(1)
-		dur, err := mpi.Run(cl, d.NRanks, e.cfg.MPI, rec, d.App.Fn)
+		dur, err := mpi.RunContext(ctx, cl, d.NRanks, e.cfg.MPI, rec, d.App.Fn)
 		e.release()
 		if err != nil {
 			return cellValue{}, err
@@ -338,11 +367,13 @@ func (e *Engine) ensureTrace(c Cell) (*trace.Trace, float64, error) {
 // their synthesized signature and never touch the trace path; their
 // label carries the static content key through App.ID, so a source edit
 // (which changes the hash inside the key) misses the cache.
-func (e *Engine) build(c Cell, l labels) (cellValue, error) {
+func (e *Engine) build(ctx context.Context, c Cell, l labels) (cellValue, error) {
 	opts := e.skelOpts(c)
 	if c.App.Static != nil {
-		return e.memo.do(buildLabel(c, l, opts), true, !e.cfg.Telemetry, func() (cellValue, error) {
-			e.acquire()
+		return e.memo.do(ctx, buildLabel(c, l, opts), true, !e.cfg.Telemetry, func(ctx context.Context) (cellValue, error) {
+			if err := e.acquire(ctx); err != nil {
+				return cellValue{}, err
+			}
 			prog, err := skeleton.BuildOpts(c.App.Static.Sig, c.K, opts)
 			e.release()
 			if err != nil {
@@ -354,12 +385,14 @@ func (e *Engine) build(c Cell, l labels) (cellValue, error) {
 			return cellValue{prog: prog, sig: c.App.Static.Sig}, nil
 		})
 	}
-	return e.memo.do(buildLabel(c, l, opts), true, !e.cfg.Telemetry, func() (cellValue, error) {
-		tr, _, err := e.ensureTrace(c)
+	return e.memo.do(ctx, buildLabel(c, l, opts), true, !e.cfg.Telemetry, func(ctx context.Context) (cellValue, error) {
+		tr, _, err := e.ensureTrace(ctx, c)
 		if err != nil {
 			return cellValue{}, err
 		}
-		e.acquire()
+		if err := e.acquire(ctx); err != nil {
+			return cellValue{}, err
+		}
 		prog, sig, err := skeleton.BuildFromTrace(tr, c.K, opts)
 		e.release()
 		if err != nil {
@@ -370,19 +403,21 @@ func (e *Engine) build(c Cell, l labels) (cellValue, error) {
 }
 
 // skelRun memoizes one skeleton execution under a scenario.
-func (e *Engine) skelRun(c Cell, l labels) (cellValue, error) {
+func (e *Engine) skelRun(ctx context.Context, c Cell, l labels) (cellValue, error) {
 	opts := e.skelOpts(c)
-	return e.memo.do(skelRunLabel(c, l, opts), true, !e.cfg.Telemetry, func() (cellValue, error) {
-		bv, err := e.build(c, l)
+	return e.memo.do(ctx, skelRunLabel(c, l, opts), true, !e.cfg.Telemetry, func(ctx context.Context) (cellValue, error) {
+		bv, err := e.build(ctx, c, l)
 		if err != nil {
 			return cellValue{}, err
 		}
 		col, sink, cfg := e.newProbe()
 		cl := cluster.BuildProbed(c.Topo, c.Scenario, sink)
 		rec := trace.NewRecorder(c.NRanks)
-		e.acquire()
+		if err := e.acquire(ctx); err != nil {
+			return cellValue{}, err
+		}
 		e.memo.stats.sims.Add(1)
-		dur, err := skeleton.Run(bv.prog, cl, cfg, rec)
+		dur, err := skeleton.RunContext(ctx, bv.prog, cl, cfg, rec)
 		e.release()
 		if err != nil {
 			return cellValue{}, fmt.Errorf("campaign: skeleton K=%d of %s under %s: %w", c.K, c.App.ID, c.Scenario.Name, err)

@@ -1,0 +1,115 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/nas"
+)
+
+// TestRunContextCanceled: canceling a request aborts its in-flight
+// simulation with an error wrapping context.Canceled, and the
+// abandonment does not poison the cache — the next request with a live
+// context computes the cell and gets the same value an undisturbed
+// engine produces.
+func TestRunContextCanceled(t *testing.T) {
+	app, err := NASApp("CG", nas.ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := Cell{App: app, NRanks: 4, Scenario: cluster.Dedicated()}
+
+	e := New(Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunContext(ctx, cell); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext under canceled ctx = %v, want context.Canceled", err)
+	}
+
+	// Same engine, live context: the canceled attempt must not have
+	// cached its failure.
+	got, err := e.RunContext(context.Background(), cell)
+	if err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	want, err := New(Config{Workers: 2}).Run(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != want.Time {
+		t.Fatalf("post-cancellation time %v != fresh engine time %v", got.Time, want.Time)
+	}
+}
+
+// TestSingleflightSurvivesWaiterCancel: when several requests share an
+// in-flight cell and one waiter's context dies, only that waiter fails;
+// the computation finishes for the others and the cell is simulated
+// exactly once.
+func TestSingleflightSurvivesWaiterCancel(t *testing.T) {
+	app, err := NASApp("MG", nas.ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := Cell{App: app, NRanks: 4, Scenario: cluster.Dedicated()}
+	e := New(Config{Workers: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 8
+	times := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := context.Background()
+			if i == 0 {
+				c = ctx // the one waiter we abandon
+			}
+			r, err := e.RunContext(c, cell)
+			times[i], errs[i] = r.Time, err
+		}(i)
+	}
+	cancel()
+	wg.Wait()
+
+	okTimes := map[float64]int{}
+	for i := 1; i < n; i++ {
+		if errs[i] != nil {
+			// A non-canceled waiter may only fail if it inherited the
+			// computer role from the canceled one and was itself fine —
+			// which cannot produce an error here.
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		okTimes[times[i]]++
+	}
+	if len(okTimes) != 1 {
+		t.Fatalf("waiters disagree on the cell time: %v", okTimes)
+	}
+	st := e.Stats()
+	// The cell may be simulated at most twice: once if the canceled
+	// waiter never held the computation, twice if its abandonment forced
+	// a re-run. Anything more means singleflight broke.
+	if st.Sims > 2 {
+		t.Fatalf("cell simulated %d times under singleflight", st.Sims)
+	}
+}
+
+// TestPredictAllContextCanceled: a canceled sweep returns an error
+// wrapping the cancellation rather than hanging or succeeding.
+func TestPredictAllContextCanceled(t *testing.T) {
+	app, err := NASApp("CG", nas.ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := New(Config{Workers: 2})
+	_, err = e.PredictAllContext(ctx, Grid{Apps: []App{app}, NRanks: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("PredictAllContext = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -86,30 +87,39 @@ type Prediction struct {
 // baseline, dedicated skeleton run (the scaling ratio), and the skeleton
 // probe under the cell's scenario. All three sub-runs go through the
 // cache, so a campaign's shared baselines are simulated once.
-func (e *Engine) Predict(c Cell) (Prediction, error) { return e.predict(c, false) }
+func (e *Engine) Predict(c Cell) (Prediction, error) {
+	return e.predict(context.Background(), c, false)
+}
 
-func (e *Engine) predict(c Cell, measure bool) (Prediction, error) {
+// PredictContext is Predict with a cancellation context: every sub-run
+// checks it while queueing for a worker slot and at simulation-event
+// granularity while running (see RunContext).
+func (e *Engine) PredictContext(ctx context.Context, c Cell) (Prediction, error) {
+	return e.predict(ctx, c, false)
+}
+
+func (e *Engine) predict(ctx context.Context, c Cell, measure bool) (Prediction, error) {
 	c, err := e.norm(c)
 	if err != nil {
 		return Prediction{}, err
 	}
 	if c.K < 1 {
-		return Prediction{}, fmt.Errorf("campaign: Predict needs K >= 1, got %d", c.K)
+		return Prediction{}, fmt.Errorf("campaign: Predict needs K >= 1, got %d: %w", c.K, skeleton.ErrBadK)
 	}
 	appDedCell := c
 	appDedCell.K = 0
 	appDedCell.Scenario = cluster.Dedicated()
-	appDed, err := e.Run(appDedCell)
+	appDed, err := e.RunContext(ctx, appDedCell)
 	if err != nil {
 		return Prediction{}, err
 	}
 	skelDedCell := c
 	skelDedCell.Scenario = cluster.Dedicated()
-	skelDed, err := e.Run(skelDedCell)
+	skelDed, err := e.RunContext(ctx, skelDedCell)
 	if err != nil {
 		return Prediction{}, err
 	}
-	skelScen, err := e.Run(c)
+	skelScen, err := e.RunContext(ctx, c)
 	if err != nil {
 		return Prediction{}, err
 	}
@@ -123,7 +133,7 @@ func (e *Engine) predict(c Cell, measure bool) (Prediction, error) {
 	if measure {
 		actCell := c
 		actCell.K = 0
-		act, err := e.Run(actCell)
+		act, err := e.RunContext(ctx, actCell)
 		if err != nil {
 			return Prediction{}, err
 		}
@@ -140,6 +150,14 @@ func (e *Engine) predict(c Cell, measure bool) (Prediction, error) {
 // serialized — for any Workers setting, because each cell's value is a
 // pure function of its content-addressed key.
 func (e *Engine) PredictAll(g Grid) ([]Prediction, error) {
+	return e.PredictAllContext(context.Background(), g)
+}
+
+// PredictAllContext is PredictAll with a cancellation context: once ctx
+// is done, queued cells fail fast and in-flight simulations abort at
+// their next event checkpoint, so an abandoned sweep releases its
+// workers almost immediately.
+func (e *Engine) PredictAllContext(ctx context.Context, g Grid) ([]Prediction, error) {
 	cells := g.Cells()
 	g = g.withDefaults()
 	preds := make([]Prediction, len(cells))
@@ -150,7 +168,7 @@ func (e *Engine) PredictAll(g Grid) ([]Prediction, error) {
 		//skelvet:ignore nondeterminism bounded worker pool; each goroutine writes only its own index and Wait joins them all before any read
 		go func(i int) {
 			defer wg.Done()
-			preds[i], errs[i] = e.predict(cells[i], g.MeasureApp)
+			preds[i], errs[i] = e.predict(ctx, cells[i], g.MeasureApp)
 		}(i)
 	}
 	wg.Wait()

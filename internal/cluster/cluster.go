@@ -6,10 +6,12 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"perfskel/internal/sim"
 	"perfskel/internal/telemetry"
@@ -284,7 +286,24 @@ func ByName(name string, n int) (Scenario, error) {
 			return sc, nil
 		}
 	}
-	return Scenario{}, fmt.Errorf("cluster: unknown scenario %q", name)
+	return Scenario{}, fmt.Errorf("cluster: %w %q (valid: %s)",
+		ErrUnknownScenario, name, strings.Join(ScenarioNames(), ", "))
+}
+
+// ErrUnknownScenario reports a scenario name ByName does not know.
+// Callers branch on it with errors.Is (the prediction service maps it
+// to a 400); the full message enumerates the valid names.
+var ErrUnknownScenario = errors.New("unknown scenario")
+
+// ScenarioNames returns every name ByName accepts, sorted, so usage and
+// error messages that enumerate them are byte-stable.
+func ScenarioNames() []string {
+	names := []string{Dedicated().Name}
+	for _, sc := range PaperScenarios(2) {
+		names = append(names, sc.Name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // CrossTraffic describes background flows injected between random node

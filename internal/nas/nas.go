@@ -35,8 +35,10 @@
 package nas
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"perfskel/internal/mpi"
 )
@@ -66,10 +68,18 @@ func AllBenchmarks() []string { return append(Benchmarks(), "FT", "EP") }
 // App returns the per-rank program of the named benchmark at the given
 // class. The returned app runs on any world with at least 2 ranks
 // (power-of-two sizes match the models best; the paper uses 4).
+// ErrUnknownApp reports a benchmark name App does not know. Callers
+// branch on it with errors.Is (the prediction service maps it to a
+// 400); the full message enumerates the valid names sorted, so CLI
+// usage errors and service 400 bodies are byte-stable.
+var ErrUnknownApp = errors.New("unknown benchmark")
+
 func App(name string, class Class) (mpi.App, error) {
 	mk, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("nas: unknown benchmark %q (have %v)", name, Benchmarks())
+		names := AllBenchmarks()
+		sort.Strings(names)
+		return nil, fmt.Errorf("nas: %w %q (valid: %s)", ErrUnknownApp, name, strings.Join(names, ", "))
 	}
 	app, err := mk(class)
 	if err != nil {

@@ -1,0 +1,101 @@
+// Package service implements skeletond, a long-running concurrent HTTP
+// JSON service that serves the full perfskel pipeline: POST a
+// prediction request (a NAS application or a statically synthesized
+// source package, a rank count, a sharing scenario, a scaling factor or
+// target time, a scale mode) and get back the predicted execution time,
+// the run's time-breakdown profile, and cache metadata.
+//
+// The service is the serving layer over the campaign engine: every
+// simulation a request needs goes through the engine's
+// content-addressed memoization, so identical requests — concurrent or
+// repeated — share one underlying simulation, and shared baselines (the
+// dedicated application run behind every prediction) are computed once
+// per process and optionally persisted across processes. On top of that
+// the service adds a response-level singleflight cache (byte-identical
+// bodies for identical requests), admission control (a bounded worker
+// pool plus a bounded wait queue with fast 429 rejection), per-request
+// deadlines whose cancellation aborts in-flight simulations at event
+// granularity, and graceful drain.
+//
+// Determinism boundary: everything below ServeHTTP — simulation,
+// construction, prediction — observes only virtual time and is
+// byte-deterministic; the service layer itself is the module's one
+// wall-clock boundary (request latency is real time), which is why its
+// few time.Now/time.Since sites carry skelvet:ignore justifications.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"perfskel/internal/campaign"
+	"perfskel/internal/telemetry"
+)
+
+// metrics is the service's concurrency-safe face of the telemetry
+// metrics registry. The registry itself is single-threaded by design
+// (its intended context is the simulator's cooperative scheduling), so
+// every access goes through one mutex; the registry's virtual-time
+// stamps are fed with wall seconds since service start.
+type metrics struct {
+	mu    sync.Mutex
+	reg   *telemetry.Registry
+	start time.Time
+}
+
+func newMetrics() *metrics {
+	//skelvet:ignore nondeterminism service uptime base: request latency is wall time by definition; nothing below the HTTP layer sees it
+	return &metrics{reg: telemetry.NewRegistry(), start: time.Now()}
+}
+
+// elapsed returns wall seconds since the service started — the
+// registry's time axis.
+func (m *metrics) elapsed() float64 {
+	//skelvet:ignore nondeterminism service uptime read: metrics timestamps are wall time by definition; nothing below the HTTP layer sees them
+	return time.Since(m.start).Seconds()
+}
+
+// observeRequest records one finished request: total count, per-status
+// count, and the latency histogram.
+func (m *metrics) observeRequest(code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.elapsed()
+	m.reg.Counter("http_requests_total").Add(t, 1)
+	m.reg.Counter(fmt.Sprintf("http_responses_%d_total", code)).Add(t, 1)
+	m.reg.Histogram("http_request_seconds").Observe(seconds)
+}
+
+// observeCache records a response-cache outcome.
+func (m *metrics) observeCache(hit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.elapsed()
+	if hit {
+		m.reg.Counter("predict_cache_hits_total").Add(t, 1)
+	} else {
+		m.reg.Counter("predict_cache_misses_total").Add(t, 1)
+	}
+}
+
+// render snapshots the live gauges (queue depth, in-flight requests,
+// uptime, the campaign engine's cache counters and hit ratio) and
+// returns the registry's plain-text report.
+func (m *metrics) render(queued, inflight int64, st campaign.Stats) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.elapsed()
+	m.reg.Gauge("queue_depth").Set(t, float64(queued))
+	m.reg.Gauge("inflight_requests").Set(t, float64(inflight))
+	m.reg.Gauge("uptime_seconds").Set(t, t)
+	m.reg.Gauge("campaign_memory_hits").Set(t, float64(st.Hits))
+	m.reg.Gauge("campaign_disk_hits").Set(t, float64(st.DiskHits))
+	m.reg.Gauge("campaign_misses").Set(t, float64(st.Misses))
+	m.reg.Gauge("campaign_sims_total").Set(t, float64(st.Sims))
+	hits := float64(st.Hits + st.DiskHits)
+	if total := hits + float64(st.Misses); total > 0 {
+		m.reg.Gauge("campaign_cache_hit_ratio").Set(t, hits/total)
+	}
+	return m.reg.Render()
+}

@@ -1,0 +1,389 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perfskel/internal/campaign"
+	"perfskel/internal/mpi"
+	"perfskel/internal/skeleton"
+)
+
+// Config tunes one server.
+type Config struct {
+	// Workers bounds the number of requests computing concurrently (each
+	// holds at most one campaign worker slot at a time). Zero means 2.
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// slot; one more is rejected immediately with 429. Zero means
+	// 4 × Workers.
+	QueueDepth int
+	// DefaultTimeout caps a request's processing time when the request
+	// does not name its own; zero means 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the timeout a request may ask for; zero means
+	// 5 minutes.
+	MaxTimeout time.Duration
+	// CacheDir, when non-empty, backs the campaign engine's simulation
+	// cache with content-addressed files shared across processes.
+	CacheDir string
+	// MPI is the runtime cost model every simulation runs under.
+	MPI mpi.Config
+	// Skeleton is the construction option set for skeleton cells.
+	Skeleton skeleton.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is the skeletond HTTP service: the campaign engine behind a
+// response-level singleflight cache, a bounded admission gate, and the
+// health/metrics endpoints. Create with New, serve via ServeHTTP (it is
+// an http.Handler), stop with Shutdown.
+type Server struct {
+	cfg Config
+	eng *campaign.Engine
+	mux *http.ServeMux
+	met *metrics
+
+	// sem is the worker-slot semaphore; queued counts requests waiting
+	// for a slot, inflight counts requests holding one.
+	sem      chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	// draining flips once at Shutdown: new predictions are refused with
+	// 503 while in-flight ones finish. drainCh unblocks queued waiters.
+	draining atomic.Bool
+	drainCh  chan struct{}
+	wg       sync.WaitGroup
+
+	// resp is the response-body singleflight cache: canonical request
+	// key → encoded body. Bodies are cached, not Response values, so a
+	// warm hit is byte-identical to the cold encode by construction.
+	respMu sync.Mutex
+	resp   map[string]*respEntry
+}
+
+// respEntry is one response-cache slot. done closes when body/err are
+// final; entries whose computation was abandoned by cancellation are
+// removed before done closes, so waiters retry and take over.
+type respEntry struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// New returns a ready-to-serve skeletond server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		eng: campaign.New(campaign.Config{
+			Workers:  cfg.Workers,
+			CacheDir: cfg.CacheDir,
+			MPI:      cfg.MPI,
+			Skeleton: cfg.Skeleton,
+		}),
+		mux:     http.NewServeMux(),
+		met:     newMetrics(),
+		sem:     make(chan struct{}, cfg.Workers),
+		drainCh: make(chan struct{}),
+		resp:    map[string]*respEntry{},
+	}
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Engine exposes the underlying campaign engine (for cache statistics).
+func (s *Server) Engine() *campaign.Engine { return s.eng }
+
+// ServeHTTP dispatches to the service's endpoints and records the
+// request in the metrics registry.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	//skelvet:ignore nondeterminism request latency is wall time by definition; nothing below the HTTP layer sees it
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+	//skelvet:ignore nondeterminism request latency is wall time by definition; nothing below the HTTP layer sees it
+	s.met.observeRequest(sw.status(), time.Since(start).Seconds())
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// Shutdown drains the server: new prediction requests are refused with
+// 503 (and /readyz flips to 503 for load balancers), queued requests
+// waiting for a worker slot are released with 503, and in-flight
+// computations run to completion — or until ctx expires, at which point
+// Shutdown returns ctx's error with requests still in flight.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.drainCh)
+	}
+	done := make(chan struct{})
+	//skelvet:ignore nondeterminism drain watcher goroutine; the service layer is the module's concurrency boundary
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// errorBody is every non-2xx response's JSON body.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body, _ := json.Marshal(errorBody{Error: msg, Status: code})
+	w.Write(append(body, '\n'))
+}
+
+// httpStatus maps an error to the service's error contract: 400 for
+// the request's fault (taxonomy sentinels), 429 when the wait queue is
+// full, 503 while draining, 504 for a deadline the server enforced,
+// 408 for client-side cancellation, 500 otherwise.
+func httpStatus(err error) int {
+	switch {
+	case badRequest(err):
+		return http.StatusBadRequest
+	case errors.Is(err, errQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ready\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, s.met.render(s.queued.Load(), s.inflight.Load(), s.eng.Stats()))
+}
+
+// handlePredict is the service's main endpoint. The fast path — a
+// previously computed identical request — never waits for a worker
+// slot; only requests that must compute pass the admission gate.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	body, hit, err := s.respond(ctx, req)
+	if err != nil {
+		s.met.observeCache(false)
+		writeError(w, httpStatus(err), err.Error())
+		return
+	}
+	s.met.observeCache(hit)
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Skeletond-Cache", "hit")
+	} else {
+		w.Header().Set("X-Skeletond-Cache", "miss")
+	}
+	w.Write(body)
+}
+
+// requestContext derives the request's deadline: the client's own
+// cancellation (connection close) plus the requested-or-default
+// timeout, capped at MaxTimeout.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// respond returns the request's response body, serving repeats from the
+// singleflight body cache. hit reports whether the body came from the
+// cache (memory) rather than this call's computation.
+func (s *Server) respond(ctx context.Context, req Request) (body []byte, hit bool, err error) {
+	// Static-source requests bypass the body cache: their lookup label
+	// cannot see a source edit (the content hash only exists after
+	// synthesis), so a cached body could go stale. They stay cheap on
+	// repeats anyway — every simulation behind them is memoized in the
+	// campaign layer under hash-carrying labels, and re-encoding the
+	// same values yields byte-identical bodies.
+	if req.SourcePkg != "" {
+		body, err := s.computeBody(ctx, req)
+		return body, false, err
+	}
+	label := req.key()
+	for {
+		s.respMu.Lock()
+		if e, ok := s.resp[label]; ok {
+			s.respMu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if e.err != nil {
+				// The owner failed (cancellation, rejection, queue
+				// pressure) and removed the entry — retry under our own
+				// context and admission budget.
+				continue
+			}
+			return e.body, true, nil
+		}
+		e := &respEntry{done: make(chan struct{})}
+		s.resp[label] = e
+		s.respMu.Unlock()
+
+		e.body, e.err = s.computeBody(ctx, req)
+		if e.err != nil {
+			// Only successful bodies stay cached: cancellations and
+			// queue-full rejections are transient, and deterministic
+			// rejections are cheap to recompute while their entries
+			// would let typos squat memory forever.
+			s.respMu.Lock()
+			delete(s.resp, label)
+			s.respMu.Unlock()
+		}
+		close(e.done)
+		return e.body, false, e.err
+	}
+}
+
+// computeBody runs one admission-gated computation and encodes its
+// response. It is only reached by the request that owns the cache
+// entry; concurrent identical requests wait on the entry instead.
+func (s *Server) computeBody(ctx context.Context, req Request) ([]byte, error) {
+	if err := s.admit(ctx); err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.sem
+		s.wg.Done()
+	}()
+	resp, err := s.compute(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// admit implements the admission gate: take a worker slot immediately
+// if one is free; otherwise join the bounded wait queue, or fail fast
+// with 429 when it is full. A canceled waiter leaves the queue with its
+// context's error; a drain releases every waiter with 503.
+func (s *Server) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if n := s.queued.Add(1); n > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		return errQueueFull
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.drainCh:
+		return errDraining
+	}
+}
+
+var (
+	errQueueFull = errors.New("service: queue full")
+	errDraining  = errors.New("service: draining")
+)

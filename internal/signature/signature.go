@@ -1,11 +1,17 @@
 package signature
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"perfskel/internal/trace"
 )
+
+// ErrEmptyTrace reports a trace with no events: there is nothing to
+// compress into a signature. Callers branch on it with errors.Is (the
+// prediction service maps it to a 400).
+var ErrEmptyTrace = errors.New("signature: empty trace")
 
 // Options controls signature construction.
 type Options struct {
@@ -100,7 +106,7 @@ func Build(tr *trace.Trace, opts Options) (*Signature, error) {
 		return nil, err
 	}
 	if tr.Len() == 0 {
-		return nil, fmt.Errorf("signature: empty trace")
+		return nil, ErrEmptyTrace
 	}
 	opts = opts.withDefaults()
 	if opts.InitialThreshold < 0 || opts.InitialThreshold > opts.MaxThreshold {

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunAborted: canceling the attached context mid-run stops the
+// engine with an error wrapping context.Canceled, and every virtual
+// process is unwound (Run returns with no goroutine left parked).
+func TestRunAborted(t *testing.T) {
+	e := New()
+	cpu := e.NewCPU("node0", 1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetContext(ctx)
+	steps := 0
+	e.Spawn("worker", false, func(p *Proc) {
+		// A long sequence of tiny compute slices: each one is a
+		// scheduler iteration, so the abort checkpoint is exercised
+		// many times over.
+		for i := 0; i < 1_000_000; i++ {
+			p.Compute(cpu, 1e-6)
+			steps++
+			if steps == 1000 {
+				cancel()
+			}
+		}
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("Run returned nil after context cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want errors.Is(context.Canceled)", err)
+	}
+	if steps >= 1_000_000 {
+		t.Fatal("simulation ran to completion despite cancellation")
+	}
+	// The checkpoint is rate-limited; the engine must still stop within
+	// a few intervals of the cancel.
+	if steps > 1000+4*abortCheckInterval {
+		t.Fatalf("engine processed %d steps after cancellation", steps-1000)
+	}
+}
+
+// TestRunDeadline: an already-expired deadline aborts the run almost
+// immediately with context.DeadlineExceeded.
+func TestRunDeadline(t *testing.T) {
+	e := New()
+	cpu := e.NewCPU("node0", 1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // done before Run even starts
+	_ = ctx.Err()
+	e.SetContext(ctx)
+	e.Spawn("worker", false, func(p *Proc) {
+		for i := 0; i < 1_000_000; i++ {
+			p.Compute(cpu, 1e-6)
+		}
+	})
+	if err := e.Run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunBackgroundContext: SetContext with a Background context keeps
+// the run identical to an unattached one — same result, no error.
+func TestRunBackgroundContext(t *testing.T) {
+	run := func(attach bool) (float64, error) {
+		e := New()
+		cpu := e.NewCPU("node0", 1, 1)
+		if attach {
+			e.SetContext(context.Background())
+		}
+		e.Spawn("worker", false, func(p *Proc) {
+			for i := 0; i < 500; i++ {
+				p.Compute(cpu, 1e-3)
+			}
+		})
+		err := e.Run()
+		return e.Now(), err
+	}
+	t0, err0 := run(false)
+	t1, err1 := run(true)
+	if err0 != nil || err1 != nil {
+		t.Fatalf("errors: %v / %v", err0, err1)
+	}
+	if t0 != t1 {
+		t.Fatalf("Background context changed the result: %v != %v", t0, t1)
+	}
+}

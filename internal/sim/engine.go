@@ -24,6 +24,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -52,6 +53,13 @@ type Engine struct {
 
 	probe telemetry.SimProbe
 
+	// abort is the cancellation signal installed by SetContext: the
+	// context's Done channel, or nil when no cancelable context is
+	// attached (the common batch case, which then pays nothing).
+	abort    <-chan struct{}
+	abortCtx context.Context
+	ticks    uint // scheduler iterations since the last abort check
+
 	// MaxVirtualTime aborts Run with an error if the virtual clock passes
 	// it. Zero means no limit. It is a safety net against runaway
 	// workloads, not a normal termination mechanism.
@@ -72,6 +80,46 @@ func (e *Engine) Now() float64 { return e.now }
 // instrumentation entirely: every emission site is guarded by a nil
 // check, so the disabled path costs no allocations.
 func (e *Engine) SetProbe(p telemetry.SimProbe) { e.probe = p }
+
+// abortCheckInterval is how many scheduler iterations pass between
+// context checks: frequent enough that an abandoned simulation stops
+// within microseconds of real time, sparse enough that the check is
+// invisible next to the per-event channel handoffs.
+const abortCheckInterval = 64
+
+// SetContext attaches a cancellation context to the engine. Run checks
+// it at simulation-event granularity (every scheduler iteration batch)
+// and aborts with an error wrapping ctx.Err() once the context is done,
+// unwinding every virtual process so no goroutine outlives the run. A
+// nil or never-canceled context (context.Background) costs nothing.
+// Call SetContext before Run.
+func (e *Engine) SetContext(ctx context.Context) {
+	if ctx == nil {
+		e.abort, e.abortCtx = nil, nil
+		return
+	}
+	// Done returns nil for contexts that can never be canceled; keeping
+	// abort nil then skips the checkpoint entirely.
+	e.abort, e.abortCtx = ctx.Done(), ctx
+}
+
+// aborted reports whether the attached context has been canceled,
+// rate-limited to one real check per abortCheckInterval iterations.
+func (e *Engine) aborted() bool {
+	if e.abort == nil {
+		return false
+	}
+	e.ticks++
+	if e.ticks%abortCheckInterval != 0 {
+		return false
+	}
+	select {
+	case <-e.abort:
+		return true
+	default:
+		return false
+	}
+}
 
 // Proc is a virtual process: a goroutine whose passage of virtual time is
 // entirely explicit through Compute, Sleep and WaitEvent calls. User code
@@ -220,6 +268,10 @@ func (e *Engine) Run() error {
 			break
 		}
 		if e.alive == 0 {
+			break
+		}
+		if e.aborted() {
+			e.failure = fmt.Errorf("sim: run aborted at t=%.6f: %w", e.now, e.abortCtx.Err())
 			break
 		}
 		if len(e.ready) > 0 {

@@ -1,6 +1,7 @@
 package skeleton
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -9,6 +10,11 @@ import (
 	"perfskel/internal/mpi"
 	"perfskel/internal/signature"
 )
+
+// ErrBadK reports an unusable skeleton scaling factor — K below 1, or a
+// non-positive target time to derive it from. Callers branch on it with
+// errors.Is (the prediction service maps it to a 400).
+var ErrBadK = errors.New("bad scaling factor")
 
 // ScaleMode selects how unreduced communication operations are scaled
 // down by K (step 3 of section 3.3).
@@ -78,7 +84,7 @@ func Build(sig *signature.Signature, k int) (*Program, error) {
 // BuildOpts is Build with explicit construction options.
 func BuildOpts(sig *signature.Signature, k int, opts Options) (*Program, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("skeleton: scaling factor K must be >= 1, got %d", k)
+		return nil, fmt.Errorf("skeleton: scaling factor K must be >= 1, got %d: %w", k, ErrBadK)
 	}
 	opts = opts.withDefaults()
 	p := &Program{
@@ -102,7 +108,7 @@ func BuildOpts(sig *signature.Signature, k int, opts Options) (*Program, error) 
 // the paths cannot disagree at rounding boundaries.
 func KForTime(appTime, target float64) (int, error) {
 	if target <= 0 {
-		return 0, fmt.Errorf("skeleton: target time must be positive, got %v", target)
+		return 0, fmt.Errorf("skeleton: target time must be positive, got %v: %w", target, ErrBadK)
 	}
 	k := int(math.Round(appTime / target))
 	if k < 1 {

@@ -1,6 +1,7 @@
 package skeleton
 
 import (
+	"context"
 	"fmt"
 
 	"perfskel/internal/cluster"
@@ -133,5 +134,11 @@ func (x *executor) drain() {
 // parallel execution time, the quantity the prediction method multiplies
 // by the measured scaling ratio.
 func Run(p *Program, cl *cluster.Cluster, cfg mpi.Config, mon mpi.Monitor) (float64, error) {
-	return mpi.Run(cl, p.NRanks, cfg, mon, func(c *mpi.Comm) { Execute(p, c) })
+	return RunContext(context.Background(), p, cl, cfg, mon)
+}
+
+// RunContext is Run with a cancellation context, checked by the
+// simulation engine at event granularity (see mpi.RunContext).
+func RunContext(ctx context.Context, p *Program, cl *cluster.Cluster, cfg mpi.Config, mon mpi.Monitor) (float64, error) {
+	return mpi.RunContext(ctx, cl, p.NRanks, cfg, mon, func(c *mpi.Comm) { Execute(p, c) })
 }

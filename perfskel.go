@@ -37,6 +37,8 @@
 package perfskel
 
 import (
+	"context"
+
 	"perfskel/internal/cluster"
 	"perfskel/internal/gridsel"
 	"perfskel/internal/mpi"
@@ -176,16 +178,31 @@ func NewTestbed(n int, sc Scenario) *Env {
 func NewEnv(topo Topology, sc Scenario) *Env { return &Env{Topo: topo, Sc: sc} }
 
 // Run executes app as nranks ranks and returns the parallel execution
-// time in virtual seconds.
+// time in virtual seconds. It is RunContext with a Background context.
 func (e *Env) Run(nranks int, app App) (float64, error) {
-	return mpi.Run(e.build(), nranks, e.mpiConfig(), nil, app)
+	return e.RunContext(context.Background(), nranks, app)
+}
+
+// RunContext is Run with a cancellation context. The simulation engine
+// checks ctx at event granularity and aborts with an error wrapping
+// ctx.Err() once it is done, so an abandoned run stops burning CPU
+// within microseconds instead of completing; every virtual process is
+// unwound before RunContext returns.
+func (e *Env) RunContext(ctx context.Context, nranks int, app App) (float64, error) {
+	return mpi.RunContext(ctx, e.build(), nranks, e.mpiConfig(), nil, app)
 }
 
 // Trace executes app and records its execution trace (the paper's
-// profiling-library step). Returns the trace and the execution time.
+// profiling-library step). Returns the trace and the execution time. It
+// is TraceContext with a Background context.
 func (e *Env) Trace(nranks int, app App) (*Trace, float64, error) {
+	return e.TraceContext(context.Background(), nranks, app)
+}
+
+// TraceContext is Trace with a cancellation context (see RunContext).
+func (e *Env) TraceContext(ctx context.Context, nranks int, app App) (*Trace, float64, error) {
 	rec := trace.NewRecorder(nranks)
-	dur, err := mpi.Run(e.build(), nranks, e.mpiConfig(), rec, app)
+	dur, err := mpi.RunContext(ctx, e.build(), nranks, e.mpiConfig(), rec, app)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -193,9 +210,15 @@ func (e *Env) Trace(nranks int, app App) (*Trace, float64, error) {
 }
 
 // RunSkeleton executes a performance skeleton and returns its execution
-// time.
+// time. It is RunSkeletonContext with a Background context.
 func (e *Env) RunSkeleton(p *Skeleton) (float64, error) {
-	return skeleton.Run(p, e.build(), e.mpiConfig(), nil)
+	return e.RunSkeletonContext(context.Background(), p)
+}
+
+// RunSkeletonContext is RunSkeleton with a cancellation context (see
+// RunContext).
+func (e *Env) RunSkeletonContext(ctx context.Context, p *Skeleton) (float64, error) {
+	return skeleton.RunContext(ctx, p, e.build(), e.mpiConfig(), nil)
 }
 
 // BuildSignature compresses a trace into an execution signature with the

@@ -154,3 +154,33 @@ END {
 
 echo "==> wrote $out"
 cat "$out"
+
+# skeletond serving layer: cold request latency (fresh server, every
+# request simulates), warm cache-hit latency, and sustained warm
+# throughput under client concurrency. Writes BENCH_service.json.
+out=BENCH_service.json
+
+echo "==> go test -bench Service(Cold|Warm|WarmParallel) (count=$count)"
+go test -run xxx -bench 'BenchmarkService(Cold|Warm|WarmParallel)$' \
+    -benchmem -count "$count" "$@" ./internal/service/ | tee /tmp/bench_service.txt
+
+awk '
+/^BenchmarkServiceCold/         { cold += $3; ncold++ }
+/^BenchmarkServiceWarmParallel/ { rps += $3; nrps++; next }
+/^BenchmarkServiceWarm/         { warm += $3; nwarm++ }
+END {
+    if (ncold == 0 || nwarm == 0 || nrps == 0) { print "no benchmark output" > "/dev/stderr"; exit 1 }
+    mcold = cold / ncold; mwarm = warm / nwarm; mrps = rps / nrps
+    printf "{\n"
+    printf "  \"benchmark\": \"skeletond POST /predict: CG class S, 4 ranks, cpu-one-node, K=8\",\n"
+    printf "  \"runs\": %d,\n", ncold
+    printf "  \"cold_ns_op\": %.0f,\n", mcold
+    printf "  \"warm_ns_op\": %.0f,\n", mwarm
+    printf "  \"warm_speedup\": %.1f,\n", mcold / mwarm
+    printf "  \"warm_parallel_ns_op\": %.0f,\n", mrps
+    printf "  \"warm_parallel_rps\": %.0f\n", 1e9 / mrps
+    printf "}\n"
+}' /tmp/bench_service.txt > "$out"
+
+echo "==> wrote $out"
+cat "$out"
