@@ -201,8 +201,8 @@ func (c *Comm) waitRaw(req *Request) Status {
 	if probed {
 		t0 = c.Now()
 	}
-	st.proc.WaitEvent(req.done, fmt.Sprintf("rank%d wait %v peer=%d tag=%d bytes=%d",
-		c.rank, req.op, req.peer, req.tag, req.bytes))
+	st.proc.WaitEventReason(req.done,
+		sim.WaitReason(c.rank, req.op.String(), req.peer, req.tag, req.bytes))
 	if probed {
 		t1 := c.Now()
 		if waited := t1 - t0; waited > 0 {

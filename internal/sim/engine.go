@@ -21,6 +21,17 @@
 //     filling), the standard fluid approximation of TCP fairness on the
 //     paper's switched Ethernet testbed.
 //   - Timers fire at an absolute virtual deadline.
+//
+// Performance: the event loop is incremental and allocation-free in
+// steady state. Processor-sharing rates are maintained as per-CPU values
+// updated when a group's runnable count changes; the max-min filling
+// reruns only when the flow set or a capacity changed (see
+// computeFlowRates); task structs are pooled; the ready queue and the
+// task/flow lists reuse their backing arrays. All of it preserves
+// bit-for-bit virtual timings — every floating-point expression the old
+// from-scratch recomputation evaluated per event is either evaluated
+// identically or skipped only when its inputs are provably unchanged
+// (the determinism goldens at the repo root pin this).
 package sim
 
 import (
@@ -38,7 +49,11 @@ type Engine struct {
 	now         float64
 	procs       []*Proc
 	ready       []*Proc // runnable procs, kept sorted by id
-	tasks       []*task // active resource-consuming tasks
+	readyHead   int     // index of the queue's front within ready
+	tasks       []*task // active resource-consuming tasks, creation (= id) order
+	flows       []*task // active flow tasks, creation order
+	flowsDirty  bool    // flow set or a capacity changed since the last max-min run
+	rateEpoch   uint64  // increments per max-min run; Resource.epoch marks membership
 	taskSeq     int64
 	completions int
 	alive       int // non-daemon procs that have not finished
@@ -51,7 +66,23 @@ type Engine struct {
 	cpus  []*CPU
 	links []*Resource
 
+	// scratch storage reused across events so the steady-state loop
+	// allocates nothing.
+	resScratch       []*Resource
+	completedScratch []*task
+	taskPool         []*task
+
+	// sleepMemo caches rendered sleep-block reasons for probed runs,
+	// keyed by the delay; CPU.textMemo is its per-CPU counterpart for
+	// compute reasons. Wait reasons are rendered fresh each block:
+	// message tags typically make them unique, so a cache keyed by the
+	// full Reason struct only hashes and grows without ever hitting.
+	sleepMemo map[float64]string
+
 	probe telemetry.SimProbe
+	// resProbe is probe's optional id-based utilisation extension,
+	// resolved once at SetProbe so emissions skip the string-keyed path.
+	resProbe telemetry.ResourceProbe
 
 	// abort is the cancellation signal installed by SetContext: the
 	// context's Done channel, or nil when no cancelable context is
@@ -79,7 +110,18 @@ func (e *Engine) Now() float64 { return e.now }
 // so proc registrations are seen. A nil probe (the default) disables
 // instrumentation entirely: every emission site is guarded by a nil
 // check, so the disabled path costs no allocations.
-func (e *Engine) SetProbe(p telemetry.SimProbe) { e.probe = p }
+func (e *Engine) SetProbe(p telemetry.SimProbe) {
+	e.probe = p
+	e.resProbe, _ = p.(telemetry.ResourceProbe)
+	// Registered ids belong to the previous probe; drop them so resources
+	// re-register with the new one on their next emission.
+	for _, c := range e.cpus {
+		c.probeID = -1
+	}
+	for _, r := range e.links {
+		r.probeID = -1
+	}
+}
 
 // abortCheckInterval is how many scheduler iterations pass between
 // context checks: frequent enough that an abandoned simulation stops
@@ -132,7 +174,7 @@ type Proc struct {
 	resume chan struct{}
 	parked bool   // blocked inside a yield, waiting for resume
 	done   bool   // body returned
-	reason string // what the proc is blocked on, for deadlock reports
+	reason Reason // what the proc is blocked on, for deadlock reports
 }
 
 // ID returns the process id, assigned in spawn order starting at zero.
@@ -206,21 +248,70 @@ func (e *Engine) Spawn(name string, daemon bool, body func(p *Proc)) *Proc {
 // unwinding them so their goroutines exit.
 var errStopped = fmt.Errorf("sim: engine stopped")
 
-// block parks the calling proc until the scheduler resumes it. reason is
-// recorded for deadlock diagnostics. Must be called from the proc's own
+// block parks the calling proc until it is resumed. r is recorded for
+// deadlock diagnostics; its text is materialized only for an attached
+// probe or an actual deadlock report. Must be called from the proc's own
 // goroutine while it is the running proc.
-func (p *Proc) block(reason string) {
-	p.reason = reason
+//
+// When another proc is already runnable, the blocking proc resumes it
+// directly instead of bouncing through the scheduler goroutine: one
+// channel handoff per proc switch instead of two. All engine-state
+// mutations happen before the resume send, so the woken proc has
+// exclusive access the moment it runs; the blocker's remaining code only
+// parks on its own private channel. Control returns to the scheduler
+// exactly when it has work: the ready queue drained (time must advance or
+// a deadlock be reported), a failure was recorded, or the attached
+// context fired.
+func (p *Proc) block(r Reason) {
+	p.reason = r
 	p.parked = true
-	if p.eng.probe != nil {
-		p.eng.probe.ProcBlock(p.eng.now, p.id, reason)
+	e := p.eng
+	if e.probe != nil {
+		e.probe.ProcBlock(e.now, p.id, e.reasonText(r))
 	}
-	p.eng.yield <- struct{}{}
+	if e.failure == nil && e.readyHead < len(e.ready) {
+		if e.aborted() {
+			e.failure = fmt.Errorf("sim: run aborted at t=%.6f: %w", e.now, e.abortCtx.Err())
+			e.yield <- struct{}{}
+		} else {
+			next := e.popReady()
+			next.resume <- struct{}{}
+		}
+	} else {
+		e.yield <- struct{}{}
+	}
 	<-p.resume
-	if p.eng.stopped {
+	if e.stopped {
 		panic(errStopped)
 	}
-	p.reason = ""
+	p.reason = Reason{}
+}
+
+// reasonText renders a block reason for the probe. Static reasons (the
+// common case: constant strings, memoized compute and sleep text) are
+// already rendered; the rest — wait reasons, whose per-message tags make
+// memoization useless — format directly.
+func (e *Engine) reasonText(r Reason) string {
+	if r.kind == reasonStatic {
+		return r.str
+	}
+	return r.String()
+}
+
+// sleepText returns the rendered sleep-block reason for delay d,
+// memoized per distinct delay.
+func (e *Engine) sleepText(d float64) string {
+	if s, ok := e.sleepMemo[d]; ok {
+		return s
+	}
+	s := sleepReason(d).String()
+	if e.sleepMemo == nil {
+		e.sleepMemo = make(map[float64]string, 8)
+	}
+	if len(e.sleepMemo) < 1<<12 {
+		e.sleepMemo[d] = s
+	}
+	return s
 }
 
 // wake moves a parked proc to the ready queue. Must be called from
@@ -233,10 +324,37 @@ func (e *Engine) wake(p *Proc) {
 	if e.probe != nil {
 		e.probe.ProcWake(e.now, p.id)
 	}
-	i := sort.Search(len(e.ready), func(i int) bool { return e.ready[i].id >= p.id })
+	// Compact the drained prefix before append would grow the backing
+	// array: without this the pop side's head advance would strand
+	// capacity and every wake would reallocate (the slice-drift bug the
+	// old `ready = ready[1:]` pop had).
+	if e.readyHead > 0 && len(e.ready) == cap(e.ready) {
+		n := copy(e.ready, e.ready[e.readyHead:])
+		for i := n; i < len(e.ready); i++ {
+			e.ready[i] = nil
+		}
+		e.ready = e.ready[:n]
+		e.readyHead = 0
+	}
+	q := e.ready[e.readyHead:]
+	i := sort.Search(len(q), func(i int) bool { return q[i].id >= p.id })
 	e.ready = append(e.ready, nil)
-	copy(e.ready[i+1:], e.ready[i:])
-	e.ready[i] = p
+	copy(e.ready[e.readyHead+i+1:], e.ready[e.readyHead+i:])
+	e.ready[e.readyHead+i] = p
+}
+
+// popReady removes and returns the lowest-id runnable proc. The queue is
+// consumed through a head index; once drained, the backing array is
+// reused from the start, so the steady-state schedule allocates nothing.
+func (e *Engine) popReady() *Proc {
+	p := e.ready[e.readyHead]
+	e.ready[e.readyHead] = nil
+	e.readyHead++
+	if e.readyHead == len(e.ready) {
+		e.ready = e.ready[:0]
+		e.readyHead = 0
+	}
+	return p
 }
 
 // DeadlockError reports that the simulation can make no further progress
@@ -274,9 +392,8 @@ func (e *Engine) Run() error {
 			e.failure = fmt.Errorf("sim: run aborted at t=%.6f: %w", e.now, e.abortCtx.Err())
 			break
 		}
-		if len(e.ready) > 0 {
-			p := e.ready[0]
-			e.ready = e.ready[1:]
+		if e.readyHead < len(e.ready) {
+			p := e.popReady()
 			p.resume <- struct{}{}
 			<-e.yield
 			continue
@@ -285,7 +402,7 @@ func (e *Engine) Run() error {
 			var blocked []string
 			for _, p := range e.procs {
 				if !p.done && !p.daemon {
-					blocked = append(blocked, p.name+": "+p.reason)
+					blocked = append(blocked, p.name+": "+p.reason.String())
 				}
 			}
 			e.failure = &DeadlockError{Time: e.now, Blocked: blocked}
@@ -316,6 +433,7 @@ func (e *Engine) shutdown() {
 		}
 	}
 	e.ready = nil
+	e.readyHead = 0
 	e.wg.Wait()
 }
 

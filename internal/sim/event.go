@@ -33,9 +33,17 @@ func (ev *Event) Fire() {
 // WaitEvent blocks the calling process until ev fires. Returns immediately
 // if it has already fired.
 func (p *Proc) WaitEvent(ev *Event, reason string) {
+	p.WaitEventReason(ev, StaticReason(reason))
+}
+
+// WaitEventReason is WaitEvent with a lazily rendered block reason:
+// nothing is formatted unless a deadlock report is built or a probe is
+// attached. Hot callers (the message-passing wait path) use it to avoid
+// a per-wait Sprintf.
+func (p *Proc) WaitEventReason(ev *Event, r Reason) {
 	if ev.fired {
 		return
 	}
 	ev.waiters = append(ev.waiters, p)
-	p.block(reason)
+	p.block(r)
 }

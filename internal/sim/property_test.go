@@ -109,8 +109,8 @@ func TestProcessorSharingProperties(t *testing.T) {
 			want = speed * float64(ncpus) / float64(n)
 		}
 		for i, tk := range tasks {
-			if diff := tk.rate - want; diff > 1e-12 || diff < -1e-12 {
-				t.Fatalf("trial %d task %d: rate %v, want %v (ncpu=%d n=%d)", trial, i, tk.rate, want, ncpus, n)
+			if diff := tk.currentRate() - want; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("trial %d task %d: rate %v, want %v (ncpu=%d n=%d)", trial, i, tk.currentRate(), want, ncpus, n)
 			}
 		}
 	}

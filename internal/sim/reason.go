@@ -1,0 +1,85 @@
+package sim
+
+import "strconv"
+
+// reasonKind discriminates the lazy block-reason formats.
+type reasonKind uint8
+
+const (
+	reasonStatic  reasonKind = iota // str verbatim
+	reasonCompute                   // "compute %.6fs on %s"   (f, str)
+	reasonSleep                     // "sleep %.6fs"           (f)
+	reasonWait                      // "rank%d wait %s peer=%d tag=%d bytes=%d"
+)
+
+// Reason describes what a virtual process is blocked on without
+// materializing the description. The engine stores it by value on the
+// Proc, so the steady-state block path performs no formatting and no
+// allocation; the text is rendered only when a DeadlockError is actually
+// built or a telemetry probe is attached (probes receive reasons as
+// strings). Construct one with StaticReason or WaitReason; Proc.Compute
+// and Proc.Sleep build theirs internally.
+type Reason struct {
+	kind reasonKind
+	str  string // static text, CPU group name, or MPI op name
+	f    float64
+	a, b int // rank, peer
+	tag  int
+	n    int64 // bytes
+}
+
+// StaticReason wraps a precomputed description. Use it when the text is
+// a constant (or already exists); it costs nothing beyond the value copy.
+func StaticReason(s string) Reason { return Reason{kind: reasonStatic, str: s} }
+
+// WaitReason describes a blocking wait on a message-passing request,
+// rendered as "rank<r> wait <op> peer=<p> tag=<t> bytes=<b>". op should
+// be a preexisting string (an operation name constant), so building the
+// Reason allocates nothing.
+func WaitReason(rank int, op string, peer, tag int, bytes int64) Reason {
+	return Reason{kind: reasonWait, str: op, a: rank, b: peer, tag: tag, n: bytes}
+}
+
+// computeReason is Proc.Compute's block reason.
+func computeReason(work float64, cpu string) Reason {
+	return Reason{kind: reasonCompute, f: work, str: cpu}
+}
+
+// sleepReason is Proc.Sleep's block reason.
+func sleepReason(d float64) Reason { return Reason{kind: reasonSleep, f: d} }
+
+// String renders the reason. The output is byte-identical to the eager
+// fmt.Sprintf formats used before reasons became lazy (%.6f matches
+// strconv's 'f' with precision 6), which the Perfetto goldens pin.
+func (r Reason) String() string {
+	switch r.kind {
+	case reasonCompute:
+		b := make([]byte, 0, 48)
+		b = append(b, "compute "...)
+		b = strconv.AppendFloat(b, r.f, 'f', 6, 64)
+		b = append(b, "s on "...)
+		b = append(b, r.str...)
+		return string(b)
+	case reasonSleep:
+		b := make([]byte, 0, 24)
+		b = append(b, "sleep "...)
+		b = strconv.AppendFloat(b, r.f, 'f', 6, 64)
+		b = append(b, 's')
+		return string(b)
+	case reasonWait:
+		b := make([]byte, 0, 64)
+		b = append(b, "rank"...)
+		b = strconv.AppendInt(b, int64(r.a), 10)
+		b = append(b, " wait "...)
+		b = append(b, r.str...)
+		b = append(b, " peer="...)
+		b = strconv.AppendInt(b, int64(r.b), 10)
+		b = append(b, " tag="...)
+		b = strconv.AppendInt(b, int64(r.tag), 10)
+		b = append(b, " bytes="...)
+		b = strconv.AppendInt(b, r.n, 10)
+		return string(b)
+	default:
+		return r.str
+	}
+}

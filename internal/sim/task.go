@@ -1,9 +1,7 @@
 package sim
 
 import (
-	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"perfskel/internal/telemetry"
@@ -14,12 +12,35 @@ import (
 // at rate speed*min(1, ncpu/n) work units per second. This is the fluid
 // model of the round-robin timesharing the paper's Linux testbed exhibits.
 type CPU struct {
-	name   string
-	ncpu   int
-	speed  float64 // work units per second per processor
-	active int     // running compute tasks (maintained during advance)
-	busy   float64 // virtual seconds with at least one runnable task
-	probed int     // last runnable count reported to the probe
+	name    string
+	ncpu    int
+	speed   float64 // work units per second per processor
+	active  int     // running compute tasks (maintained incrementally)
+	rate    float64 // per-task rate for the current active count
+	busy    float64 // virtual seconds with at least one runnable task
+	probed  int     // last runnable count reported to the probe
+	probeID int     // dense id from ResourceProbe registration (-1 until registered)
+
+	// textMemo caches formatted compute-block reasons by work amount:
+	// probed programs compute the same quanta every iteration, and an
+	// 8-byte float key hashes far cheaper than the full Reason struct.
+	textMemo map[float64]string
+}
+
+// computeText returns the rendered block reason for computing work on c,
+// memoized per distinct work amount.
+func (c *CPU) computeText(work float64) string {
+	if s, ok := c.textMemo[work]; ok {
+		return s
+	}
+	s := computeReason(work, c.name).String()
+	if c.textMemo == nil {
+		c.textMemo = make(map[float64]string, 8)
+	}
+	if len(c.textMemo) < 1<<12 {
+		c.textMemo[work] = s
+	}
+	return s
 }
 
 // NewCPU adds a node CPU group with ncpu processors of the given speed (in
@@ -28,7 +49,7 @@ func (e *Engine) NewCPU(name string, ncpu int, speed float64) *CPU {
 	if ncpu <= 0 || speed <= 0 {
 		panic("sim: NewCPU requires positive ncpu and speed")
 	}
-	c := &CPU{name: name, ncpu: ncpu, speed: speed}
+	c := &CPU{name: name, ncpu: ncpu, speed: speed, probeID: -1}
 	e.cpus = append(e.cpus, c)
 	return c
 }
@@ -36,14 +57,32 @@ func (e *Engine) NewCPU(name string, ncpu int, speed float64) *CPU {
 // Name returns the CPU group's name.
 func (c *CPU) Name() string { return c.name }
 
+// addActive adjusts the runnable compute-task count and refreshes the
+// shared per-task rate. The expression is exactly the one the former
+// per-event recomputation evaluated, on an active count that integer
+// increments keep exact, so the incremental rate is bit-identical to a
+// from-scratch one. A group that drains to zero keeps a stale rate, which
+// is never read: no task is running on it.
+func (c *CPU) addActive(d int) {
+	c.active += d
+	if c.active > 0 {
+		c.rate = c.speed * math.Min(1, float64(c.ncpu)/float64(c.active))
+	}
+}
+
 // Resource is a capacity-limited network resource (a NIC or link direction).
 // Concurrent flows crossing it share its capacity max-min fairly.
 type Resource struct {
 	name     string
+	eng      *Engine
 	capacity float64 // bytes per second
 	bytes    float64 // payload bytes carried, accumulated during advance
 
-	// scratch fields used by the max-min computation
+	// scratch fields owned by the max-min computation. epoch stamps the
+	// filling run that last touched the resource: it replaces the
+	// per-event membership map, and comparing it against the engine's
+	// rateEpoch answers "is this resource carrying flows right now".
+	epoch   uint64
 	remCap  float64
 	unfixed int
 	nflows  int // flows crossing the resource this round
@@ -51,6 +90,11 @@ type Resource struct {
 	// last utilisation reported to the probe
 	probedRate  float64
 	probedFlows int
+	probeID     int // dense id from ResourceProbe registration (-1 until registered)
+
+	// pairName interns two-hop path labels ("this+next") keyed by the
+	// second hop, so probed flow starts don't rebuild the same string.
+	pairName map[*Resource]string
 }
 
 // NewResource adds a network resource with the given capacity in bytes/s.
@@ -58,7 +102,7 @@ func (e *Engine) NewResource(name string, capacity float64) *Resource {
 	if capacity <= 0 {
 		panic("sim: NewResource requires positive capacity")
 	}
-	r := &Resource{name: name, capacity: capacity}
+	r := &Resource{name: name, eng: e, capacity: capacity, probeID: -1}
 	e.links = append(e.links, r)
 	return r
 }
@@ -77,6 +121,9 @@ func (r *Resource) SetCapacity(c float64) {
 		panic("sim: SetCapacity requires positive capacity")
 	}
 	r.capacity = c
+	if r.eng != nil {
+		r.eng.flowsDirty = true
+	}
 }
 
 type taskKind int
@@ -87,16 +134,47 @@ const (
 	taskTimer
 )
 
-// task is a unit of virtual-time-consuming activity.
+// task is a unit of virtual-time-consuming activity. Tasks are pooled on
+// the engine: completion returns them to the free list, so the steady
+// state recycles a fixed working set instead of allocating per event.
 type task struct {
 	id        int64
 	kind      taskKind
 	cpu       *CPU        // compute
 	path      []*Resource // flow
+	where     string      // flow path name, cached at start (probed runs only)
 	remaining float64     // work units (compute), bytes (flow)
 	deadline  float64     // absolute time (timer)
-	rate      float64     // current progress rate
+	rate      float64     // current progress rate (flows; compute uses cpu.rate)
+	due       float64     // seconds until completion, cached per advance
 	onDone    func()      // runs in scheduler context at completion
+	proc      *Proc       // woken at completion when onDone is nil
+}
+
+// currentRate returns the task's instantaneous progress rate.
+func (t *task) currentRate() float64 {
+	if t.kind == taskCompute {
+		return t.cpu.rate
+	}
+	return t.rate
+}
+
+// newTask takes a task from the pool, or allocates when the pool is dry
+// (only while the concurrent-task high-water mark is still growing).
+func (e *Engine) newTask() *task {
+	if n := len(e.taskPool); n > 0 {
+		t := e.taskPool[n-1]
+		e.taskPool[n-1] = nil
+		e.taskPool = e.taskPool[:n-1]
+		return t
+	}
+	return &task{}
+}
+
+// release zeroes a completed task and returns it to the pool.
+func (e *Engine) release(t *task) {
+	*t = task{}
+	e.taskPool = append(e.taskPool, t)
 }
 
 func (e *Engine) addTask(t *task) {
@@ -114,8 +192,13 @@ func (e *Engine) StartCompute(cpu *CPU, work float64, onDone func()) {
 		e.After(0, onDone)
 		return
 	}
-	t := &task{kind: taskCompute, cpu: cpu, remaining: work, onDone: onDone}
+	t := e.newTask()
+	t.kind = taskCompute
+	t.cpu = cpu
+	t.remaining = work
+	t.onDone = onDone
 	e.addTask(t)
+	cpu.addActive(1)
 	if e.probe != nil {
 		e.probe.TaskStart(e.now, t.id, telemetry.TaskCompute, cpu.name, work)
 	}
@@ -133,17 +216,56 @@ func (e *Engine) StartFlow(path []*Resource, bytes float64, onDone func()) {
 		e.After(0, onDone)
 		return
 	}
-	t := &task{kind: taskFlow, path: path, remaining: bytes, onDone: onDone}
+	t := e.newTask()
+	t.kind = taskFlow
+	t.path = path
+	t.remaining = bytes
+	t.onDone = onDone
 	e.addTask(t)
+	e.flows = append(e.flows, t)
+	e.flowsDirty = true
 	if e.probe != nil {
-		e.probe.TaskStart(e.now, t.id, telemetry.TaskFlow, pathName(path), bytes)
+		// Join the path name once here; the finish report reuses it.
+		t.where = pathName(path)
+		e.probe.TaskStart(e.now, t.id, telemetry.TaskFlow, t.where, bytes)
 	}
 }
 
-// pathName joins a flow path's resource names for probe reports.
+// removeFlow drops a completed flow from the ordered flow list. Flow
+// populations are small (bounded by concurrent transfers), so the linear
+// order-preserving removal is cheaper than any indexed structure.
+func (e *Engine) removeFlow(t *task) {
+	for i, f := range e.flows {
+		if f == t {
+			copy(e.flows[i:], e.flows[i+1:])
+			e.flows[len(e.flows)-1] = nil
+			e.flows = e.flows[:len(e.flows)-1]
+			e.flowsDirty = true
+			return
+		}
+	}
+	panic("sim: completed flow missing from flow list")
+}
+
+// pathName joins a flow path's resource names for probe reports. The
+// overwhelmingly common shapes — one hop, and the two-hop up+down pair
+// every cluster route uses — return an interned string; only longer
+// paths build one.
 func pathName(path []*Resource) string {
-	if len(path) == 1 {
+	switch len(path) {
+	case 1:
 		return path[0].name
+	case 2:
+		r, next := path[0], path[1]
+		if s, ok := r.pairName[next]; ok {
+			return s
+		}
+		s := r.name + "+" + next.name
+		if r.pairName == nil {
+			r.pairName = make(map[*Resource]string, 8)
+		}
+		r.pairName[next] = s
+		return s
 	}
 	names := make([]string, len(path))
 	for i, r := range path {
@@ -158,7 +280,10 @@ func (e *Engine) After(delay float64, onDone func()) {
 	if delay < 0 {
 		panic("sim: negative delay")
 	}
-	t := &task{kind: taskTimer, deadline: e.now + delay, onDone: onDone}
+	t := e.newTask()
+	t.kind = taskTimer
+	t.deadline = e.now + delay
+	t.onDone = onDone
 	e.addTask(t)
 	if e.probe != nil {
 		e.probe.TaskStart(e.now, t.id, telemetry.TaskTimer, "", delay)
@@ -167,71 +292,127 @@ func (e *Engine) After(delay float64, onDone func()) {
 
 // Compute blocks the calling process for the given amount of work (in
 // dedicated-processor seconds) on cpu, stretched by whatever contention the
-// processor-sharing model imposes.
+// processor-sharing model imposes. The task wakes the process directly at
+// completion (no callback closure), and the block reason is formatted only
+// if a deadlock report or probe needs it.
 func (p *Proc) Compute(cpu *CPU, work float64) {
-	done := false
-	p.eng.StartCompute(cpu, work, func() {
-		done = true
-		p.eng.wake(p)
-	})
-	p.block(fmt.Sprintf("compute %.6fs on %s", work, cpu.name))
-	if !done {
-		panic("sim: compute wake without completion")
+	e := p.eng
+	if work <= 0 {
+		t := e.newTask()
+		t.kind = taskTimer
+		t.deadline = e.now
+		t.proc = p
+		e.addTask(t)
+		if e.probe != nil {
+			e.probe.TaskStart(e.now, t.id, telemetry.TaskTimer, "", 0)
+		}
+	} else {
+		t := e.newTask()
+		t.kind = taskCompute
+		t.cpu = cpu
+		t.remaining = work
+		t.proc = p
+		e.addTask(t)
+		cpu.addActive(1)
+		if e.probe != nil {
+			e.probe.TaskStart(e.now, t.id, telemetry.TaskCompute, cpu.name, work)
+		}
+	}
+	// Probed runs render the reason regardless, so resolve it through the
+	// CPU's memo and block on the pre-rendered text; unprobed runs keep
+	// the lazy form, formatted only if a deadlock report needs it.
+	if e.probe != nil {
+		p.block(StaticReason(cpu.computeText(work)))
+	} else {
+		p.block(computeReason(work, cpu.name))
 	}
 }
 
 // Sleep blocks the calling process for d seconds of virtual time.
 func (p *Proc) Sleep(d float64) {
-	p.eng.After(d, func() { p.eng.wake(p) })
-	p.block(fmt.Sprintf("sleep %.6fs", d))
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e := p.eng
+	t := e.newTask()
+	t.kind = taskTimer
+	t.deadline = e.now + d
+	t.proc = p
+	e.addTask(t)
+	if e.probe != nil {
+		e.probe.TaskStart(e.now, t.id, telemetry.TaskTimer, "", d)
+		p.block(StaticReason(e.sleepText(d)))
+	} else {
+		p.block(sleepReason(d))
+	}
 }
 
-// computeRates assigns the current progress rate to every active task.
+// computeRates rebuilds every rate assignment from scratch: CPU runnable
+// counts and processor-sharing rates, then max-min fair flow rates. The
+// event loop itself never calls this — CPU rates are maintained by
+// addActive at task start/finish and flow rates by computeFlowRates only
+// when the flow set or a capacity changed — but the rebuild exists for
+// direct-injection tests that bypass the Start* constructors, and as
+// executable documentation of the state the incremental path must be
+// equivalent to.
 func (e *Engine) computeRates() {
 	for _, c := range e.cpus {
 		c.active = 0
 	}
+	e.flows = e.flows[:0]
 	for _, t := range e.tasks {
-		if t.kind == taskCompute {
+		switch t.kind {
+		case taskCompute:
 			t.cpu.active++
+		case taskFlow:
+			e.flows = append(e.flows, t)
 		}
 	}
-	// Processor sharing per CPU group.
-	for _, t := range e.tasks {
-		if t.kind == taskCompute {
-			c := t.cpu
-			t.rate = c.speed * math.Min(1, float64(c.ncpu)/float64(c.active))
+	for _, c := range e.cpus {
+		if c.active > 0 {
+			c.rate = c.speed * math.Min(1, float64(c.ncpu)/float64(c.active))
 		}
 	}
-	// Max-min fair sharing for flows via progressive filling.
-	var flows []*task
-	var resList []*Resource
-	resSet := make(map[*Resource]bool)
-	for _, t := range e.tasks {
-		if t.kind == taskFlow {
-			flows = append(flows, t)
-			t.rate = -1 // unfixed
-			for _, r := range t.path {
-				if !resSet[r] {
-					resSet[r] = true
-					resList = append(resList, r)
-					r.remCap = r.capacity
-					r.unfixed = 0
-					r.nflows = 0
-				}
-				r.unfixed++
-				r.nflows++
+	e.computeFlowRates()
+}
+
+// computeFlowRates assigns max-min fair rates to the active flows via
+// progressive filling. It runs only when e.flowsDirty is set — a flow
+// started or finished, or a capacity changed. Skipped rounds are exact,
+// not approximate: with an unchanged flow set and unchanged capacities,
+// re-running the filling would traverse the same flows in the same
+// creation order and reproduce bit-identical rates, so keeping the old
+// ones is equivalent to the former every-event recomputation.
+//
+// The rateEpoch stamp replaces the per-event resource-membership map: a
+// resource touched by the current filling run carries flows, and its
+// remCap/nflows scratch stays valid until the next run.
+func (e *Engine) computeFlowRates() {
+	e.flowsDirty = false
+	e.rateEpoch++
+	res := e.resScratch[:0]
+	for _, t := range e.flows {
+		t.rate = -1 // unfixed
+		for _, r := range t.path {
+			if r.epoch != e.rateEpoch {
+				r.epoch = e.rateEpoch
+				r.remCap = r.capacity
+				r.unfixed = 0
+				r.nflows = 0
+				res = append(res, r)
 			}
+			r.unfixed++
+			r.nflows++
 		}
 	}
-	unfixed := len(flows)
+	unfixed := len(e.flows)
 	for unfixed > 0 {
 		// Find the bottleneck resource: smallest fair share among resources
-		// that still carry unfixed flows. Iteration over resList (flow
-		// creation order) keeps tie-breaking deterministic.
+		// that still carry unfixed flows. Iteration over res (flow creation
+		// order) keeps tie-breaking deterministic.
 		var bottleneck *Resource
 		share := math.Inf(1)
-		for _, r := range resList {
+		for _, r := range res {
 			if r.unfixed == 0 {
 				continue
 			}
@@ -244,7 +425,7 @@ func (e *Engine) computeRates() {
 		if bottleneck == nil {
 			panic("sim: max-min filling found no bottleneck with flows unfixed")
 		}
-		for _, f := range flows {
+		for _, f := range e.flows {
 			if f.rate >= 0 {
 				continue
 			}
@@ -269,29 +450,42 @@ func (e *Engine) computeRates() {
 			}
 		}
 	}
-	if e.probe != nil {
-		e.emitUtilisation(resSet)
-	}
+	e.resScratch = res
 }
 
 // emitUtilisation reports per-CPU runnable counts and per-link flow
 // rates to the probe, emitting only values that changed since the last
 // report so idle resources cost nothing.
-func (e *Engine) emitUtilisation(carrying map[*Resource]bool) {
+func (e *Engine) emitUtilisation() {
+	rp := e.resProbe
 	for _, c := range e.cpus {
 		if c.active != c.probed {
 			c.probed = c.active
-			e.probe.CPULoad(e.now, c.name, c.active)
+			if rp != nil {
+				if c.probeID < 0 {
+					c.probeID = rp.ResourceID(telemetry.ResourceCPU, c.name)
+				}
+				rp.CPULoadID(e.now, c.probeID, c.active)
+			} else {
+				e.probe.CPULoad(e.now, c.name, c.active)
+			}
 		}
 	}
 	for _, r := range e.links {
 		rate, flows := 0.0, 0
-		if carrying[r] {
+		if r.epoch != 0 && r.epoch == e.rateEpoch {
 			rate, flows = r.capacity-r.remCap, r.nflows
 		}
 		if rate != r.probedRate || flows != r.probedFlows {
 			r.probedRate, r.probedFlows = rate, flows
-			e.probe.LinkRate(e.now, r.name, flows, rate)
+			if rp != nil {
+				if r.probeID < 0 {
+					r.probeID = rp.ResourceID(telemetry.ResourceLink, r.name)
+				}
+				rp.LinkRateID(e.now, r.probeID, flows, rate)
+			} else {
+				e.probe.LinkRate(e.now, r.name, flows, rate)
+			}
 		}
 	}
 }
@@ -299,17 +493,33 @@ func (e *Engine) emitUtilisation(carrying map[*Resource]bool) {
 // advance moves virtual time forward to the next task completion and runs
 // the completion callbacks in task-creation order. Must only be called when
 // no process is runnable and at least one task is active.
+//
+// The loop is allocation-free: completions collect into a reused scratch
+// slice, survivors compact e.tasks in place (the write index never passes
+// the read index), and finished tasks return to the pool. e.tasks is
+// append-only between compactions, so it stays sorted by task id and the
+// former per-event sort of the completion batch is unnecessary.
 func (e *Engine) advance() {
-	e.computeRates()
+	if e.flowsDirty {
+		e.computeFlowRates()
+	}
+	if e.probe != nil {
+		e.emitUtilisation()
+	}
+	// Single scan: compute each task's time-to-completion once, cache it
+	// for the classification below, and track the minimum.
 	dt := math.Inf(1)
 	for _, t := range e.tasks {
 		var d float64
 		switch t.kind {
 		case taskTimer:
 			d = t.deadline - e.now
+		case taskCompute:
+			d = t.remaining / t.cpu.rate
 		default:
 			d = t.remaining / t.rate
 		}
+		t.due = d
 		if d < dt {
 			dt = d
 		}
@@ -327,22 +537,16 @@ func (e *Engine) advance() {
 			c.busy += dt
 		}
 	}
-	// Identify completions before applying progress, using a small relative
-	// slack so float drift cannot strand a near-zero remainder. Flow
-	// progress over the interval is charged to every resource on the
-	// flow's path as bytes carried.
+	// Identify completions using the cached time-to-completion, with a
+	// small relative slack so float drift cannot strand a near-zero
+	// remainder. Flow progress over the interval is charged to every
+	// resource on the flow's path as bytes carried.
 	const slack = 1e-12
-	var completed []*task
-	var remaining []*task
+	cutoff := dt*(1+slack) + 1e-15
+	completed := e.completedScratch[:0]
+	keep := 0
 	for _, t := range e.tasks {
-		var d float64
-		switch t.kind {
-		case taskTimer:
-			d = t.deadline - e.now
-		default:
-			d = t.remaining / t.rate
-		}
-		if d <= dt*(1+slack)+1e-15 {
+		if t.due <= cutoff {
 			if t.kind == taskFlow {
 				for _, r := range t.path {
 					r.bytes += t.remaining
@@ -350,30 +554,50 @@ func (e *Engine) advance() {
 			}
 			completed = append(completed, t)
 		} else {
-			if t.kind != taskTimer {
+			switch t.kind {
+			case taskCompute:
+				t.remaining -= t.cpu.rate * dt
+			case taskFlow:
 				t.remaining -= t.rate * dt
-				if t.kind == taskFlow {
-					for _, r := range t.path {
-						r.bytes += t.rate * dt
-					}
+				for _, r := range t.path {
+					r.bytes += t.rate * dt
 				}
 			}
-			remaining = append(remaining, t)
+			e.tasks[keep] = t
+			keep++
 		}
 	}
+	for i := keep; i < len(e.tasks); i++ {
+		e.tasks[i] = nil
+	}
+	e.tasks = e.tasks[:keep]
 	e.now += dt
-	e.tasks = remaining
-	sort.Slice(completed, func(i, j int) bool { return completed[i].id < completed[j].id })
 	e.completions += len(completed)
 	for _, t := range completed {
 		t.remaining = 0
+		switch t.kind {
+		case taskCompute:
+			t.cpu.addActive(-1)
+		case taskFlow:
+			e.removeFlow(t)
+		}
 		if e.probe != nil {
 			e.emitTaskFinish(t)
 		}
 		if t.onDone != nil {
 			t.onDone()
+		} else if t.proc != nil {
+			e.wake(t.proc)
 		}
 	}
+	// Recycle after every callback ran: callbacks may inspect nothing of
+	// the task, but they do start new tasks, and those must not collide
+	// with entries still pending in this batch.
+	for i, t := range completed {
+		e.release(t)
+		completed[i] = nil
+	}
+	e.completedScratch = completed[:0]
 }
 
 // emitTaskFinish reports a task completion to the probe.
@@ -382,7 +606,7 @@ func (e *Engine) emitTaskFinish(t *task) {
 	case taskCompute:
 		e.probe.TaskFinish(e.now, t.id, telemetry.TaskCompute, t.cpu.name)
 	case taskFlow:
-		e.probe.TaskFinish(e.now, t.id, telemetry.TaskFlow, pathName(t.path))
+		e.probe.TaskFinish(e.now, t.id, telemetry.TaskFlow, t.where)
 	default:
 		e.probe.TaskFinish(e.now, t.id, telemetry.TaskTimer, "")
 	}

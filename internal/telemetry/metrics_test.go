@@ -2,9 +2,39 @@ package telemetry
 
 import (
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
+
+// TestBucketIndexMatchesLogReference proves the table-driven bucketIndex
+// is exactly the log-based mapping on every finite input: dense ulp
+// sweeps around every decade boundary (where the two could plausibly
+// disagree), plus a coarse sweep across the whole positive range and the
+// degenerate inputs. Infinity is excluded: the reference's int(Floor(
+// Log10(v))) conversion is platform-defined there, and durations are
+// finite by construction.
+func TestBucketIndexMatchesLogReference(t *testing.T) {
+	check := func(v float64) {
+		t.Helper()
+		if got, want := bucketIndex(v), logBucketIndex(v); got != want {
+			t.Fatalf("bucketIndex(%g) = %d, want %d", v, got, want)
+		}
+	}
+	for exp := -10; exp <= 3; exp++ {
+		edge := math.Pow(10, float64(exp))
+		bits := math.Float64bits(edge)
+		for d := -1000; d <= 1000; d++ {
+			check(math.Float64frombits(bits + uint64(int64(d))))
+		}
+	}
+	for bits := uint64(1); bits < math.Float64bits(math.MaxFloat64); bits += 1 << 44 {
+		check(math.Float64frombits(bits))
+	}
+	for _, v := range []float64{0, -1, 1e-300, math.SmallestNonzeroFloat64, math.MaxFloat64} {
+		check(v)
+	}
+}
 
 func TestCounterGaugeHistogram(t *testing.T) {
 	r := NewRegistry()

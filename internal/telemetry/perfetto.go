@@ -159,7 +159,7 @@ func (c *Collector) perfettoEvents(critical []bool) []traceEvent {
 
 	// Proc blocked intervals. Spans still open (deadlocked or daemon
 	// procs) close at the last observed time.
-	for _, b := range c.blocks {
+	c.eachBlock(func(b *BlockSpan) {
 		end := b.End
 		if end < 0 {
 			end = c.last
@@ -170,11 +170,11 @@ func (c *Collector) perfettoEvents(critical []bool) []traceEvent {
 			Name: "blocked", Ph: "X", Pid: perfettoPidProcs, Tid: b.Proc,
 			Ts: usec(b.Start), Dur: &dur, Args: raw,
 		})
-	}
+	})
 
 	// Utilisation counters, one named counter track per resource.
 	for _, cpu := range sortedKeys(c.cpuSeries) {
-		for _, s := range c.cpuSeries[cpu] {
+		for _, s := range c.cpuSeries[cpu].samples {
 			raw, _ := json.Marshal(counterArgs{Value: s.Value})
 			evs = append(evs, traceEvent{
 				Name: cpu + " runnable", Ph: "C", Pid: perfettoPidResources,
@@ -183,7 +183,7 @@ func (c *Collector) perfettoEvents(critical []bool) []traceEvent {
 		}
 	}
 	for _, link := range sortedKeys(c.linkSeries) {
-		for _, s := range c.linkSeries[link] {
+		for _, s := range c.linkSeries[link].samples {
 			raw, _ := json.Marshal(counterArgs{Value: s.Value})
 			evs = append(evs, traceEvent{
 				Name: link + " bytes/s", Ph: "C", Pid: perfettoPidResources,

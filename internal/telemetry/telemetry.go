@@ -105,6 +105,30 @@ type SimProbe interface {
 	LinkRate(t float64, link string, flows int, rate float64)
 }
 
+// ResourceProbe is an optional extension of SimProbe for the simulator's
+// per-event utilisation emissions. A simulator that holds a stable handle
+// per CPU group or link can register each resource once and then report
+// samples by dense integer id, sparing the sink a string-keyed lookup on
+// every emission. Implementations are discovered by type assertion on the
+// probe, so plain SimProbe sinks keep working unchanged; the id-based
+// methods must produce exactly the same records as the equivalent
+// CPULoad/LinkRate calls.
+type ResourceProbe interface {
+	// ResourceID registers a resource and returns its dense id: kind is
+	// "cpu" or "link", name the same name CPULoad/LinkRate would carry.
+	ResourceID(kind, name string) int
+	// CPULoadID is CPULoad with a registered id in place of the name.
+	CPULoadID(t float64, id int, runnable int)
+	// LinkRateID is LinkRate with a registered id in place of the name.
+	LinkRateID(t float64, id int, flows int, rate float64)
+}
+
+// Resource kinds passed to ResourceProbe.ResourceID.
+const (
+	ResourceCPU  = "cpu"
+	ResourceLink = "link"
+)
+
 // MPIProbe observes the message-passing runtime: per-rank operation
 // spans with their time decomposition, and rank lifecycle.
 type MPIProbe interface {

@@ -9,6 +9,54 @@ set -eu
 cd "$(dirname "$0")/.."
 
 count="${BENCH_COUNT:-5}"
+
+# Simulation core: the CG/MG-shaped event mix (probe off and on) and the
+# pure compute/sleep steady state, in ns per simulation event and
+# allocations per event. The seed_* baselines are the same benchmarks
+# measured at the pre-optimization seed (full rate recomputation, per-
+# event allocations, scheduler round trips); they are constants here so
+# the report always shows the before/after next to each other. Writes
+# BENCH_sim.json.
+out=BENCH_sim.json
+
+echo "==> go test -bench SimMixOff/On + SimSteadyCompute (count=$count)"
+go test -run xxx -bench 'BenchmarkSim(MixOff|MixOn|SteadyCompute)$' \
+    -benchmem -count "$count" "$@" ./internal/sim/ | tee /tmp/bench_sim.txt
+
+awk '
+function metric(unit,   i) { for (i = 1; i <= NF; i++) if ($i == unit) return $(i-1); return 0 }
+/^BenchmarkSimMixOff/        { off += metric("ns/event");  offa += metric("allocs/op") / metric("events/op"); noff++ }
+/^BenchmarkSimMixOn/         { on  += metric("ns/event");  ona  += metric("allocs/op") / metric("events/op"); non++ }
+/^BenchmarkSimSteadyCompute/ { st  += metric("ns/event");  nst++ }
+END {
+    if (noff == 0 || non == 0 || nst == 0) { print "no benchmark output" > "/dev/stderr"; exit 1 }
+    # Pre-optimization seed, measured with these same benchmarks against
+    # the seed engine on the reference machine.
+    seed_off = 2080; seed_off_allocs = 11.34; seed_on = 3312; seed_steady = 1612
+    moff = off / noff; mon = on / non; mst = st / nst
+    printf "{\n"
+    printf "  \"benchmark\": \"sim event loop: CG/MG-shaped mix (8 procs, 4 nodes, flows+barriers), probe off/on\",\n"
+    printf "  \"runs\": %d,\n", noff
+    printf "  \"seed_mix_off_ns_event\": %d,\n", seed_off
+    printf "  \"seed_mix_off_allocs_event\": %.2f,\n", seed_off_allocs
+    printf "  \"seed_mix_on_ns_event\": %d,\n", seed_on
+    printf "  \"seed_steady_ns_event\": %d,\n", seed_steady
+    printf "  \"mix_off_ns_event\": %.1f,\n", moff
+    printf "  \"mix_off_allocs_event\": %.3f,\n", offa / noff
+    printf "  \"mix_on_ns_event\": %.1f,\n", mon
+    printf "  \"mix_on_allocs_event\": %.3f,\n", ona / non
+    printf "  \"steady_ns_event\": %.1f,\n", mst
+    printf "  \"mix_off_speedup\": %.2f,\n", seed_off / moff
+    printf "  \"mix_on_speedup\": %.2f,\n", seed_on / mon
+    printf "  \"steady_speedup\": %.2f,\n", seed_steady / mst
+    printf "  \"probe_overhead_ns_event\": %.1f,\n", mon - moff
+    printf "  \"probe_overhead_pct\": %.2f\n", 100 * (mon - moff) / moff
+    printf "}\n"
+}' /tmp/bench_sim.txt > "$out"
+
+echo "==> wrote $out"
+cat "$out"
+
 out=BENCH_telemetry.json
 
 echo "==> go test -bench TelemetryOff/On (count=$count)"

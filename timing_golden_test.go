@@ -1,0 +1,174 @@
+// Determinism equivalence gate for the simulation core: the engine's
+// virtual timings are load-bearing for every byte-identical guarantee in
+// the repo (Perfetto exports, campaign merges, signature goldens), so any
+// engine optimization must reproduce the pre-optimization timings
+// bit-for-bit. This test runs a NAS grid (CG/MG/IS class S on 4 ranks
+// under three scenarios) and compares, against goldens captured before
+// the event-loop overhaul:
+//
+//   - the final virtual time of every cell, as exact float64 bits;
+//   - the engine's Stats() counters (events, procs, per-CPU busy time and
+//     per-link byte counts, all bit-exact);
+//   - the SHA-256 of every cell's Perfetto export and rendered metrics;
+//   - the SHA-256 of the merged Perfetto document over the whole grid.
+//
+// Regenerate with `go test -run TestSimTimingGolden -timing-update` ONLY
+// for a change that intentionally alters virtual timings; the point of
+// the file is that performance work never does.
+package perfskel_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfskel/internal/cluster"
+	"perfskel/internal/mpi"
+	"perfskel/internal/nas"
+	"perfskel/internal/telemetry"
+)
+
+var timingUpdate = flag.Bool("timing-update", false, "rewrite testdata/timing_golden.json from the current engine")
+
+const timingGoldenPath = "testdata/timing_golden.json"
+
+// timingCell is one grid cell's bit-exact fingerprint. Float64 values
+// are stored as hexadecimal IEEE-754 bit patterns so JSON round-tripping
+// cannot lose precision.
+type timingCell struct {
+	Label       string   `json:"label"`
+	NowBits     string   `json:"now_bits"`
+	Events      int      `json:"events"`
+	Procs       int      `json:"procs"`
+	CPUBusyBits []string `json:"cpu_busy_bits"`
+	LinkBits    []string `json:"link_bytes_bits"`
+	PerfettoSHA string   `json:"perfetto_sha256"`
+	MetricsSHA  string   `json:"metrics_sha256"`
+}
+
+type timingGolden struct {
+	Cells     []timingCell `json:"cells"`
+	MergedSHA string       `json:"merged_perfetto_sha256"`
+}
+
+func bits(f float64) string { return fmt.Sprintf("%016x", math.Float64bits(f)) }
+
+func sha(b []byte) string { return fmt.Sprintf("%x", sha256.Sum256(b)) }
+
+// runTimingGrid executes the grid and fingerprints every cell.
+func runTimingGrid(t *testing.T) timingGolden {
+	t.Helper()
+	const ranks = 4
+	var g timingGolden
+	var cells []telemetry.LabeledCollector
+	for _, name := range []string{"CG", "MG", "IS"} {
+		app, err := nas.App(name, nas.ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scName := range []string{"dedicated", "cpu-one-node", "combined"} {
+			sc, err := cluster.ByName(scName, ranks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := telemetry.NewCollector()
+			cl := cluster.BuildProbed(cluster.Testbed(ranks), sc, col)
+			if _, err := mpi.Run(cl, ranks, mpi.Config{Probe: col}, nil, app); err != nil {
+				t.Fatalf("%s/%s: %v", name, scName, err)
+			}
+			st := cl.Engine.Stats()
+			cell := timingCell{
+				Label:   name + "/" + scName,
+				NowBits: bits(st.Now),
+				Events:  st.Events,
+				Procs:   st.Procs,
+			}
+			for _, c := range st.CPUBusy {
+				cell.CPUBusyBits = append(cell.CPUBusyBits, c.Name+"="+bits(c.Busy))
+			}
+			for _, l := range st.LinkBytes {
+				cell.LinkBits = append(cell.LinkBits, l.Name+"="+bits(l.Bytes))
+			}
+			var buf bytes.Buffer
+			if err := col.WritePerfetto(&buf); err != nil {
+				t.Fatal(err)
+			}
+			cell.PerfettoSHA = sha(buf.Bytes())
+			cell.MetricsSHA = sha([]byte(col.Metrics.Render()))
+			g.Cells = append(g.Cells, cell)
+			cells = append(cells, telemetry.LabeledCollector{Label: cell.Label, C: col})
+		}
+	}
+	var merged bytes.Buffer
+	if err := telemetry.WriteMergedPerfetto(&merged, cells); err != nil {
+		t.Fatal(err)
+	}
+	g.MergedSHA = sha(merged.Bytes())
+	return g
+}
+
+// TestSimTimingGolden pins the simulation core's virtual timings to the
+// pre-optimization goldens, byte for byte.
+func TestSimTimingGolden(t *testing.T) {
+	got := runTimingGrid(t)
+	if *timingUpdate {
+		out, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(timingGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(timingGoldenPath, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", timingGoldenPath)
+		return
+	}
+	raw, err := os.ReadFile(timingGoldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -timing-update): %v", err)
+	}
+	var want timingGolden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != len(want.Cells) {
+		t.Fatalf("grid has %d cells, golden has %d", len(got.Cells), len(want.Cells))
+	}
+	for i, w := range want.Cells {
+		g := got.Cells[i]
+		if g.Label != w.Label {
+			t.Fatalf("cell %d label %q, golden %q", i, g.Label, w.Label)
+		}
+		if g.NowBits != w.NowBits {
+			t.Errorf("%s: final virtual time bits %s, golden %s", g.Label, g.NowBits, w.NowBits)
+		}
+		if g.Events != w.Events || g.Procs != w.Procs {
+			t.Errorf("%s: stats events=%d procs=%d, golden events=%d procs=%d",
+				g.Label, g.Events, g.Procs, w.Events, w.Procs)
+		}
+		if strings.Join(g.CPUBusyBits, ",") != strings.Join(w.CPUBusyBits, ",") {
+			t.Errorf("%s: CPU busy diverged:\n got %v\nwant %v", g.Label, g.CPUBusyBits, w.CPUBusyBits)
+		}
+		if strings.Join(g.LinkBits, ",") != strings.Join(w.LinkBits, ",") {
+			t.Errorf("%s: link bytes diverged:\n got %v\nwant %v", g.Label, g.LinkBits, w.LinkBits)
+		}
+		if g.PerfettoSHA != w.PerfettoSHA {
+			t.Errorf("%s: Perfetto output diverged (sha %s, golden %s)", g.Label, g.PerfettoSHA, w.PerfettoSHA)
+		}
+		if g.MetricsSHA != w.MetricsSHA {
+			t.Errorf("%s: metrics render diverged (sha %s, golden %s)", g.Label, g.MetricsSHA, w.MetricsSHA)
+		}
+	}
+	if got.MergedSHA != want.MergedSHA {
+		t.Errorf("merged Perfetto diverged (sha %s, golden %s)", got.MergedSHA, want.MergedSHA)
+	}
+}
